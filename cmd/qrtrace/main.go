@@ -1,0 +1,82 @@
+// Command qrtrace reproduces the paper's Figure 7: execution traces of the
+// hierarchical QR with fixed versus shifted domain boundaries, rendered as
+// ASCII timelines (and optionally SVG), plus the overlap statistics that
+// quantify the pipelining benefit of shifting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/simulate"
+	"pulsarqr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrtrace: ")
+	var (
+		m         = flag.Int("m", 4096, "rows")
+		n         = flag.Int("n", 256, "columns")
+		nb        = flag.Int("nb", 64, "tile size")
+		ib        = flag.Int("ib", 16, "inner block size")
+		h         = flag.Int("h", 4, "tiles per domain")
+		threads   = flag.Int("threads", 4, "worker threads")
+		width     = flag.Int("width", 100, "ASCII timeline width")
+		svgOut    = flag.String("svg", "", "write SVG traces to <prefix>-{fixed,shifted}.svg")
+		chromeOut = flag.String("chrome", "", "write Chrome trace JSON to <prefix>-{fixed,shifted}.json")
+		simNodes  = flag.Int("sim", 0, "simulate on this many Kraken nodes instead of running locally")
+	)
+	flag.Parse()
+
+	for _, bp := range []qr.BoundaryPolicy{qr.FixedBoundary, qr.ShiftedBoundary} {
+		opts := qr.Options{NB: *nb, IB: *ib, Tree: qr.HierarchicalTree, H: *h, Boundary: bp}
+		var tl *trace.Timeline
+		if *simNodes > 0 {
+			mach := simulate.Kraken(*simNodes)
+			_, events := simulate.RunTraced(simulate.Workload{M: *m, N: *n, Opts: opts},
+				mach, simulate.SystolicProfile, mach.Workers()*min(*simNodes, 4))
+			tl = trace.Build(events)
+		} else {
+			rec := trace.NewRecorder()
+			a := matrix.FromDense(matrix.NewRand(*m, *n, rand.New(rand.NewSource(11))), *nb)
+			rc := qr.RunConfig{Nodes: 1, Threads: *threads, FireHook: rec.Hook()}
+			if _, err := qr.FactorizeVSA(a, nil, opts, rc); err != nil {
+				log.Fatal(err)
+			}
+			tl = trace.Build(rec.Events())
+		}
+		fmt.Printf("=== %v domain boundaries ===\n", bp)
+		fmt.Printf("makespan %v, utilization %.2f, panel overlap %.1f%%\n",
+			tl.Makespan, tl.Utilization(), 100*tl.PanelOverlap(nil))
+		fmt.Printf("legend: P panel (red), u update (orange), B binary, b binary-update (blue)\n")
+		fmt.Print(tl.ASCII(*width))
+		if *svgOut != "" {
+			path := fmt.Sprintf("%s-%v.svg", *svgOut, bp)
+			if err := os.WriteFile(path, []byte(tl.SVG(1200, 14)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *chromeOut != "" {
+			path := fmt.Sprintf("%s-%v.json", *chromeOut, bp)
+			fh, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tl.ChromeTrace(fh); err != nil {
+				log.Fatal(err)
+			}
+			if err := fh.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (open in chrome://tracing or Perfetto)\n", path)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,70 @@
+// Least squares: the paper's motivating application. Fit a degree-7
+// polynomial to 20,000 noisy samples — a massively overdetermined system
+// whose normal-equations condition number would be squared, so the
+// QR route is the numerically sound one.
+//
+// The design matrix is tall-and-skinny (20000×8 before tiling), exactly
+// the shape whose limited panel parallelism motivates the hierarchical
+// reduction tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"pulsarqr"
+)
+
+func main() {
+	const (
+		samples = 20480
+		degree  = 7
+	)
+	// True coefficients of the polynomial we will try to recover.
+	truth := []float64{0.5, -1.25, 0.75, 2.0, -0.5, 0.125, -1.0, 0.25}
+
+	rng := rand.New(rand.NewSource(3))
+	a := pulsarqr.NewMatrix(samples, degree+1)
+	b := pulsarqr.NewMatrix(samples, 1)
+	for i := 0; i < samples; i++ {
+		x := 2*rng.Float64() - 1
+		pow := 1.0
+		y := 0.0
+		for d := 0; d <= degree; d++ {
+			a.Set(i, d, pow)
+			y += truth[d] * pow
+			pow *= x
+		}
+		b.Set(i, 0, y+0.01*rng.NormFloat64()) // measurement noise
+	}
+
+	opts := pulsarqr.DefaultOptions()
+	opts.NB, opts.IB, opts.H = 128, 32, 6
+	opts.Threads = 4
+	// The right-hand side rides along through the factorization: QᵀB is
+	// computed inside the systolic array, no second pass needed.
+	f, err := pulsarqr.FactorWithRHS(a, b, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := f.SolveFromQTB()
+
+	fmt.Println("coefficient   recovered     true        error")
+	var maxErr float64
+	for d := 0; d <= degree; d++ {
+		e := math.Abs(x.At(d, 0) - truth[d])
+		if e > maxErr {
+			maxErr = e
+		}
+		fmt.Printf("   x^%d      %10.6f  %10.6f  %9.2e\n", d, x.At(d, 0), truth[d], e)
+	}
+	res := a.Mul(x).Sub(b)
+	fmt.Printf("residual ‖Ax−b‖_F = %.4f over %d samples (noise level 0.01)\n",
+		res.FrobNorm(), samples)
+	if maxErr > 0.05 {
+		log.Fatalf("coefficients not recovered (max error %v)", maxErr)
+	}
+	fmt.Println("OK: coefficients recovered to within the noise floor")
+}

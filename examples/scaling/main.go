@@ -1,0 +1,33 @@
+// Scaling: a condensed version of the paper's evaluation that runs in
+// seconds — the three reduction trees on the simulated Cray XT5 across a
+// strong-scaling sweep, showing where the hierarchical tree's advantage
+// comes from (the flat tree's serial panel chain versus the binary tree's
+// slower triangle kernels).
+package main
+
+import (
+	"fmt"
+
+	"pulsarqr"
+	"pulsarqr/sim"
+)
+
+func main() {
+	m, n := 192*480, 4608 // 92160×4608: Fig. 10's second point
+	fmt.Printf("strong scaling of tree-based QR, m=%d n=%d (simulated Cray XT5)\n\n", m, n)
+	fmt.Printf("%8s %18s %18s %18s\n", "cores", "hierarchical", "binary", "flat")
+	for _, nodes := range []int{10, 40, 160, 640} {
+		mach := sim.Kraken(nodes)
+		row := fmt.Sprintf("%8d", mach.TotalCores())
+		for _, tree := range []pulsarqr.Tree{pulsarqr.Hierarchical, pulsarqr.Binary, pulsarqr.Flat} {
+			opts := pulsarqr.Options{NB: 192, IB: 48, Tree: tree, H: 12}
+			r := sim.Run(m, n, opts, mach, sim.Systolic)
+			row += fmt.Sprintf(" %10.0f GF/%.2f", r.Gflops, r.Utilization)
+		}
+		fmt.Println(row + "   (rate/utilization)")
+	}
+	fmt.Println("\nreading the table: the flat tree stops gaining early (its panel is a")
+	fmt.Println("serial chain of tile eliminations); the binary tree scales but pays the")
+	fmt.Println("triangle-kernel penalty; the hierarchical tree balances both, as in the")
+	fmt.Println("paper's Figures 10 and 11.")
+}

@@ -1,0 +1,3 @@
+module pulsarqr
+
+go 1.22

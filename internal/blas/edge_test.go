@@ -1,0 +1,125 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDgemmMatchesNaiveProperty(t *testing.T) {
+	// Randomized shapes (including the 4-way unrolled fast paths and their
+	// remainders) against the straightforward triple loop.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(13) + 1
+		n := rng.Intn(13) + 1
+		k := rng.Intn(13) + 1
+		transA := rng.Intn(2) == 1
+		transB := rng.Intn(2) == 1
+		ar, ac := m, k
+		if transA {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if transB {
+			br, bc = n, k
+		}
+		lda, ldb, ldc := ar+rng.Intn(3), br+rng.Intn(3), m+rng.Intn(3)
+		a := colMajor(rng, ar, ac, lda)
+		b := colMajor(rng, br, bc, ldb)
+		c := colMajor(rng, m, n, ldc)
+		alpha, beta := rng.Float64()*2-1, rng.Float64()*2-1
+		want := refGemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		Dgemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if math.Abs(c[i+j*ldc]-want[i+j*ldc]) > 1e-11 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDgemvStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, n, lda := 4, 3, 5
+	a := colMajor(rng, m, n, lda)
+	x := []float64{1, -9, 2, -9, 3, -9}        // incX = 2
+	y := []float64{1, -7, 1, -7, 1, -7, 1, -7} // incY = 2
+	Dgemv(false, m, n, 1, a, lda, x, 2, 1, y, 2)
+	for i := 0; i < m; i++ {
+		want := 1.0
+		for j, xv := range []float64{1, 2, 3} {
+			want += get(a, lda, i, j) * xv
+		}
+		if math.Abs(y[2*i]-want) > 1e-13 {
+			t.Fatalf("strided gemv wrong at %d", i)
+		}
+		if y[2*i+1] != -7 {
+			t.Fatal("strided gemv wrote the gaps")
+		}
+	}
+}
+
+func TestDgerStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m, n, lda := 3, 2, 3
+	a := colMajor(rng, m, n, lda)
+	orig := append([]float64(nil), a...)
+	x := []float64{1, 0, 2, 0, 3, 0}
+	y := []float64{4, 0, 0, 5, 0, 0}
+	Dger(m, n, 2, x, 2, y, 3, a, lda)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			want := orig[i+j*lda] + 2*x[2*i]*y[3*j]
+			if math.Abs(get(a, lda, i, j)-want) > 1e-13 {
+				t.Fatalf("strided ger wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIdamaxFirstOfTies(t *testing.T) {
+	if got := Idamax(4, []float64{2, -2, 2, -2}, 1); got != 0 {
+		t.Fatalf("tie should report the first index, got %d", got)
+	}
+}
+
+func TestDaxpyZeroAlphaNoop(t *testing.T) {
+	y := []float64{1, 2}
+	Daxpy(2, 0, []float64{9, 9}, 1, y, 1)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatal("alpha=0 must be a no-op")
+	}
+}
+
+func TestDtrmmAlphaZeroClearsB(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	b := colMajor(rng, 3, 2, 4)
+	Dtrmm(true, true, false, false, 3, 2, 0, make([]float64, 9), 3, b, 4)
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 3; i++ {
+			if b[i+j*4] != 0 {
+				t.Fatal("alpha=0 must zero B")
+			}
+		}
+	}
+	checkPadding(t, b, 3, 2, 4, "B")
+}
+
+func TestSolveTriSingularProducesInf(t *testing.T) {
+	// Not an error path — like LAPACK, division by an exact zero pivot
+	// yields Inf rather than panicking; callers check diagonals.
+	a := make([]float64, 4) // zero diagonal
+	x := []float64{1, 1}
+	Dtrsm(true, true, false, false, 2, 1, 1, a, 2, x, 2)
+	if !math.IsInf(x[1], 0) && !math.IsNaN(x[1]) {
+		t.Fatalf("zero pivot should produce Inf/NaN, got %v", x[1])
+	}
+}

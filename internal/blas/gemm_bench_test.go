@@ -1,0 +1,22 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGemm(b *testing.B, transA bool, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := colMajor(rng, n, n, n)
+	bb := colMajor(rng, n, n, n)
+	c := colMajor(rng, n, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(transA, false, n, n, n, 1, a, n, bb, n, 1, c, n)
+	}
+	b.SetBytes(int64(2 * n * n * n * 8))
+	b.ReportMetric(float64(2*n*n*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkGemmNN128(b *testing.B) { benchGemm(b, false, 128) }
+func BenchmarkGemmTN128(b *testing.B) { benchGemm(b, true, 128) }

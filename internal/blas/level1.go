@@ -1,0 +1,132 @@
+// Package blas implements the subset of column-major double-precision BLAS
+// required by the tile QR kernels: level-1 vector operations, a few level-2
+// routines for unblocked Householder updates, and the level-3 routines
+// (Dgemm, Dtrmm, Dtrsm) that dominate the compute time of the factorization.
+//
+// All matrices are column-major with an explicit leading dimension, matching
+// the reference BLAS so the kernel package translates one-to-one from the
+// LAPACK formulations. Vector arguments take an increment, but the kernels
+// only use contiguous vectors (inc == 1), which the implementations fast-path.
+package blas
+
+import "math"
+
+// Ddot returns xᵀy over n elements with increments incX, incY.
+func Ddot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	var s float64
+	if incX == 1 && incY == 1 {
+		x, y = x[:n], y[:n]
+		for i, v := range x {
+			s += v * y[i]
+		}
+		return s
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		s += x[ix] * y[iy]
+		ix += incX
+		iy += incY
+	}
+	return s
+}
+
+// Dnrm2 returns the Euclidean norm of x with overflow-safe scaling.
+func Dnrm2(n int, x []float64, incX int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	scale, ssq := 0.0, 1.0
+	ix := 0
+	for i := 0; i < n; i++ {
+		v := math.Abs(x[ix])
+		ix += incX
+		if v == 0 {
+			continue
+		}
+		if scale < v {
+			r := scale / v
+			ssq = 1 + ssq*r*r
+			scale = v
+		} else {
+			r := v / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Daxpy computes y += alpha*x over n elements.
+func Daxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	if incX == 1 && incY == 1 {
+		x, y = x[:n], y[:n]
+		for i, v := range x {
+			y[i] += alpha * v
+		}
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dscal computes x *= alpha over n elements.
+func Dscal(n int, alpha float64, x []float64, incX int) {
+	if n <= 0 {
+		return
+	}
+	if incX == 1 {
+		x = x[:n]
+		for i := range x {
+			x[i] *= alpha
+		}
+		return
+	}
+	ix := 0
+	for i := 0; i < n; i++ {
+		x[ix] *= alpha
+		ix += incX
+	}
+}
+
+// Dcopy copies x into y over n elements.
+func Dcopy(n int, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 {
+		return
+	}
+	if incX == 1 && incY == 1 {
+		copy(y[:n], x[:n])
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] = x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Idamax returns the index of the element of largest absolute value,
+// or -1 when n <= 0.
+func Idamax(n int, x []float64, incX int) int {
+	if n <= 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	ix := incX
+	for i := 1; i < n; i++ {
+		if v := math.Abs(x[ix]); v > best {
+			best, bi = v, i
+		}
+		ix += incX
+	}
+	return bi
+}

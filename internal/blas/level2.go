@@ -1,0 +1,182 @@
+package blas
+
+// Dgemv computes y := alpha*op(A)*x + beta*y where op is the identity when
+// trans is false and transposition when trans is true. A is m×n column-major
+// with leading dimension lda.
+func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int,
+	x []float64, incX int, beta float64, y []float64, incY int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	ylen := m
+	if trans {
+		ylen = n
+	}
+	if beta != 1 {
+		if beta == 0 {
+			iy := 0
+			for i := 0; i < ylen; i++ {
+				y[iy] = 0
+				iy += incY
+			}
+		} else {
+			Dscal(ylen, beta, y, incY)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if !trans {
+		// y += alpha * A * x, column sweep.
+		ix := 0
+		for j := 0; j < n; j++ {
+			t := alpha * x[ix]
+			ix += incX
+			if t != 0 {
+				col := a[j*lda : j*lda+m]
+				if incY == 1 {
+					yv := y[:m]
+					for i, v := range col {
+						yv[i] += t * v
+					}
+				} else {
+					iy := 0
+					for i := 0; i < m; i++ {
+						y[iy] += t * col[i]
+						iy += incY
+					}
+				}
+			}
+		}
+		return
+	}
+	// y += alpha * Aᵀ * x, dot products per column.
+	iy := 0
+	for j := 0; j < n; j++ {
+		col := a[j*lda : j*lda+m]
+		var s float64
+		if incX == 1 {
+			xv := x[:m]
+			for i, v := range col {
+				s += v * xv[i]
+			}
+		} else {
+			ix := 0
+			for i := 0; i < m; i++ {
+				s += col[i] * x[ix]
+				ix += incX
+			}
+		}
+		y[iy] += alpha * s
+		iy += incY
+	}
+}
+
+// Dger performs the rank-one update A += alpha * x * yᵀ.
+func Dger(m, n int, alpha float64, x []float64, incX int,
+	y []float64, incY int, a []float64, lda int) {
+	if m <= 0 || n <= 0 || alpha == 0 {
+		return
+	}
+	iy := 0
+	for j := 0; j < n; j++ {
+		t := alpha * y[iy]
+		iy += incY
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		if incX == 1 {
+			xv := x[:m]
+			for i, v := range xv {
+				col[i] += t * v
+			}
+		} else {
+			ix := 0
+			for i := 0; i < m; i++ {
+				col[i] += t * x[ix]
+				ix += incX
+			}
+		}
+	}
+}
+
+// Dtrmv computes x := op(A)*x for an n×n triangular matrix A.
+// upper selects the triangle, trans selects op, unit marks a unit diagonal.
+func Dtrmv(upper, trans, unit bool, n int, a []float64, lda int, x []float64, incX int) {
+	if n <= 0 {
+		return
+	}
+	if incX != 1 {
+		// The kernels only use contiguous vectors; keep the general case
+		// simple and correct by staging through a temporary.
+		tmp := make([]float64, n)
+		ix := 0
+		for i := 0; i < n; i++ {
+			tmp[i] = x[ix]
+			ix += incX
+		}
+		Dtrmv(upper, trans, unit, n, a, lda, tmp, 1)
+		ix = 0
+		for i := 0; i < n; i++ {
+			x[ix] = tmp[i]
+			ix += incX
+		}
+		return
+	}
+	x = x[:n]
+	switch {
+	case upper && !trans:
+		for i := 0; i < n; i++ {
+			var s float64
+			if unit {
+				s = x[i]
+			} else {
+				s = a[i+i*lda] * x[i]
+			}
+			for j := i + 1; j < n; j++ {
+				s += a[i+j*lda] * x[j]
+			}
+			x[i] = s
+		}
+	case upper && trans:
+		for i := n - 1; i >= 0; i-- {
+			var s float64
+			if unit {
+				s = x[i]
+			} else {
+				s = a[i+i*lda] * x[i]
+			}
+			for j := 0; j < i; j++ {
+				s += a[j+i*lda] * x[j]
+			}
+			x[i] = s
+		}
+	case !upper && !trans:
+		for i := n - 1; i >= 0; i-- {
+			var s float64
+			if unit {
+				s = x[i]
+			} else {
+				s = a[i+i*lda] * x[i]
+			}
+			for j := 0; j < i; j++ {
+				s += a[i+j*lda] * x[j]
+			}
+			x[i] = s
+		}
+	default: // lower, trans
+		for i := 0; i < n; i++ {
+			var s float64
+			if unit {
+				s = x[i]
+			} else {
+				s = a[i+i*lda] * x[i]
+			}
+			for j := i + 1; j < n; j++ {
+				s += a[j+i*lda] * x[j]
+			}
+			x[i] = s
+		}
+	}
+}

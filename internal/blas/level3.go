@@ -1,0 +1,294 @@
+package blas
+
+// Dgemm computes C := alpha*op(A)*op(B) + beta*C with op selected by
+// transA/transB. C is m×n, op(A) is m×k, op(B) is k×n, all column-major.
+//
+// The no-transpose path runs a j-k-i loop nest so the inner loop streams
+// down contiguous columns, which is the cache-friendly order for
+// column-major data; the transposed paths reduce to dot products or
+// column-axpy sweeps with the same property.
+func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int,
+	b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	// Scale C by beta first.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k <= 0 {
+		return
+	}
+	switch {
+	case !transA && !transB:
+		// C += alpha * A * B. Process four columns of C per sweep over a
+		// column of A: each load of A feeds four multiply-adds, which
+		// quadruples the arithmetic intensity of the inner loop.
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			c0 := c[(j+0)*ldc : (j+0)*ldc+m]
+			c1 := c[(j+1)*ldc : (j+1)*ldc+m]
+			c2 := c[(j+2)*ldc : (j+2)*ldc+m]
+			c3 := c[(j+3)*ldc : (j+3)*ldc+m]
+			for l := 0; l < k; l++ {
+				t0 := alpha * b[l+(j+0)*ldb]
+				t1 := alpha * b[l+(j+1)*ldb]
+				t2 := alpha * b[l+(j+2)*ldb]
+				t3 := alpha * b[l+(j+3)*ldb]
+				if t0 == 0 && t1 == 0 && t2 == 0 && t3 == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i, v := range acol {
+					c0[i] += t0 * v
+					c1[i] += t1 * v
+					c2[i] += t2 * v
+					c3[i] += t3 * v
+				}
+			}
+		}
+		for ; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * b[l+j*ldb]
+				if t == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i, v := range acol {
+					ccol[i] += t * v
+				}
+			}
+		}
+	case transA && !transB:
+		// C += alpha * Aᵀ * B ; A is k×m stored, columns of A are rows of
+		// op(A). Four simultaneous dot products share each load of B.
+		for j := 0; j < n; j++ {
+			bcol := b[j*ldb : j*ldb+k]
+			ccol := c[j*ldc : j*ldc+m]
+			i := 0
+			for ; i+4 <= m; i += 4 {
+				a0 := a[(i+0)*lda : (i+0)*lda+k]
+				a1 := a[(i+1)*lda : (i+1)*lda+k]
+				a2 := a[(i+2)*lda : (i+2)*lda+k]
+				a3 := a[(i+3)*lda : (i+3)*lda+k]
+				var s0, s1, s2, s3 float64
+				for l, bv := range bcol {
+					s0 += a0[l] * bv
+					s1 += a1[l] * bv
+					s2 += a2[l] * bv
+					s3 += a3[l] * bv
+				}
+				ccol[i+0] += alpha * s0
+				ccol[i+1] += alpha * s1
+				ccol[i+2] += alpha * s2
+				ccol[i+3] += alpha * s3
+			}
+			for ; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var s float64
+				for l, v := range acol {
+					s += v * bcol[l]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	case !transA && transB:
+		// C += alpha * A * Bᵀ ; B is n×k stored.
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * b[j+l*ldb]
+				if t == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i, v := range acol {
+					ccol[i] += t * v
+				}
+			}
+		}
+	default:
+		// C += alpha * Aᵀ * Bᵀ
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var s float64
+				for l, v := range acol {
+					s += v * b[j+l*ldb]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Dtrmm computes B := alpha*op(A)*B (left) or B := alpha*B*op(A) (right)
+// for a triangular A. B is m×n; A is m×m (left) or n×n (right).
+func Dtrmm(left, upper, trans, unit bool, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if alpha == 0 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+		return
+	}
+	if left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			Dtrmv(upper, trans, unit, m, a, lda, col, 1)
+			if alpha != 1 {
+				for i := range col {
+					col[i] *= alpha
+				}
+			}
+		}
+		return
+	}
+	// Right side: B := alpha * B * op(A). Process by columns of the result.
+	// result[:, j] = alpha * sum_k B[:, k] * op(A)[k, j].
+	// op(A)[k, j] = A[k, j] when !trans, A[j, k] when trans.
+	tmp := make([]float64, m)
+	out := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		for k := 0; k < n; k++ {
+			var akj float64
+			switch {
+			case k == j:
+				if unit {
+					akj = 1
+				} else {
+					akj = a[k+j*lda]
+				}
+			case !trans:
+				if (upper && k < j) || (!upper && k > j) {
+					akj = a[k+j*lda]
+				}
+			default:
+				if (upper && j < k) || (!upper && j > k) {
+					akj = a[j+k*lda]
+				}
+			}
+			if akj == 0 {
+				continue
+			}
+			bcol := b[k*ldb : k*ldb+m]
+			for i, v := range bcol {
+				tmp[i] += v * akj
+			}
+		}
+		ocol := out[j*m : j*m+m]
+		for i := range tmp {
+			ocol[i] = alpha * tmp[i]
+		}
+	}
+	for j := 0; j < n; j++ {
+		copy(b[j*ldb:j*ldb+m], out[j*m:j*m+m])
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (left) or X*op(A) = alpha*B (right) for X,
+// overwriting B. A is triangular and assumed nonsingular.
+func Dtrsm(left, upper, trans, unit bool, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			solveTri(upper, trans, unit, m, a, lda, col)
+		}
+		return
+	}
+	// Right side: X * op(A) = B  ⇔  op(A)ᵀ Xᵀ = Bᵀ. Solve row systems.
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		solveTri(upper, !trans, unit, n, a, lda, row)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}
+
+// solveTri solves op(A) x = b in place for one right-hand side.
+func solveTri(upper, trans, unit bool, n int, a []float64, lda int, x []float64) {
+	switch {
+	case upper && !trans:
+		for i := n - 1; i >= 0; i-- {
+			s := x[i]
+			for j := i + 1; j < n; j++ {
+				s -= a[i+j*lda] * x[j]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i] = s
+		}
+	case upper && trans:
+		for i := 0; i < n; i++ {
+			s := x[i]
+			for j := 0; j < i; j++ {
+				s -= a[j+i*lda] * x[j]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i] = s
+		}
+	case !upper && !trans:
+		for i := 0; i < n; i++ {
+			s := x[i]
+			for j := 0; j < i; j++ {
+				s -= a[i+j*lda] * x[j]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i] = s
+		}
+	default: // lower, trans
+		for i := n - 1; i >= 0; i-- {
+			s := x[i]
+			for j := i + 1; j < n; j++ {
+				s -= a[j+i*lda] * x[j]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i] = s
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package blas
+
+// Dsyrk performs the symmetric rank-k update C := alpha·A·Aᵀ + beta·C
+// (trans=false) or C := alpha·Aᵀ·A + beta·C (trans=true), touching only
+// the selected triangle of the n×n matrix C. A is n×k (or k×n when
+// trans). Needed by the tile Cholesky factorization.
+func Dsyrk(upper, trans bool, n, k int, alpha float64, a []float64, lda int,
+	beta float64, c []float64, ldc int) {
+	if n <= 0 {
+		return
+	}
+	// Scale the triangle by beta.
+	for j := 0; j < n; j++ {
+		lo, hi := j, n // lower: rows j..n-1
+		if upper {
+			lo, hi = 0, j+1
+		}
+		col := c[j*ldc:]
+		if beta == 0 {
+			for i := lo; i < hi; i++ {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := lo; i < hi; i++ {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k <= 0 {
+		return
+	}
+	if !trans {
+		// C += alpha * A*Aᵀ: rank-1 sweeps over A's columns.
+		for l := 0; l < k; l++ {
+			acol := a[l*lda : l*lda+n]
+			for j := 0; j < n; j++ {
+				t := alpha * acol[j]
+				if t == 0 {
+					continue
+				}
+				ccol := c[j*ldc:]
+				if upper {
+					for i := 0; i <= j; i++ {
+						ccol[i] += t * acol[i]
+					}
+				} else {
+					for i := j; i < n; i++ {
+						ccol[i] += t * acol[i]
+					}
+				}
+			}
+		}
+		return
+	}
+	// C += alpha * Aᵀ*A with A stored k×n: dot products of A's columns.
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc:]
+		aj := a[j*lda : j*lda+k]
+		lo, hi := j, n
+		if upper {
+			lo, hi = 0, j+1
+		}
+		for i := lo; i < hi; i++ {
+			ai := a[i*lda : i*lda+k]
+			var s float64
+			for l := range aj {
+				s += ai[l] * aj[l]
+			}
+			ccol[i] += alpha * s
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package chol implements a tile Cholesky factorization on the same
+// virtual-systolic-array runtime as the QR — the demonstration the paper's
+// conclusion calls for ("we are currently ... mapping other algorithms
+// onto PULSAR"). The algorithm is the classical right-looking tile
+// Cholesky (PLASMA's dpotrf): for each step k,
+//
+//	dpotrf  A[k][k] = L[k][k]·L[k][k]ᵀ
+//	dtrsm   A[i][k] := A[i][k]·L[k][k]⁻ᵀ           (i > k)
+//	dsyrk   A[i][i] -= L[i][k]·L[i][k]ᵀ            (i > k)
+//	dgemm   A[i][j] -= L[i][k]·L[j][k]ᵀ            (k < j < i)
+//
+// Only the lower triangle of tiles is stored and referenced. Like the QR,
+// a sequential reference and the systolic execution perform the identical
+// kernel sequence, so their results match elementwise.
+package chol
+
+import (
+	"fmt"
+	"math"
+
+	"pulsarqr/internal/blas"
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+)
+
+// Factorization is a tile Cholesky result: L in the lower tiles of A.
+type Factorization struct {
+	N    int
+	NB   int
+	A    *matrix.Tiled // lower tiles hold L; above-diagonal tiles unused
+	Opts Options
+}
+
+// Options parameterizes the factorization.
+type Options struct {
+	// NB is the tile size.
+	NB int
+}
+
+func (o Options) normalize() Options {
+	if o.NB <= 0 {
+		o.NB = 64
+	}
+	return o
+}
+
+// Factorize computes the tile Cholesky of the symmetric positive-definite
+// matrix held in a (only the lower tiles are referenced), in place — the
+// sequential reference.
+func Factorize(a *matrix.Tiled, opts Options) (*Factorization, error) {
+	opts = opts.normalize()
+	if a.M != a.N {
+		return nil, fmt.Errorf("chol: matrix is %dx%d; Cholesky needs square", a.M, a.N)
+	}
+	if a.NB != opts.NB {
+		return nil, fmt.Errorf("chol: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
+	}
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		if err := kernels.Dpotrf(a.Tile(k, k)); err != nil {
+			return nil, fmt.Errorf("chol: step %d: %w", k, err)
+		}
+		lkk := a.Tile(k, k)
+		for i := k + 1; i < nt; i++ {
+			t := a.Tile(i, k)
+			// A[i][k] := A[i][k] · L[k][k]⁻ᵀ  (right, lower, transposed).
+			blas.Dtrsm(false, false, true, false, t.Rows, t.Cols, 1,
+				lkk.Data, lkk.LD, t.Data, t.LD)
+		}
+		for i := k + 1; i < nt; i++ {
+			lik := a.Tile(i, k)
+			for j := k + 1; j <= i; j++ {
+				if j == i {
+					c := a.Tile(i, i)
+					blas.Dsyrk(false, false, c.Rows, lik.Cols, -1,
+						lik.Data, lik.LD, 1, c.Data, c.LD)
+				} else {
+					ljk := a.Tile(j, k)
+					c := a.Tile(i, j)
+					blas.Dgemm(false, true, c.Rows, c.Cols, lik.Cols, -1,
+						lik.Data, lik.LD, ljk.Data, ljk.LD, 1, c.Data, c.LD)
+				}
+			}
+		}
+	}
+	return &Factorization{N: a.N, NB: opts.NB, A: a, Opts: opts}, nil
+}
+
+// L assembles the dense lower-triangular factor.
+func (f *Factorization) L() *matrix.Mat {
+	l := matrix.New(f.N, f.N)
+	nb := f.NB
+	for i := 0; i < f.A.MT; i++ {
+		for j := 0; j <= i; j++ {
+			src := f.A.Tile(i, j)
+			dst := l.View(i*nb, j*nb, src.Rows, src.Cols)
+			if i == j {
+				for jj := 0; jj < src.Cols; jj++ {
+					for ii := jj; ii < src.Rows; ii++ {
+						dst.Set(ii, jj, src.At(ii, jj))
+					}
+				}
+			} else {
+				dst.CopyFrom(src)
+			}
+		}
+	}
+	return l
+}
+
+// Solve solves A·x = b using the factorization (forward then backward
+// substitution), overwriting nothing; b is m×nrhs dense.
+func (f *Factorization) Solve(b *matrix.Mat) *matrix.Mat {
+	if b.Rows != f.N {
+		panic(fmt.Sprintf("chol: rhs has %d rows, want %d", b.Rows, f.N))
+	}
+	x := b.Clone()
+	l := f.L()
+	// L·y = b, then Lᵀ·x = y.
+	blas.Dtrsm(true, false, false, false, f.N, b.Cols, 1, l.Data, l.LD, x.Data, x.LD)
+	blas.Dtrsm(true, false, true, false, f.N, b.Cols, 1, l.Data, l.LD, x.Data, x.LD)
+	return x
+}
+
+// Residual returns ‖A − L·Lᵀ‖_F/‖A‖_F against the original dense matrix.
+func (f *Factorization) Residual(orig *matrix.Mat) float64 {
+	l := f.L()
+	llt := l.Mul(l.Transpose())
+	// Compare only the lower triangle (the factorization never saw the
+	// strictly-upper part).
+	diff, norm := 0.0, 0.0
+	for j := 0; j < f.N; j++ {
+		for i := j; i < f.N; i++ {
+			d := llt.At(i, j) - orig.At(i, j)
+			diff += d * d
+			norm += orig.At(i, j) * orig.At(i, j)
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return math.Sqrt(diff) / math.Sqrt(norm)
+}

@@ -1,0 +1,133 @@
+package chol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+// spd builds a well-conditioned symmetric positive-definite matrix.
+func spd(n int, seed int64) *matrix.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	b := matrix.NewRand(n, n, rng)
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestSequentialCholesky(t *testing.T) {
+	for _, n := range []int{1, 5, 8, 16, 23, 40} {
+		a := spd(n, int64(n))
+		o := Options{NB: 8}
+		f, err := Factorize(matrix.FromDense(a, o.NB), o)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res := f.Residual(a); res > 1e-13 {
+			t.Fatalf("n=%d: residual %v", n, res)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	n := 24
+	a := spd(n, 7)
+	xTrue := matrix.NewRand(n, 3, rand.New(rand.NewSource(8)))
+	b := a.Mul(xTrue)
+	f, err := Factorize(matrix.FromDense(a, 8), Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b)
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-11 {
+		t.Fatalf("solution off by %v", d)
+	}
+}
+
+func TestCholeskyLIsLowerTriangular(t *testing.T) {
+	a := spd(20, 9)
+	f, err := Factorize(matrix.FromDense(a, 8), Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.L()
+	for j := 0; j < 20; j++ {
+		for i := 0; i < j; i++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("L(%d,%d) = %v above diagonal", i, j, l.At(i, j))
+			}
+		}
+		if l.At(j, j) <= 0 {
+			t.Fatalf("L(%d,%d) = %v not positive", j, j, l.At(j, j))
+		}
+	}
+}
+
+func TestVSACholeskyMatchesSequential(t *testing.T) {
+	for _, n := range []int{8, 16, 23, 40, 55} {
+		a := spd(n, int64(100+n))
+		o := Options{NB: 8}
+		seq, err := Factorize(matrix.FromDense(a, o.NB), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vsa, err := FactorizeVSA(matrix.FromDense(a, o.NB), o, RunConfig{Nodes: 2, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(seq.L(), vsa.L()); d != 0 {
+			t.Fatalf("n=%d: systolic L differs by %v", n, d)
+		}
+	}
+}
+
+func TestVSACholeskyMultiNode(t *testing.T) {
+	a := spd(64, 11)
+	o := Options{NB: 8}
+	seq, err := Factorize(matrix.FromDense(a, o.NB), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 3, 4} {
+		vsa, err := FactorizeVSA(matrix.FromDense(a, o.NB), o, RunConfig{Nodes: nodes, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(seq.L(), vsa.L()); d != 0 {
+			t.Fatalf("nodes=%d: L differs by %v", nodes, d)
+		}
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	a := matrix.New(16, 16) // the zero matrix is not PD
+	if _, err := Factorize(matrix.FromDense(a, 8), Options{NB: 8}); err == nil {
+		t.Fatal("zero matrix must be rejected")
+	}
+	// Indefinite: flip a diagonal sign of an SPD matrix.
+	b := spd(16, 12)
+	b.Set(5, 5, -b.At(5, 5))
+	_, err := Factorize(matrix.FromDense(b, 8), Options{NB: 8})
+	if err == nil || !strings.Contains(err.Error(), "positive definite") {
+		t.Fatalf("expected not-PD error, got %v", err)
+	}
+	// The systolic version reports the same failure instead of hanging.
+	_, err = FactorizeVSA(matrix.FromDense(b, 8), Options{NB: 8}, RunConfig{Threads: 2})
+	if err == nil || !strings.Contains(err.Error(), "positive definite") {
+		t.Fatalf("systolic: expected not-PD error, got %v", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	a := matrix.NewRand(8, 6, rand.New(rand.NewSource(1)))
+	if _, err := Factorize(matrix.FromDense(a, 8), Options{NB: 8}); err == nil {
+		t.Fatal("non-square must be rejected")
+	}
+	if _, err := FactorizeVSA(matrix.FromDense(a, 8), Options{NB: 8}, RunConfig{}); err == nil {
+		t.Fatal("non-square must be rejected by the systolic path")
+	}
+}

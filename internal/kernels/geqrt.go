@@ -1,0 +1,74 @@
+package kernels
+
+import (
+	"fmt"
+
+	"pulsarqr/internal/matrix"
+)
+
+// Dgeqrt computes the blocked QR factorization of the m×n tile a with inner
+// block size ib. On exit a holds R in its upper triangle and the Householder
+// vectors below the diagonal; t (ib×n, at least ib×min(m,n)) holds the
+// upper-triangular block-reflector factors, one sb×sb block per column block.
+func Dgeqrt(ib int, a, t *matrix.Mat) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if k == 0 {
+		return
+	}
+	if ib <= 0 {
+		panic(fmt.Sprintf("kernels: Dgeqrt ib=%d", ib))
+	}
+	if t.Rows < min(ib, k) || t.Cols < k {
+		panic(fmt.Sprintf("kernels: Dgeqrt T %dx%d too small for ib=%d k=%d",
+			t.Rows, t.Cols, ib, k))
+	}
+	tau := make([]float64, ib)
+	work := make([]float64, max(m, n))
+	for j := 0; j < k; j += ib {
+		sb := min(ib, k-j)
+		panel := a.View(j, j, m-j, sb)
+		dgeqr2(panel, tau[:sb], work)
+		tb := t.View(0, j, sb, sb)
+		dlarft(panel, tau[:sb], tb, work)
+		if j+sb < n {
+			dlarfb(true, panel, tb, a.View(j, j+sb, m-j, n-j-sb))
+		}
+	}
+}
+
+// Dormqr applies Q (trans=false) or Qᵀ (trans=true) to the m×n matrix c
+// from the left, where the reflectors are stored in v (m×nv, k=min(m,nv)
+// reflectors, output of Dgeqrt) with block factors in t (ib×k).
+func Dormqr(trans bool, ib int, v, t, c *matrix.Mat) {
+	m, n := c.Rows, c.Cols
+	if v.Rows != m {
+		panic(fmt.Sprintf("kernels: Dormqr v rows %d != c rows %d", v.Rows, m))
+	}
+	k := min(v.Rows, v.Cols)
+	if k == 0 || n == 0 {
+		return
+	}
+	blocks := blockStarts(k, ib, trans)
+	for _, j := range blocks {
+		sb := min(ib, k-j)
+		dlarfb(trans, v.View(j, j, m-j, sb), t.View(0, j, sb, sb),
+			c.View(j, 0, m-j, n))
+	}
+}
+
+// blockStarts returns the column-block starting offsets for k reflectors
+// with block size ib, forward when fwd is true (Qᵀ application) and
+// backward otherwise (Q application).
+func blockStarts(k, ib int, fwd bool) []int {
+	var s []int
+	for j := 0; j < k; j += ib {
+		s = append(s, j)
+	}
+	if !fwd {
+		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+// Package kernels implements the six tile kernels of the tree-based QR
+// factorization — Dgeqrt, Dormqr, Dtsqrt, Dtsmqr, Dttqrt, Dttmqr — plus the
+// Householder primitives they are built from. These are functional
+// equivalents of the PLASMA core_blas kernels referenced by the paper.
+//
+// Conventions (all matrices column-major, tiles from package matrix):
+//
+//   - A factored tile holds R in its upper triangle and the Householder
+//     vectors V (unit lower-trapezoidal, implicit ones on the diagonal)
+//     below it.
+//   - T factors are stored as an ib×n matrix: for the column block starting
+//     at column j with width sb = min(ib, n−j), T[0:sb, j:j+sb] is the
+//     upper-triangular block-reflector factor, so a block reflector is
+//     H = I − V·T·Vᵀ.
+//   - Dtsqrt factors a pair [R; A2] with R n×n upper triangular on top; the
+//     top parts of its reflectors are implicit identity columns and only the
+//     dense V2 part is stored in A2. Dttqrt is the same with A2 (and hence
+//     V2) upper triangular, at roughly half the flops.
+package kernels
+
+import (
+	"math"
+
+	"pulsarqr/internal/blas"
+	"pulsarqr/internal/matrix"
+)
+
+// Dlarfg generates an elementary Householder reflector H such that
+// H · [alpha; x] = [beta; 0] with H = I − tau·v·vᵀ and v = [1; x_out].
+// alpha is updated to beta and x is overwritten with the tail of v.
+// The returned tau is zero when no reflection is needed (H = I).
+func Dlarfg(alpha *float64, x []float64) (tau float64) {
+	xnorm := blas.Dnrm2(len(x), x, 1)
+	if xnorm == 0 {
+		return 0
+	}
+	a := *alpha
+	beta := -math.Copysign(math.Hypot(a, xnorm), a)
+	tau = (beta - a) / beta
+	blas.Dscal(len(x), 1/(a-beta), x, 1)
+	*alpha = beta
+	return tau
+}
+
+// dgeqr2 computes the unblocked QR factorization of the panel view a
+// (m×n, m ≥ 1), storing reflectors below the diagonal and R on and above
+// it. tau must have length ≥ min(m, n). work must have length ≥ n.
+func dgeqr2(a *matrix.Mat, tau, work []float64) {
+	m, n, ld := a.Rows, a.Cols, a.LD
+	k := min(m, n)
+	for j := 0; j < k; j++ {
+		col := a.Data[j+j*ld:]
+		tau[j] = Dlarfg(&col[0], col[1:m-j])
+		if tau[j] != 0 && j+1 < n {
+			// Apply H = I − tau v vᵀ to a[j:m, j+1:n] with v = [1; col tail].
+			d := col[0]
+			col[0] = 1
+			v := col[:m-j]
+			c := a.Data[j+(j+1)*ld:]
+			nc := n - j - 1
+			w := work[:nc]
+			// w = Cᵀ v
+			blas.Dgemv(true, m-j, nc, 1, c, ld, v, 1, 0, w, 1)
+			// C -= tau v wᵀ
+			blas.Dger(m-j, nc, -tau[j], v, 1, w, 1, c, ld)
+			col[0] = d
+		}
+	}
+}
+
+// dlarft forms the upper-triangular factor T of the block reflector
+// H = I − V·T·Vᵀ for k forward, columnwise reflectors. v is m×k unit
+// lower-trapezoidal (stored entries below the diagonal), t is at least k×k,
+// work must have length ≥ k.
+func dlarft(v *matrix.Mat, tau []float64, t *matrix.Mat, work []float64) {
+	m, k := v.Rows, len(tau)
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for l := 0; l <= i; l++ {
+				t.Set(l, i, 0)
+			}
+			continue
+		}
+		if i > 0 {
+			w := work[:i]
+			// w = V[:, 0:i]ᵀ · v_i with v_i = e_i + V[i+1:m, i].
+			for l := 0; l < i; l++ {
+				w[l] = v.At(i, l)
+			}
+			if i+1 < m {
+				blas.Dgemv(true, m-i-1, i, 1,
+					v.Data[i+1:], v.LD, v.Data[i+1+i*v.LD:], 1, 1, w, 1)
+			}
+			// T[0:i, i] = −tau_i · T[0:i, 0:i] · w
+			blas.Dtrmv(true, false, false, i, t.Data, t.LD, w, 1)
+			for l := 0; l < i; l++ {
+				t.Set(l, i, -tau[i]*w[l])
+			}
+		}
+		t.Set(i, i, tau[i])
+	}
+}
+
+// dlarfb applies the block reflector H = I − V·T·Vᵀ (or its transpose when
+// trans is true) from the left to C. V is m×k unit lower-trapezoidal with
+// m ≥ k, T is the k×k upper-triangular view, C is m×n.
+func dlarfb(trans bool, v, t, c *matrix.Mat) {
+	m, k := v.Rows, v.Cols
+	n := c.Cols
+	if k == 0 || n == 0 || m == 0 {
+		return
+	}
+	w := matrix.New(k, n)
+	// W = V1ᵀ C1  (V1 = top k×k unit lower triangle of V).
+	w.CopyFrom(c.View(0, 0, k, n))
+	blas.Dtrmm(true, false, true, true, k, n, 1, v.Data, v.LD, w.Data, w.LD)
+	if m > k {
+		// W += V2ᵀ C2.
+		blas.Dgemm(true, false, k, n, m-k, 1,
+			v.Data[k:], v.LD, c.Data[k:], c.LD, 1, w.Data, w.LD)
+	}
+	// W := op(T) W.
+	blas.Dtrmm(true, true, trans, false, k, n, 1, t.Data, t.LD, w.Data, w.LD)
+	if m > k {
+		// C2 -= V2 W.
+		blas.Dgemm(false, false, m-k, n, k, -1,
+			v.Data[k:], v.LD, w.Data, w.LD, 1, c.Data[k:], c.LD)
+	}
+	// C1 -= V1 W.
+	blas.Dtrmm(true, false, false, true, k, n, 1, v.Data, v.LD, w.Data, w.LD)
+	for j := 0; j < n; j++ {
+		ccol := c.Data[j*c.LD : j*c.LD+k]
+		wcol := w.Data[j*w.LD : j*w.LD+k]
+		for i := range wcol {
+			ccol[i] -= wcol[i]
+		}
+	}
+}

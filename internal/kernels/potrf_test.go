@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pulsarqr/internal/matrix"
+)
+
+func spdTile(n int, seed int64) *matrix.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	b := matrix.NewRand(n, n, rng)
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestDpotrfReconstruction(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := spdTile(n, int64(n))
+		l := a.Clone()
+		if err := Dpotrf(l); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Zero the strictly-upper part (unreferenced storage).
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				l.Set(i, j, 0)
+			}
+		}
+		llt := l.Mul(l.Transpose())
+		if d := matrix.MaxAbsDiff(llt, a); d > 1e-11*float64(n) {
+			t.Fatalf("n=%d: ||LLᵀ − A|| = %v", n, d)
+		}
+	}
+}
+
+func TestDpotrfLeavesUpperUntouched(t *testing.T) {
+	a := spdTile(8, 3)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 1e99) // garbage that must survive
+		}
+	}
+	if err := Dpotrf(a); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 8; j++ {
+		for i := 0; i < j; i++ {
+			if a.At(i, j) != 1e99 {
+				t.Fatalf("upper (%d,%d) modified", i, j)
+			}
+		}
+	}
+}
+
+func TestDpotrfRejectsIndefinite(t *testing.T) {
+	a := spdTile(6, 4)
+	a.Set(3, 3, -1)
+	err := Dpotrf(a)
+	if err == nil || !strings.Contains(err.Error(), "order 4") {
+		t.Fatalf("expected failure at minor 4, got %v", err)
+	}
+	if err := Dpotrf(matrix.New(0, 0)); err != nil {
+		t.Fatalf("empty tile: %v", err)
+	}
+	if err := Dpotrf(matrix.NewRand(3, 4, rand.New(rand.NewSource(1)))); err == nil {
+		t.Fatal("non-square tile must be rejected")
+	}
+}
+
+func TestDpotrfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		a := spdTile(n, seed)
+		l := a.Clone()
+		if err := Dpotrf(l); err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if l.At(j, j) <= 0 {
+				return false
+			}
+			for i := 0; i < j; i++ {
+				l.Set(i, j, 0)
+			}
+		}
+		return matrix.MaxAbsDiff(l.Mul(l.Transpose()), a) < 1e-10*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

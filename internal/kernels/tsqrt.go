@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"fmt"
+
+	"pulsarqr/internal/blas"
+	"pulsarqr/internal/matrix"
+)
+
+// Dtsqrt computes the QR factorization of the stacked pair [A1; A2] where
+// a1 is n×n upper triangular (the R factor of an already-factored tile) and
+// a2 is a full m2×n tile. On exit a1 holds the updated R, a2 holds the
+// dense parts V2 of the reflectors (the top parts are implicit identity
+// columns), and t (ib×n) holds the block-reflector factors.
+//
+// Only the upper triangle of a1 is read or written, so reflector vectors
+// stored below a1's diagonal by an earlier Dgeqrt survive intact.
+func Dtsqrt(ib int, a1, a2, t *matrix.Mat) {
+	tsqrtGeneric(ib, a1, a2, t, false)
+}
+
+// Dttqrt is Dtsqrt for the case where the relevant content of a2 is also
+// upper triangular (the meeting of two R factors in a reduction tree). The
+// reflector parts V2 stay upper triangular, which roughly halves the flops.
+// The strictly-lower part of a2 is neither read nor written, so Householder
+// vectors stored there by an earlier Dgeqrt survive intact.
+func Dttqrt(ib int, a1, a2, t *matrix.Mat) {
+	tsqrtGeneric(ib, a1, a2, t, true)
+}
+
+func tsqrtGeneric(ib int, a1, a2, t *matrix.Mat, tri bool) {
+	n, m2 := a1.Cols, a2.Rows
+	if a1.Rows < n {
+		panic(fmt.Sprintf("kernels: tsqrt a1 %dx%d not at least square", a1.Rows, n))
+	}
+	if a2.Cols != n {
+		panic(fmt.Sprintf("kernels: tsqrt a2 cols %d != a1 cols %d", a2.Cols, n))
+	}
+	if n == 0 {
+		return
+	}
+	if t.Rows < min(ib, n) || t.Cols < n {
+		panic(fmt.Sprintf("kernels: tsqrt T %dx%d too small for ib=%d n=%d",
+			t.Rows, t.Cols, ib, n))
+	}
+	// vrows(jj) is the stored height of reflector jj's dense part.
+	vrows := func(jj int) int {
+		if tri {
+			return min(jj+1, m2)
+		}
+		return m2
+	}
+	w := make([]float64, n)
+	for j := 0; j < n; j += ib {
+		sb := min(ib, n-j)
+		for jj := j; jj < j+sb; jj++ {
+			rows := vrows(jj)
+			vcol := a2.Data[jj*a2.LD : jj*a2.LD+rows]
+			tau := Dlarfg(&a1.Data[jj+jj*a1.LD], vcol)
+			if tau != 0 {
+				// Apply H to the remaining columns of the inner block.
+				for l := jj + 1; l < j+sb; l++ {
+					ccol := a2.Data[l*a2.LD : l*a2.LD+rows]
+					wv := tau * (a1.At(jj, l) + blas.Ddot(rows, vcol, 1, ccol, 1))
+					a1.Add(jj, l, -wv)
+					blas.Daxpy(rows, -wv, vcol, 1, ccol, 1)
+				}
+			}
+			// Build T column jj within the current block. The top parts of
+			// the reflectors are identity columns, whose mutual products
+			// vanish, so only V2 contributes.
+			i := jj - j
+			for l := 0; l < i; l++ {
+				h := min(vrows(j+l), rows)
+				w[l] = blas.Ddot(h, a2.Data[(j+l)*a2.LD:], 1, vcol, 1)
+			}
+			if i > 0 {
+				blas.Dtrmv(true, false, false, i, t.Data[j*t.LD:], t.LD, w, 1)
+				for l := 0; l < i; l++ {
+					t.Set(l, jj, -tau*w[l])
+				}
+			}
+			t.Set(i, jj, tau)
+		}
+		// Block-apply Hᵀ to the trailing columns of the pair.
+		if nc := n - j - sb; nc > 0 {
+			rows := vrows(j + sb - 1)
+			v2 := v2Block(a2, j, sb, rows, tri)
+			applyTS(true, v2, t.View(0, j, sb, sb),
+				a1.View(j, j+sb, sb, nc), a2.View(0, j+sb, rows, nc))
+		}
+	}
+}
+
+// v2Block returns the rows×sb reflector block starting at column j of a2.
+// In the triangular case the stored heights vary per column and entries
+// below a column's height may hold unrelated data (Householder vectors of
+// an earlier factorization), so a zero-padded copy is returned instead of a
+// view; the copy cost is negligible against the level-3 work it enables.
+func v2Block(a2 *matrix.Mat, j, sb, rows int, tri bool) *matrix.Mat {
+	if !tri {
+		return a2.View(0, j, rows, sb)
+	}
+	c := matrix.New(rows, sb)
+	for l := 0; l < sb; l++ {
+		h := min(j+l+1, rows)
+		copy(c.Data[l*c.LD:l*c.LD+h], a2.Data[(j+l)*a2.LD:(j+l)*a2.LD+h])
+	}
+	return c
+}
+
+// applyTS applies the TS/TT block reflector H = I − [E;V2]·T·[E;V2]ᵀ (or
+// its transpose) to the stacked pair [C1; C2], where the identity part E
+// aligns with C1's rows. C1 is sb×nc (rows j..j+sb of the top tile), v2 is
+// rows×sb, C2 is rows×nc.
+func applyTS(trans bool, v2, t, c1, c2 *matrix.Mat) {
+	sb, nc := c1.Rows, c1.Cols
+	rows := v2.Rows
+	if nc == 0 || sb == 0 {
+		return
+	}
+	w := matrix.New(sb, nc)
+	// W = C1 + V2ᵀ C2.
+	w.CopyFrom(c1)
+	if rows > 0 {
+		blas.Dgemm(true, false, sb, nc, rows, 1,
+			v2.Data, v2.LD, c2.Data, c2.LD, 1, w.Data, w.LD)
+	}
+	// W := op(T) W.
+	blas.Dtrmm(true, true, trans, false, sb, nc, 1, t.Data, t.LD, w.Data, w.LD)
+	// C1 -= W.
+	for jc := 0; jc < nc; jc++ {
+		ccol := c1.Data[jc*c1.LD : jc*c1.LD+sb]
+		wcol := w.Data[jc*w.LD : jc*w.LD+sb]
+		for i := range wcol {
+			ccol[i] -= wcol[i]
+		}
+	}
+	// C2 -= V2 W.
+	if rows > 0 {
+		blas.Dgemm(false, false, rows, nc, sb, -1,
+			v2.Data, v2.LD, w.Data, w.LD, 1, c2.Data, c2.LD)
+	}
+}
+
+// Dtsmqr applies the transformations computed by Dtsqrt to the stacked pair
+// [B1; B2]: Qᵀ·[B1;B2] when trans is true (factorization updates), Q·[B1;B2]
+// when false. v2 holds the dense reflector parts (m2×k), t the block factors
+// (ib×k). B1 must have at least k rows (only its first k rows are touched);
+// B2 must have m2 rows and the same number of columns as B1.
+func Dtsmqr(trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
+	tsmqrGeneric(trans, ib, v2, t, b1, b2, false)
+}
+
+// Dttmqr applies the transformations computed by Dttqrt to the stacked pair
+// [B1; B2]. Only the upper triangle of v2's first k columns is referenced
+// (the rest of the tile may hold unrelated reflectors); only the first k
+// rows of B2 are touched.
+func Dttmqr(trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
+	tsmqrGeneric(trans, ib, v2, t, b1, b2, true)
+}
+
+func tsmqrGeneric(trans bool, ib int, v2, t, b1, b2 *matrix.Mat, tri bool) {
+	k := v2.Cols
+	nc := b1.Cols
+	if b2.Cols != nc {
+		panic(fmt.Sprintf("kernels: tsmqr b1 cols %d != b2 cols %d", nc, b2.Cols))
+	}
+	if b1.Rows < k {
+		panic(fmt.Sprintf("kernels: tsmqr b1 rows %d < k %d", b1.Rows, k))
+	}
+	if !tri && b2.Rows != v2.Rows {
+		panic(fmt.Sprintf("kernels: tsmqr b2 rows %d != v2 rows %d", b2.Rows, v2.Rows))
+	}
+	if tri && b2.Rows < min(k, v2.Rows) {
+		panic(fmt.Sprintf("kernels: ttmqr b2 rows %d < %d", b2.Rows, min(k, v2.Rows)))
+	}
+	if k == 0 || nc == 0 {
+		return
+	}
+	for _, j := range blockStarts(k, ib, trans) {
+		sb := min(ib, k-j)
+		rows := v2.Rows
+		if tri {
+			rows = min(j+sb, v2.Rows)
+		}
+		vb := v2Block(v2, j, sb, rows, tri)
+		applyTS(trans, vb, t.View(0, j, sb, sb),
+			b1.View(j, 0, sb, nc), b2.View(0, 0, rows, nc))
+	}
+}

@@ -1,0 +1,112 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a reader and writer for the MatrixMarket array
+// format ("%%MatrixMarket matrix array real general"), the interchange
+// format dense solvers conventionally accept, so the command-line tools
+// can factor real data sets.
+
+const mmHeader = "%%MatrixMarket matrix array real general"
+
+// WriteMatrixMarket writes m in MatrixMarket dense array format
+// (column-major element order, as the format specifies).
+func WriteMatrixMarket(w io.Writer, m *Mat) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", mmHeader, m.Rows, m.Cols); err != nil {
+		return err
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%.17g\n", m.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads a dense real matrix in MatrixMarket array format.
+// Comment lines (starting with %) after the header are skipped.
+func ReadMatrixMarket(r io.Reader) (*Mat, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
+	}
+	header := strings.ToLower(strings.Join(strings.Fields(sc.Text()), " "))
+	want := strings.ToLower(mmHeader)
+	if header != want {
+		return nil, fmt.Errorf("matrix: unsupported MatrixMarket header %q (want %q)", sc.Text(), mmHeader)
+	}
+	// Skip comments, read the size line.
+	var rows, cols int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return nil, fmt.Errorf("matrix: bad size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("matrix: bad row count %q", f[0])
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("matrix: bad column count %q", f[1])
+		}
+		break
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative dimensions %dx%d", rows, cols)
+	}
+	// Guard allocations against hostile or corrupt size lines: refuse
+	// anything that could not plausibly be backed by the input stream.
+	const maxElements = 1 << 28
+	if rows > maxElements || cols > maxElements || (rows > 0 && cols > maxElements/rows) {
+		return nil, fmt.Errorf("matrix: %dx%d exceeds the reader's size limit", rows, cols)
+	}
+	m := New(rows, cols)
+	idx := 0
+	total := rows * cols
+	for idx < total && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			if idx >= total {
+				return nil, fmt.Errorf("matrix: more than %d values in %dx%d array", total, rows, cols)
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: bad value %q at entry %d", f, idx)
+			}
+			// Column-major order per the format.
+			m.Data[(idx/rows)*m.LD+idx%rows] = v
+			idx++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if idx != total {
+		return nil, fmt.Errorf("matrix: got %d of %d values", idx, total)
+	}
+	// Trailing non-comment content means the size line was wrong.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "%") {
+			return nil, fmt.Errorf("matrix: more than %d values in %dx%d array", total, rows, cols)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,81 @@
+package matrix
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewRand(rng.Intn(10)+1, rng.Intn(10)+1, rng)
+		var sb strings.Builder
+		if err := WriteMatrixMarket(&sb, m); err != nil {
+			return false
+		}
+		got, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(m, got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketColumnMajorOrder(t *testing.T) {
+	in := `%%MatrixMarket matrix array real general
+% a comment
+2 2
+1
+2
+3
+4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: first column is (1,2), second (3,4).
+	if m.At(0, 0) != 1 || m.At(1, 0) != 2 || m.At(0, 1) != 3 || m.At(1, 1) != 4 {
+		t.Fatalf("order wrong: %v", m)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "%%MatrixMarket matrix coordinate real general\n1 1\n1\n"},
+		{"bad size", "%%MatrixMarket matrix array real general\n2\n"},
+		{"bad value", "%%MatrixMarket matrix array real general\n1 1\nx\n"},
+		{"too few", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n"},
+		{"too many", "%%MatrixMarket matrix array real general\n1 1\n1\n2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMatrixMarketPreservesPrecision(t *testing.T) {
+	m := New(1, 2)
+	m.Set(0, 0, 1.0/3.0)
+	m.Set(0, 1, -2.718281828459045e-12)
+	var sb strings.Builder
+	if err := WriteMatrixMarket(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != m.At(0, 0) || got.At(0, 1) != m.At(0, 1) {
+		t.Fatal("round trip lost precision")
+	}
+}

@@ -1,0 +1,96 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTiledLayout(t *testing.T) {
+	tl := NewTiled(10, 7, 4)
+	if tl.MT != 3 || tl.NT != 2 {
+		t.Fatalf("MT=%d NT=%d", tl.MT, tl.NT)
+	}
+	if tl.TileRows(0) != 4 || tl.TileRows(2) != 2 {
+		t.Fatalf("tile rows %d %d", tl.TileRows(0), tl.TileRows(2))
+	}
+	if tl.TileCols(0) != 4 || tl.TileCols(1) != 3 {
+		t.Fatalf("tile cols %d %d", tl.TileCols(0), tl.TileCols(1))
+	}
+}
+
+func TestTiledExactMultiple(t *testing.T) {
+	tl := NewTiled(8, 8, 4)
+	if tl.MT != 2 || tl.NT != 2 || tl.TileRows(1) != 4 || tl.TileCols(1) != 4 {
+		t.Fatal("exact-multiple layout wrong")
+	}
+}
+
+func TestDenseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(20) + 1
+		n := rng.Intn(20) + 1
+		nb := rng.Intn(7) + 1
+		d := NewRand(m, n, rng)
+		got := FromDense(d, nb).ToDense()
+		return MaxAbsDiff(d, got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := FromDense(NewRand(9, 6, rng), 4)
+	b := a.Clone()
+	b.Tile(0, 0).Set(0, 0, 1e9)
+	if a.Tile(0, 0).At(0, 0) == 1e9 {
+		t.Fatal("clone aliases tiles")
+	}
+}
+
+func TestSetTileShapeCheck(t *testing.T) {
+	tl := NewTiled(10, 7, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTile with wrong shape must panic")
+		}
+	}()
+	tl.SetTile(2, 1, New(4, 4)) // layout wants 2x3
+}
+
+func TestUpperTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewRand(10, 6, rng)
+	tl := FromDense(d, 4)
+	r := tl.UpperTiles()
+	if r.Rows != 6 || r.Cols != 6 {
+		t.Fatalf("R shape %dx%d", r.Rows, r.Cols)
+	}
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			want := d.At(i, j)
+			if i > j {
+				want = 0
+			}
+			if r.At(i, j) != want {
+				t.Fatalf("R(%d,%d) = %v want %v", i, j, r.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestUpperTilesTallNarrow(t *testing.T) {
+	// N smaller than one tile: R must still be N×N.
+	rng := rand.New(rand.NewSource(9))
+	d := NewRand(12, 3, rng)
+	r := FromDense(d, 4).UpperTiles()
+	if r.Rows != 3 || r.Cols != 3 {
+		t.Fatalf("R shape %dx%d", r.Rows, r.Cols)
+	}
+	if r.At(0, 0) != d.At(0, 0) || r.At(2, 0) != 0 {
+		t.Fatal("R content wrong")
+	}
+}

@@ -1,0 +1,307 @@
+// Package mpi provides an in-process message-passing substrate with the
+// semantics of the six MPI calls the PULSAR runtime relies on: Isend,
+// Irecv, Test, Get_count, Barrier and Cancel.
+//
+// The paper runs one MPI process per distributed-memory node; here each
+// rank is a set of goroutines sharing a World. Payloads are copied when a
+// message is sent, so ranks never alias each other's buffers — the same
+// isolation a real distributed-memory system enforces — while intra-rank
+// communication in the runtime layer above stays zero-copy.
+//
+// Matching follows MPI rules: a receive names a (source, tag) pair, either
+// of which may be the wildcard Any; messages between a given pair of ranks
+// are non-overtaking with respect to matching receives.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Any is the wildcard for Irecv's source or tag (MPI_ANY_SOURCE/MPI_ANY_TAG).
+const Any = -1
+
+// World is a communicator spanning size ranks.
+type World struct {
+	size  int
+	ranks []*rankState
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierGen  int
+	barrierCnt  int
+
+	msgCount atomic.Int64
+	byteCnt  atomic.Int64
+}
+
+type rankState struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []*envelope // arrived, unmatched messages (FIFO)
+	recvs  []*Request  // posted, unmatched receives (FIFO)
+	notify func()      // called after a message arrives, outside the lock
+}
+
+type envelope struct {
+	source, tag int
+	data        []byte
+}
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", size))
+	}
+	w := &World{size: size, ranks: make([]*rankState, size)}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	for i := range w.ranks {
+		rs := &rankState{}
+		rs.cond = sync.NewCond(&rs.mu)
+		w.ranks[i] = rs
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator endpoint for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of world of %d", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Stats reports the total number of messages and payload bytes sent so far.
+func (w *World) Stats() (messages, bytes int64) {
+	return w.msgCount.Load(), w.byteCnt.Load()
+}
+
+// Comm is one rank's endpoint into a World.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// OnArrival registers a callback invoked (outside internal locks) whenever
+// a message arrives at this rank; the runtime's proxy uses it to wake up
+// instead of busy-polling.
+func (c *Comm) OnArrival(fn func()) {
+	rs := c.world.ranks[c.rank]
+	rs.mu.Lock()
+	rs.notify = fn
+	rs.mu.Unlock()
+}
+
+// Request tracks an outstanding Isend or Irecv.
+type Request struct {
+	mu       sync.Mutex
+	done     bool
+	canceled bool
+	isRecv   bool
+	source   int // matched source (recv) or destination (send)
+	tag      int
+	data     []byte
+	rs       *rankState // owning rank state, for recv cancellation
+}
+
+// Isend sends data to dest with the given tag and returns a request.
+// The payload is copied, so the caller may reuse its buffer immediately;
+// the request completes at once (an eager-protocol send).
+func (c *Comm) Isend(data []byte, dest, tag int) *Request {
+	if dest < 0 || dest >= c.world.size {
+		panic(fmt.Sprintf("mpi: Isend to rank %d out of world of %d", dest, c.world.size))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: Isend tag %d must be non-negative", tag))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	env := &envelope{source: c.rank, tag: tag, data: buf}
+	c.world.msgCount.Add(1)
+	c.world.byteCnt.Add(int64(len(data)))
+
+	rs := c.world.ranks[dest]
+	rs.mu.Lock()
+	var matched *Request
+	for i, r := range rs.recvs {
+		if r.matches(env) {
+			matched = r
+			rs.recvs = append(rs.recvs[:i], rs.recvs[i+1:]...)
+			break
+		}
+	}
+	var notify func()
+	if matched != nil {
+		matched.complete(env)
+		rs.cond.Broadcast()
+	} else {
+		rs.inbox = append(rs.inbox, env)
+	}
+	notify = rs.notify
+	rs.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return &Request{done: true, source: dest, tag: tag}
+}
+
+// Irecv posts a receive for a message from source (or Any) with the given
+// tag (or Any) and returns a request. When the request completes, Data and
+// GetCount expose the payload.
+func (c *Comm) Irecv(source, tag int) *Request {
+	rs := c.world.ranks[c.rank]
+	req := &Request{isRecv: true, source: source, tag: tag, rs: rs}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i, env := range rs.inbox {
+		if req.matches(env) {
+			rs.inbox = append(rs.inbox[:i], rs.inbox[i+1:]...)
+			req.complete(env)
+			return req
+		}
+	}
+	rs.recvs = append(rs.recvs, req)
+	return req
+}
+
+func (r *Request) matches(env *envelope) bool {
+	if r.done || r.canceled {
+		return false
+	}
+	if r.source != Any && r.source != env.source {
+		return false
+	}
+	if r.tag != Any && r.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// complete must be called with the owning rank's lock held (or before the
+// request is published).
+func (r *Request) complete(env *envelope) {
+	r.mu.Lock()
+	r.done = true
+	r.data = env.data
+	r.source = env.source
+	r.tag = env.tag
+	r.mu.Unlock()
+}
+
+// Test reports whether the request has completed (MPI_Test).
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// Canceled reports whether the request was canceled before completing.
+func (r *Request) Canceled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.canceled
+}
+
+// Wait blocks until the request completes or is canceled.
+func (r *Request) Wait() {
+	if !r.isRecv {
+		return // sends complete eagerly
+	}
+	rs := r.rs
+	rs.mu.Lock()
+	for {
+		r.mu.Lock()
+		ok := r.done || r.canceled
+		r.mu.Unlock()
+		if ok {
+			break
+		}
+		rs.cond.Wait()
+	}
+	rs.mu.Unlock()
+}
+
+// Data returns the received payload (valid after a recv completes). The
+// slice is owned by the caller; the substrate never aliases it elsewhere.
+func (r *Request) Data() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data
+}
+
+// GetCount returns the payload size in bytes (MPI_Get_count).
+func (r *Request) GetCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.data)
+}
+
+// Source returns the matched source rank of a completed receive.
+func (r *Request) Source() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.source
+}
+
+// Tag returns the matched tag of a completed receive.
+func (r *Request) Tag() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tag
+}
+
+// Cancel cancels an outstanding receive (MPI_Cancel). It reports whether
+// the cancellation took effect; a request that already completed cannot be
+// canceled, and eager sends always report false.
+func (r *Request) Cancel() bool {
+	if !r.isRecv {
+		return false
+	}
+	rs := r.rs
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r.mu.Lock()
+	if r.done || r.canceled {
+		r.mu.Unlock()
+		return false
+	}
+	r.canceled = true
+	r.mu.Unlock()
+	for i, q := range rs.recvs {
+		if q == r {
+			rs.recvs = append(rs.recvs[:i], rs.recvs[i+1:]...)
+			break
+		}
+	}
+	rs.cond.Broadcast()
+	return true
+}
+
+// Barrier blocks until every rank in the world has entered it
+// (MPI_Barrier). Each rank must call it exactly once per barrier episode.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCond.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}

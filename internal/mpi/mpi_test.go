@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Isend([]byte("hello"), 1, 7)
+	r := c1.Irecv(0, 7)
+	r.Wait()
+	if !r.Test() || string(r.Data()) != "hello" || r.GetCount() != 5 {
+		t.Fatalf("recv got %q", r.Data())
+	}
+	if r.Source() != 0 || r.Tag() != 7 {
+		t.Fatalf("source/tag = %d/%d", r.Source(), r.Tag())
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	w := NewWorld(2)
+	r := w.Comm(1).Irecv(0, 3)
+	if r.Test() {
+		t.Fatal("recv must not complete before the send")
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Comm(0).Isend([]byte{1, 2}, 1, 3)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not wake after matching send")
+	}
+	if r.GetCount() != 2 {
+		t.Fatal("wrong payload")
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	w := NewWorld(2)
+	buf := []byte{1, 2, 3}
+	w.Comm(0).Isend(buf, 1, 0)
+	buf[0] = 99
+	r := w.Comm(1).Irecv(0, 0)
+	r.Wait()
+	if r.Data()[0] != 1 {
+		t.Fatal("Isend must copy the payload")
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Isend([]byte("a"), 1, 1)
+	c0.Isend([]byte("b"), 1, 2)
+	rb := c1.Irecv(0, 2)
+	ra := c1.Irecv(0, 1)
+	ra.Wait()
+	rb.Wait()
+	if string(ra.Data()) != "a" || string(rb.Data()) != "b" {
+		t.Fatalf("tag matching wrong: %q %q", ra.Data(), rb.Data())
+	}
+}
+
+func TestWildcardSourceAndTag(t *testing.T) {
+	w := NewWorld(3)
+	w.Comm(2).Isend([]byte("x"), 0, 9)
+	r := w.Comm(0).Irecv(Any, Any)
+	r.Wait()
+	if r.Source() != 2 || r.Tag() != 9 || string(r.Data()) != "x" {
+		t.Fatal("wildcard recv wrong")
+	}
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	w := NewWorld(2)
+	for i := 0; i < 10; i++ {
+		w.Comm(0).Isend([]byte{byte(i)}, 1, 4)
+	}
+	for i := 0; i < 10; i++ {
+		r := w.Comm(1).Irecv(0, 4)
+		r.Wait()
+		if r.Data()[0] != byte(i) {
+			t.Fatalf("message %d overtaken: got %d", i, r.Data()[0])
+		}
+	}
+}
+
+func TestPostedRecvOrderFIFO(t *testing.T) {
+	// Two posted receives with the same signature must match sends in
+	// posting order.
+	w := NewWorld(2)
+	r1 := w.Comm(1).Irecv(0, 5)
+	r2 := w.Comm(1).Irecv(0, 5)
+	w.Comm(0).Isend([]byte("first"), 1, 5)
+	w.Comm(0).Isend([]byte("second"), 1, 5)
+	r1.Wait()
+	r2.Wait()
+	if string(r1.Data()) != "first" || string(r2.Data()) != "second" {
+		t.Fatalf("posted order violated: %q %q", r1.Data(), r2.Data())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := NewWorld(2)
+	r := w.Comm(1).Irecv(0, 1)
+	if !r.Cancel() {
+		t.Fatal("cancel of pending recv must succeed")
+	}
+	if !r.Canceled() || r.Test() {
+		t.Fatal("canceled request state wrong")
+	}
+	if r.Cancel() {
+		t.Fatal("double cancel must fail")
+	}
+	// A message sent afterwards must not match the canceled request.
+	w.Comm(0).Isend([]byte("z"), 1, 1)
+	r2 := w.Comm(1).Irecv(0, 1)
+	r2.Wait()
+	if string(r2.Data()) != "z" {
+		t.Fatal("canceled recv stole a message")
+	}
+	// Sends cannot be canceled (eager completion).
+	s := w.Comm(0).Isend([]byte("q"), 1, 2)
+	if s.Cancel() {
+		t.Fatal("send cancel must report false")
+	}
+}
+
+func TestCancelWakesWaiter(t *testing.T) {
+	w := NewWorld(2)
+	r := w.Comm(1).Irecv(0, 1)
+	done := make(chan struct{})
+	go func() {
+		r.Wait()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.Cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not wake on cancel")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	w := NewWorld(n)
+	var before, after atomic.Int32
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			before.Add(1)
+			w.Comm(rank).Barrier()
+			if before.Load() != n {
+				t.Errorf("rank %d passed barrier before all arrived", rank)
+			}
+			after.Add(1)
+		}(r)
+	}
+	wg.Wait()
+	if after.Load() != n {
+		t.Fatal("not all ranks passed")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, rounds = 4, 5
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				w.Comm(rank).Barrier()
+			}
+		}(r)
+	}
+	ok := make(chan struct{})
+	go func() { wg.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("repeated barriers deadlocked")
+	}
+}
+
+func TestOnArrivalNotify(t *testing.T) {
+	w := NewWorld(2)
+	var hits atomic.Int32
+	w.Comm(1).OnArrival(func() { hits.Add(1) })
+	w.Comm(0).Isend([]byte("a"), 1, 0)
+	w.Comm(0).Isend([]byte("b"), 1, 0)
+	if hits.Load() != 2 {
+		t.Fatalf("notify hits = %d", hits.Load())
+	}
+}
+
+func TestStats(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Isend(make([]byte, 100), 1, 0)
+	w.Comm(1).Isend(make([]byte, 50), 0, 0)
+	msgs, bytes := w.Stats()
+	if msgs != 2 || bytes != 150 {
+		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many ranks exchanging many tagged messages concurrently; every
+	// message must arrive exactly once with the right payload.
+	const n = 6
+	const msgs = 200
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			// Send msgs messages to every other rank.
+			go func() {
+				for i := 0; i < msgs; i++ {
+					for d := 0; d < n; d++ {
+						if d == rank {
+							continue
+						}
+						c.Isend([]byte(fmt.Sprintf("%d:%d", rank, i)), d, rank)
+					}
+				}
+			}()
+			// Receive msgs messages from each peer (tag == sender rank).
+			for src := 0; src < n; src++ {
+				if src == rank {
+					continue
+				}
+				for i := 0; i < msgs; i++ {
+					req := c.Irecv(src, src)
+					req.Wait()
+					want := fmt.Sprintf("%d:%d", src, i)
+					if string(req.Data()) != want {
+						errs <- fmt.Errorf("rank %d: got %q want %q", rank, req.Data(), want)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package pulsar
+
+import (
+	"fmt"
+	"sync"
+
+	"pulsarqr/internal/tuple"
+)
+
+// Channel is a static unidirectional FIFO connection between two VDPs (or
+// between the outside world and a VDP, for injection and collection). The
+// source VDP pushes packets to its output slot; the destination VDP pops
+// from its input slot. A channel may start disabled and be enabled,
+// disabled or destroyed while the VSA runs; a VDP is ready to fire only
+// when every *active* input channel holds a packet.
+type Channel struct {
+	// Static topology, fixed at construction.
+	src, dst         tuple.Tuple // nil src: external injection; nil dst: collector
+	srcSlot, dstSlot int
+	maxBytes         int
+
+	// Resolved at Run time.
+	srcVDP, dstVDP *VDP
+	interNode      bool
+	tag            int // MPI tag within the (srcNode, dstNode) pair
+	srcNode        int
+	dstNode        int
+
+	mu        sync.Mutex
+	queue     []*Packet
+	active    bool
+	destroyed bool
+}
+
+// state helpers -------------------------------------------------------------
+
+func (c *Channel) push(p *Packet) {
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("pulsar: push on destroyed channel %v[%d] -> %v[%d]",
+			c.src, c.srcSlot, c.dst, c.dstSlot))
+	}
+	c.queue = append(c.queue, p)
+	c.mu.Unlock()
+}
+
+func (c *Channel) pop() *Packet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil
+	}
+	p := c.queue[0]
+	c.queue = c.queue[1:]
+	return p
+}
+
+// gate evaluates this input channel against the firing rule under a single
+// lock acquisition. pass reports whether the channel does not block firing
+// (it is inactive, destroyed, or holds a packet); activeNonEmpty reports
+// whether it is an active channel that holds a packet.
+func (c *Channel) gate() (pass, activeNonEmpty bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.destroyed || !c.active {
+		return true, false
+	}
+	if len(c.queue) > 0 {
+		return true, true
+	}
+	return false, false
+}
+
+func (c *Channel) setActive(on bool) {
+	c.mu.Lock()
+	c.active = on
+	c.mu.Unlock()
+}
+
+func (c *Channel) destroy() {
+	c.mu.Lock()
+	c.destroyed = true
+	c.queue = nil
+	c.mu.Unlock()
+}
+
+func (c *Channel) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// String describes the channel endpoints for diagnostics.
+func (c *Channel) String() string {
+	return fmt.Sprintf("%v[out %d] -> %v[in %d]", c.src, c.srcSlot, c.dst, c.dstSlot)
+}

@@ -1,0 +1,39 @@
+package pulsar
+
+import (
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+// FuzzDecodeMat drives the network-facing matrix decoder with arbitrary
+// bytes: it must never panic or allocate absurdly, only return errors.
+func FuzzDecodeMat(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(EncodeMat(matrix.Identity(3)))
+	f.Add(EncodeMat(matrix.New(2, 5)))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMat(b)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip.
+		if got := EncodeMat(m); len(got) != len(b) {
+			t.Fatalf("round trip length %d != %d", len(got), len(b))
+		}
+	})
+}
+
+// FuzzUnmarshalPacket drives the codec dispatcher.
+func FuzzUnmarshalPacket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{3, 1})
+	f.Add([]byte{4, 10, 20})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = unmarshalPacket(b) // must not panic
+	})
+}

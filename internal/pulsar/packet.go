@@ -1,0 +1,218 @@
+// Package pulsar implements the PULSAR Runtime (PRT): a lightweight layer
+// that maps a Virtual Systolic Array — Virtual Data Processors (VDPs)
+// connected by FIFO channels — onto a collection of "nodes", each running a
+// set of worker threads and one proxy dedicated to inter-node
+// communication, exactly as described in §IV of the paper.
+//
+// Execution is data-stream-driven: a VDP fires when every one of its
+// active input channels holds a packet. Firing runs the VDP's function,
+// which may pop packets, invoke computational kernels, create packets and
+// push them to output channels. Each firing decrements the VDP's counter;
+// at zero the VDP is destroyed. Intra-node channels hand packet pointers
+// across zero-copy; inter-node channels marshal payloads and move them
+// through the mpi substrate using one tag per channel within each node
+// pair, mirroring the six-call MPI usage of the original runtime.
+package pulsar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"pulsarqr/internal/matrix"
+)
+
+// Packet is the unit of data flowing through channels. Within a node the
+// pointer itself is handed over (zero-copy aliasing); across nodes the
+// payload is marshaled with a registered codec.
+type Packet struct {
+	Data any
+}
+
+// NewPacket wraps a payload in a packet.
+func NewPacket(data any) *Packet { return &Packet{Data: data} }
+
+// Tile returns the payload as a *matrix.Mat, panicking with a descriptive
+// message on type mismatch; it is the common case in the QR array.
+func (p *Packet) Tile() *matrix.Mat {
+	t, ok := p.Data.(*matrix.Mat)
+	if !ok {
+		panic(fmt.Sprintf("pulsar: packet payload is %T, not a tile", p.Data))
+	}
+	return t
+}
+
+// Codec (un)marshals one payload type for inter-node transport. Encode
+// must report false when the value is not of its type so the registry can
+// try the next codec.
+type Codec struct {
+	ID     byte
+	Encode func(v any) ([]byte, bool)
+	Decode func(b []byte) (any, error)
+}
+
+var (
+	codecMu  sync.RWMutex
+	codecs   = map[byte]Codec{}
+	codecSeq []Codec
+)
+
+// RegisterCodec installs a payload codec. IDs below 16 are reserved for
+// the built-in codecs; registering a duplicate ID panics.
+func RegisterCodec(c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecs[c.ID]; dup {
+		panic(fmt.Sprintf("pulsar: duplicate codec id %d", c.ID))
+	}
+	codecs[c.ID] = c
+	codecSeq = append(codecSeq, c)
+}
+
+func init() {
+	RegisterCodec(Codec{
+		ID: 1,
+		Encode: func(v any) ([]byte, bool) {
+			m, ok := v.(*matrix.Mat)
+			if !ok {
+				return nil, false
+			}
+			return EncodeMat(m), true
+		},
+		Decode: func(b []byte) (any, error) { return DecodeMat(b) },
+	})
+	RegisterCodec(Codec{
+		ID: 2,
+		Encode: func(v any) ([]byte, bool) {
+			f, ok := v.([]float64)
+			if !ok {
+				return nil, false
+			}
+			out := make([]byte, 8*len(f))
+			for i, x := range f {
+				binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+			}
+			return out, true
+		},
+		Decode: func(b []byte) (any, error) {
+			if len(b)%8 != 0 {
+				return nil, fmt.Errorf("pulsar: float64 payload length %d", len(b))
+			}
+			f := make([]float64, len(b)/8)
+			for i := range f {
+				f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+			}
+			return f, nil
+		},
+	})
+	RegisterCodec(Codec{
+		ID: 3,
+		Encode: func(v any) ([]byte, bool) {
+			s, ok := v.([]int)
+			if !ok {
+				return nil, false
+			}
+			out := make([]byte, 8*len(s))
+			for i, x := range s {
+				binary.LittleEndian.PutUint64(out[8*i:], uint64(int64(x)))
+			}
+			return out, true
+		},
+		Decode: func(b []byte) (any, error) {
+			if len(b)%8 != 0 {
+				return nil, fmt.Errorf("pulsar: int payload length %d", len(b))
+			}
+			s := make([]int, len(b)/8)
+			for i := range s {
+				s[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+			}
+			return s, nil
+		},
+	})
+	RegisterCodec(Codec{
+		ID: 4,
+		Encode: func(v any) ([]byte, bool) {
+			b, ok := v.([]byte)
+			if !ok {
+				return nil, false
+			}
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, true
+		},
+		Decode: func(b []byte) (any, error) {
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, nil
+		},
+	})
+}
+
+// EncodeMat serializes a matrix compactly (rows, cols, column-major data).
+func EncodeMat(m *matrix.Mat) []byte {
+	out := make([]byte, 8+8*m.Rows*m.Cols)
+	binary.LittleEndian.PutUint32(out[0:], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(out[4:], uint32(m.Cols))
+	o := 8
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			binary.LittleEndian.PutUint64(out[o:], math.Float64bits(m.At(i, j)))
+			o += 8
+		}
+	}
+	return out
+}
+
+// DecodeMat reverses EncodeMat.
+func DecodeMat(b []byte) (*matrix.Mat, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("pulsar: matrix payload too short (%d bytes)", len(b))
+	}
+	rows := int(binary.LittleEndian.Uint32(b[0:]))
+	cols := int(binary.LittleEndian.Uint32(b[4:]))
+	const maxDim = 1 << 28 // defends the decoder against hostile headers
+	if rows < 0 || cols < 0 || rows > maxDim || cols > maxDim || len(b) != 8+8*rows*cols {
+		return nil, fmt.Errorf("pulsar: matrix payload %d bytes for %dx%d", len(b), rows, cols)
+	}
+	m := matrix.New(rows, cols)
+	o := 8
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, math.Float64frombits(binary.LittleEndian.Uint64(b[o:])))
+			o += 8
+		}
+	}
+	return m, nil
+}
+
+// marshalPacket serializes a packet for inter-node transport: one codec ID
+// byte followed by the codec's payload bytes.
+func marshalPacket(p *Packet) ([]byte, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	for _, c := range codecSeq {
+		if b, ok := c.Encode(p.Data); ok {
+			return append([]byte{c.ID}, b...), nil
+		}
+	}
+	return nil, fmt.Errorf("pulsar: no codec for payload type %T", p.Data)
+}
+
+// unmarshalPacket reverses marshalPacket.
+func unmarshalPacket(b []byte) (*Packet, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("pulsar: empty packet payload")
+	}
+	codecMu.RLock()
+	c, ok := codecs[b[0]]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pulsar: unknown codec id %d", b[0])
+	}
+	v, err := c.Decode(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{Data: v}, nil
+}

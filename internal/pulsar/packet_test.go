@@ -1,0 +1,57 @@
+package pulsar
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+func TestPacketTileTypeMismatchPanics(t *testing.T) {
+	p := NewPacket([]int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tile() on non-tile payload must panic")
+		}
+	}()
+	p.Tile()
+}
+
+func TestDecodeMatErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},                                // too short
+		{255, 255, 255, 255, 0, 0, 0, 0},         // absurd rows
+		append(EncodeMat(matrix.Identity(2)), 0), // trailing byte
+	}
+	for i, b := range cases {
+		if _, err := DecodeMat(b); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestUnmarshalPacketErrors(t *testing.T) {
+	if _, err := unmarshalPacket(nil); err == nil {
+		t.Fatal("empty payload must fail")
+	}
+	if _, err := unmarshalPacket([]byte{200, 1, 2}); err == nil {
+		t.Fatal("unknown codec id must fail")
+	}
+	if _, err := unmarshalPacket([]byte{2, 1, 2, 3}); err == nil {
+		t.Fatal("misaligned float64 payload must fail")
+	}
+}
+
+func TestEncodeMatViewCompacts(t *testing.T) {
+	// Encoding a strided view must serialize only the view's elements.
+	m := matrix.NewRand(6, 6, rand.New(rand.NewSource(77)))
+	v := m.View(1, 1, 3, 2)
+	got, err := DecodeMat(EncodeMat(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.Cols != 2 || matrix.MaxAbsDiff(got, v) != 0 {
+		t.Fatal("view round trip wrong")
+	}
+}

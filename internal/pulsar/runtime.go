@@ -1,0 +1,408 @@
+package pulsar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pulsarqr/internal/mpi"
+)
+
+// Run maps the array onto nodes and threads, launches the workers and
+// proxies, propagates data until every VDP has been destroyed, and returns.
+// A non-nil error reports a deadlock (no firing for DeadlockTimeout while
+// VDPs remain alive), including a description of the stuck VDPs.
+func (s *VSA) Run() error {
+	if s.running.Load() {
+		return fmt.Errorf("pulsar: VSA already running")
+	}
+	if len(s.order) == 0 {
+		return nil
+	}
+	s.place()
+
+	world := mpi.NewWorld(s.cfg.Nodes)
+	s.workers = make([][]*worker, s.cfg.Nodes)
+	s.proxies = make([]*proxy, s.cfg.Nodes)
+	for n := 0; n < s.cfg.Nodes; n++ {
+		s.workers[n] = make([]*worker, s.cfg.ThreadsPerNode)
+		for t := 0; t < s.cfg.ThreadsPerNode; t++ {
+			w := &worker{vsa: s, node: n, id: t}
+			w.cond = sync.NewCond(&w.mu)
+			s.workers[n][t] = w
+		}
+		s.proxies[n] = newProxy(s, n, world.Comm(n))
+	}
+	s.resolveChannels()
+	for _, v := range s.order {
+		w := s.workers[v.node][v.thread]
+		w.vdps = append(w.vdps, v)
+		w.aliveLocal++
+	}
+	s.alive.Store(int64(len(s.order)))
+	s.running.Store(true)
+	defer s.running.Store(false)
+
+	var wg sync.WaitGroup
+	for _, row := range s.workers {
+		for _, w := range row {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+	}
+	var pwg sync.WaitGroup
+	for _, p := range s.proxies {
+		pwg.Add(1)
+		go func(p *proxy) {
+			defer pwg.Done()
+			p.run()
+		}(p)
+	}
+
+	// Deadlock watchdog: if the firing counter stalls while VDPs remain,
+	// stop the workers; the error is composed after they have all exited,
+	// so VDP state is read race-free.
+	var deadlocked bool
+	watchdogDone := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(watchdogDone)
+		if s.cfg.DeadlockTimeout < 0 {
+			<-finished
+			return
+		}
+		tick := time.NewTicker(s.cfg.DeadlockTimeout)
+		defer tick.Stop()
+		last := int64(-1)
+		for {
+			select {
+			case <-finished:
+				return
+			case <-tick.C:
+				cur := s.fired.Load()
+				if cur == last && s.alive.Load() > 0 {
+					deadlocked = true
+					s.stopAll()
+					return
+				}
+				last = cur
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(finished)
+	<-watchdogDone
+	for _, p := range s.proxies {
+		p.stopProxy()
+	}
+	pwg.Wait()
+	s.netMsgs, s.netBytes = world.Stats()
+	if deadlocked {
+		return s.deadlockError()
+	}
+	return nil
+}
+
+// place assigns every VDP to a (node, thread) pair using the configured
+// mapping, or cyclically in insertion order when no mapping is given.
+func (s *VSA) place() {
+	nn, nt := s.cfg.Nodes, s.cfg.ThreadsPerNode
+	for i, v := range s.order {
+		if s.cfg.Map != nil {
+			n, t := s.cfg.Map(v.tup)
+			if n < 0 || n >= nn || t < 0 || t >= nt {
+				panic(fmt.Sprintf("pulsar: mapping placed VDP %v on (%d,%d) outside %dx%d",
+					v.tup, n, t, nn, nt))
+			}
+			v.node, v.thread = n, t
+		} else {
+			v.node = i % nn
+			v.thread = (i / nn) % nt
+		}
+	}
+}
+
+// resolveChannels classifies channels as intra- or inter-node and assigns
+// MPI tags to the latter: channels between each ordered pair of nodes are
+// numbered consecutively in construction order, exactly the scheme the
+// paper uses to route packets to destination channels on the receiving
+// side.
+func (s *VSA) resolveChannels() {
+	type pair struct{ a, b int }
+	next := map[pair]int{}
+	for _, c := range s.channels {
+		if c.srcVDP == nil || c.dstVDP == nil {
+			continue // external
+		}
+		c.srcNode, c.dstNode = c.srcVDP.node, c.dstVDP.node
+		if c.srcNode == c.dstNode {
+			c.interNode = false
+			continue
+		}
+		c.interNode = true
+		p := pair{c.srcNode, c.dstNode}
+		c.tag = next[p]
+		next[p]++
+	}
+	for _, px := range s.proxies {
+		px.index(s.channels)
+	}
+}
+
+func (s *VSA) stopAll() {
+	for _, row := range s.workers {
+		for _, w := range row {
+			w.stop()
+		}
+	}
+}
+
+// deadlockError describes the live VDPs and the state of their inputs.
+func (s *VSA) deadlockError() error {
+	var stuck []string
+	for _, v := range s.order {
+		if v.dead {
+			continue
+		}
+		var ins []string
+		for i, c := range v.in {
+			if c == nil {
+				continue
+			}
+			c.mu.Lock()
+			state := "active"
+			if c.destroyed {
+				state = "destroyed"
+			} else if !c.active {
+				state = "disabled"
+			}
+			ins = append(ins, fmt.Sprintf("in%d:%s:%d", i, state, len(c.queue)))
+			c.mu.Unlock()
+		}
+		stuck = append(stuck, fmt.Sprintf("%v(counter=%d)[%s]", v.tup, v.counter, strings.Join(ins, " ")))
+		if len(stuck) >= 16 {
+			stuck = append(stuck, "...")
+			break
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("pulsar: deadlock: %d VDPs alive after %v without progress: %s",
+		s.alive.Load(), s.cfg.DeadlockTimeout, strings.Join(stuck, ", "))
+}
+
+// worker sweeps its list of VDPs for ready ones and fires them, mirroring
+// the per-thread scheduling loop of the PULSAR runtime.
+type worker struct {
+	vsa      *VSA
+	node, id int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	kick    bool
+	stopped bool
+
+	vdps       []*VDP
+	aliveLocal int
+}
+
+func (w *worker) wake() {
+	w.mu.Lock()
+	w.kick = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *worker) stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.kick = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *worker) run() {
+	aggressive := w.vsa.cfg.Scheduling == Aggressive
+	for {
+		progress := false
+		for _, v := range w.vdps {
+			if v.dead {
+				continue
+			}
+			for v.ready() {
+				w.fire(v)
+				progress = true
+				if v.dead || !aggressive {
+					break
+				}
+			}
+			if w.isStopped() {
+				return
+			}
+		}
+		if w.aliveLocal == 0 {
+			return
+		}
+		if !progress {
+			w.mu.Lock()
+			for !w.kick {
+				w.cond.Wait()
+			}
+			w.kick = false
+			stopped := w.stopped
+			w.mu.Unlock()
+			if stopped {
+				return
+			}
+		}
+	}
+}
+
+func (w *worker) isStopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopped
+}
+
+func (w *worker) fire(v *VDP) {
+	hook := w.vsa.cfg.FireHook
+	var start time.Time
+	if hook != nil {
+		start = time.Now()
+	}
+	v.fn(v)
+	v.counter--
+	seq := w.vsa.fired.Add(1)
+	if v.counter <= 0 {
+		v.dead = true
+		w.aliveLocal--
+		w.vsa.alive.Add(-1)
+	}
+	if hook != nil {
+		hook(FireEvent{
+			Tuple: v.tup, Class: v.class,
+			Node: v.node, Thread: v.thread,
+			Start: start, End: time.Now(), Seq: seq,
+		})
+	}
+}
+
+// proxy owns a node's inter-node communication: it posts one wildcard
+// receive, routes arrivals to local channels by (source, tag), and drains
+// per-node outgoing queues with eager non-blocking sends — the same
+// Isend/Irecv/Test cycle the paper describes.
+type proxy struct {
+	vsa  *VSA
+	node int
+	comm *mpi.Comm
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	kick    bool
+	stopped bool
+	outQ    []outMsg
+
+	inChans map[int64]*Channel
+}
+
+type outMsg struct {
+	dst, tag int
+	data     []byte
+}
+
+func newProxy(s *VSA, node int, comm *mpi.Comm) *proxy {
+	p := &proxy{vsa: s, node: node, comm: comm, inChans: map[int64]*Channel{}}
+	p.cond = sync.NewCond(&p.mu)
+	comm.OnArrival(p.wake)
+	return p
+}
+
+// index records the inbound inter-node channels of this node, keyed by
+// source node and tag.
+func (p *proxy) index(channels []*Channel) {
+	for _, c := range channels {
+		if c.interNode && c.dstNode == p.node {
+			p.inChans[int64(c.srcNode)<<32|int64(c.tag)] = c
+		}
+	}
+}
+
+func (p *proxy) wake() {
+	p.mu.Lock()
+	p.kick = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *proxy) stopProxy() {
+	p.mu.Lock()
+	p.stopped = true
+	p.kick = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *proxy) enqueue(dst, tag int, data []byte) {
+	p.mu.Lock()
+	p.outQ = append(p.outQ, outMsg{dst, tag, data})
+	p.kick = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *proxy) run() {
+	recv := p.comm.Irecv(mpi.Any, mpi.Any)
+	for {
+		progress := false
+		for recv.Test() {
+			p.deliver(recv.Source(), recv.Tag(), recv.Data())
+			recv = p.comm.Irecv(mpi.Any, mpi.Any)
+			progress = true
+		}
+		p.mu.Lock()
+		out := p.outQ
+		p.outQ = nil
+		p.mu.Unlock()
+		for _, m := range out {
+			p.comm.Isend(m.data, m.dst, m.tag)
+			progress = true
+		}
+		// Exit once asked to stop with nothing left to send or deliver;
+		// stopProxy is only called after every VDP has been destroyed, so
+		// anything still arriving is a dead letter (e.g. the final
+		// circulating tokens of a toroidal array).
+		p.mu.Lock()
+		stopped := p.stopped && len(p.outQ) == 0
+		p.mu.Unlock()
+		if stopped && !recv.Test() {
+			recv.Cancel()
+			return
+		}
+		if !progress {
+			p.mu.Lock()
+			for !p.kick {
+				p.cond.Wait()
+			}
+			p.kick = false
+			p.mu.Unlock()
+		}
+	}
+}
+
+func (p *proxy) deliver(src, tag int, data []byte) {
+	c, ok := p.inChans[int64(src)<<32|int64(tag)]
+	if !ok {
+		panic(fmt.Sprintf("pulsar: node %d received unroutable message src=%d tag=%d", p.node, src, tag))
+	}
+	pkt, err := unmarshalPacket(data)
+	if err != nil {
+		panic(fmt.Sprintf("pulsar: node %d channel %s: %v", p.node, c, err))
+	}
+	c.push(pkt)
+	p.vsa.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
+}

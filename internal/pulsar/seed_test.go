@@ -1,0 +1,241 @@
+package pulsar
+
+import (
+	"testing"
+	"time"
+
+	"pulsarqr/internal/tuple"
+)
+
+func TestSeedActsAsDelayRegister(t *testing.T) {
+	// Two-cell pipeline with one seed token between them: cell 1 pairs
+	// packet t with the output of cell 0 for packet t-1.
+	s := New(Config{})
+	s.NewVDP(tuple.New(0), 3, func(v *VDP) {
+		v.Push(0, v.Pop(0))
+	}, "", 1, 1)
+	var pairs [][2]int
+	s.NewVDP(tuple.New(1), 3, func(v *VDP) {
+		delayed := v.Pop(0).Data.([]int)[0] // seeded/delayed stream
+		fresh := v.Pop(1).Data.([]int)[0]   // direct stream
+		pairs = append(pairs, [2]int{delayed, fresh})
+	}, "", 2, 0)
+	s.Connect(tuple.New(0), 0, tuple.New(1), 0, 64, false)
+	s.Input(tuple.New(1), 1, 64)
+	s.Input(tuple.New(0), 0, 64)
+	s.Seed(tuple.New(1), 0, NewPacket([]int{-1}))
+	for i := 0; i < 3; i++ {
+		s.Inject(tuple.New(0), 0, NewPacket([]int{i}))
+		s.Inject(tuple.New(1), 1, NewPacket([]int{i}))
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{-1, 0}, {0, 1}, {1, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs: %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}
+
+func TestToroidalDeadLettersDoNotHangShutdown(t *testing.T) {
+	// Regression test: a ring whose final firings push tokens nobody will
+	// consume, across node boundaries. The proxies must still shut down
+	// (they used to consume the stop kick while delivering the dead
+	// letters and then sleep forever).
+	const cells, laps = 4, 3
+	s := New(Config{Nodes: 2, ThreadsPerNode: 1,
+		Map: func(tp tuple.Tuple) (int, int) { return tp.At(0) % 2, 0 }})
+	for c := 0; c < cells; c++ {
+		s.NewVDP(tuple.New(c), laps, func(v *VDP) {
+			v.Push(0, v.Pop(0))
+		}, "", 1, 1)
+	}
+	for c := 0; c < cells; c++ {
+		s.Connect(tuple.New(c), 0, tuple.New((c+1)%cells), 0, 64, false)
+	}
+	s.Seed(tuple.New(0), 0, NewPacket([]int{1}))
+	s.Seed(tuple.New(2), 0, NewPacket([]int{2}))
+	done := make(chan error, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on dead letters")
+	}
+	if s.Fired() != cells*laps {
+		t.Fatalf("fired %d, want %d", s.Fired(), cells*laps)
+	}
+}
+
+func TestSeedDuringRunPanics(t *testing.T) {
+	s := New(Config{})
+	s.NewVDP(tuple.New(0), 1, func(v *VDP) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Seed during run must panic")
+			}
+		}()
+		v.Pop(0)
+		s.Seed(tuple.New(0), 0, NewPacket([]int{1}))
+	}, "", 1, 0)
+	s.Input(tuple.New(0), 0, 64)
+	s.Inject(tuple.New(0), 0, NewPacket([]int{0}))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedUnknownVDPPanics(t *testing.T) {
+	s := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Seed of unknown VDP must panic")
+		}
+	}()
+	s.Seed(tuple.New(9), 0, NewPacket([]int{0}))
+}
+
+func TestAllInputsDisabledFiresLikeGenerator(t *testing.T) {
+	// A VDP that disables every input must keep firing until its counter
+	// runs out (the domino diagonal's final dgeqrt relies on this).
+	var fires int
+	s := New(Config{})
+	s.NewVDP(tuple.New(0), 3, func(v *VDP) {
+		fires++
+		if fires == 1 {
+			v.Pop(0)
+			v.DisableInput(0)
+		}
+	}, "", 1, 0)
+	s.Input(tuple.New(0), 0, 64)
+	s.Inject(tuple.New(0), 0, NewPacket([]int{1}))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 3 {
+		t.Fatalf("fired %d times, want 3", fires)
+	}
+}
+
+func TestPopEmptySlotPanics(t *testing.T) {
+	s := New(Config{DeadlockTimeout: time.Hour})
+	done := make(chan any, 1)
+	s.NewVDP(tuple.New(0), 1, func(v *VDP) {
+		defer func() { done <- recover() }()
+		v.Pop(0) // consume the only packet
+		v.Pop(0) // empty: must panic
+	}, "", 1, 0)
+	s.Input(tuple.New(0), 0, 64)
+	s.Inject(tuple.New(0), 0, NewPacket([]int{1}))
+	_ = s.Run()
+	if r := <-done; r == nil {
+		t.Fatal("popping an empty channel must panic")
+	}
+}
+
+func TestTryPopEmptyReturnsNil(t *testing.T) {
+	s := New(Config{})
+	var got *Packet = NewPacket(nil)
+	s.NewVDP(tuple.New(0), 1, func(v *VDP) {
+		v.Pop(0)
+		got = v.TryPop(0)
+	}, "", 1, 0)
+	s.Input(tuple.New(0), 0, 64)
+	s.Inject(tuple.New(0), 0, NewPacket([]int{1}))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("TryPop on empty channel must return nil")
+	}
+}
+
+func TestPushUnconnectedSlotPanics(t *testing.T) {
+	s := New(Config{})
+	done := make(chan any, 1)
+	s.NewVDP(tuple.New(0), 1, func(v *VDP) {
+		defer func() { done <- recover() }()
+		v.Push(0, NewPacket([]int{1}))
+	}, "", 0, 1)
+	_ = s.Run()
+	if r := <-done; r == nil {
+		t.Fatal("pushing to an unconnected slot must panic")
+	}
+}
+
+func TestInjectNonExternalPanics(t *testing.T) {
+	s := New(Config{})
+	s.NewVDP(tuple.New(0), 1, func(v *VDP) { v.Pop(0) }, "", 1, 1)
+	s.NewVDP(tuple.New(1), 1, func(v *VDP) { v.Pop(0) }, "", 1, 0)
+	s.Connect(tuple.New(0), 0, tuple.New(1), 0, 64, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inject into an internal channel must panic")
+		}
+	}()
+	s.Inject(tuple.New(1), 0, NewPacket([]int{1}))
+}
+
+func TestDuplicateCodecIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate codec id must panic")
+		}
+	}()
+	RegisterCodec(Codec{ID: 1}) // 1 is the built-in matrix codec
+}
+
+func TestVDPAccessors(t *testing.T) {
+	s := New(Config{Nodes: 1, ThreadsPerNode: 2, Params: "globals"})
+	var gotParams any
+	var gotCounter int
+	v := s.NewVDP(tuple.New(7, 8), 2, func(v *VDP) {
+		v.Pop(0)
+		gotParams = v.Params()
+		gotCounter = v.Counter()
+	}, "myclass", 1, 0)
+	if !v.Tuple().Equal(tuple.New(7, 8)) || v.Class() != "myclass" {
+		t.Fatal("accessors wrong before run")
+	}
+	s.Input(tuple.New(7, 8), 0, 64)
+	s.Inject(tuple.New(7, 8), 0, NewPacket([]int{1}))
+	s.Inject(tuple.New(7, 8), 0, NewPacket([]int{2}))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotParams != "globals" {
+		t.Fatalf("Params = %v", gotParams)
+	}
+	if gotCounter != 1 { // counter not yet decremented during last firing
+		t.Fatalf("Counter during final firing = %d", gotCounter)
+	}
+	if s.VDPCount() != 1 || s.ChannelCount() != 1 {
+		t.Fatalf("counts: %d VDPs %d channels", s.VDPCount(), s.ChannelCount())
+	}
+}
+
+func TestInputLenDiagnostic(t *testing.T) {
+	s := New(Config{})
+	var lens []int
+	s.NewVDP(tuple.New(0), 2, func(v *VDP) {
+		lens = append(lens, v.InputLen(0))
+		v.Pop(0)
+	}, "", 1, 0)
+	s.Input(tuple.New(0), 0, 64)
+	s.Inject(tuple.New(0), 0, NewPacket([]int{1}))
+	s.Inject(tuple.New(0), 0, NewPacket([]int{2}))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lens) != 2 || lens[0] != 2 || lens[1] != 1 {
+		t.Fatalf("queue lengths: %v", lens)
+	}
+}

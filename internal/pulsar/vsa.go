@@ -1,0 +1,292 @@
+package pulsar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pulsarqr/internal/tuple"
+)
+
+// Scheduling selects how a worker treats a ready VDP.
+type Scheduling int
+
+const (
+	// Lazy fires a ready VDP once and moves on to the next VDP. It
+	// encourages lookahead — interleaving panel factorizations with
+	// trailing updates — and is the scheme the paper found to utilize
+	// cores better for tree-based QR.
+	Lazy Scheduling = iota
+	// Aggressive keeps firing the same VDP for as long as it stays ready.
+	Aggressive
+)
+
+func (s Scheduling) String() string {
+	if s == Aggressive {
+		return "aggressive"
+	}
+	return "lazy"
+}
+
+// Mapping places a VDP, identified by its tuple, onto a (node, thread)
+// pair. It must be a pure function of the tuple so that every node derives
+// the same placement.
+type Mapping func(t tuple.Tuple) (node, thread int)
+
+// FireEvent describes one VDP firing, for tracing and statistics.
+type FireEvent struct {
+	Tuple        tuple.Tuple
+	Class        string
+	Node, Thread int
+	Start, End   time.Time
+	Seq          int64
+}
+
+// Config parameterizes a VSA run.
+type Config struct {
+	// Nodes is the number of simulated distributed-memory nodes (MPI
+	// ranks). Default 1.
+	Nodes int
+	// ThreadsPerNode is the number of worker threads per node (the paper
+	// dedicates one extra thread per node to the communication proxy;
+	// here the proxy is its own goroutine). Default 1.
+	ThreadsPerNode int
+	// Scheduling selects lazy or aggressive firing.
+	Scheduling Scheduling
+	// Map places VDPs on (node, thread) pairs; when nil, VDPs are placed
+	// cyclically in insertion order.
+	Map Mapping
+	// Params is the read-only global parameter block visible to every VDP.
+	Params any
+	// FireHook, when non-nil, is called after every VDP firing. It may be
+	// called concurrently from different workers and must be safe for that.
+	FireHook func(FireEvent)
+	// DeadlockTimeout aborts the run when no VDP fires for this long while
+	// VDPs remain alive. Zero selects the 30s default; negative disables.
+	DeadlockTimeout time.Duration
+}
+
+// VSA is a Virtual Systolic Array: the set of VDPs and channels built by
+// the user, plus the runtime state needed to execute it. Build the array
+// with NewVDP/Connect/Input/Output, seed it with Inject, then call Run.
+type VSA struct {
+	cfg      Config
+	params   any
+	vdps     map[string]*VDP
+	order    []*VDP
+	channels []*Channel
+
+	collectMu sync.Mutex
+	collected map[string][]*Packet
+
+	running  atomic.Bool
+	fired    atomic.Int64
+	alive    atomic.Int64
+	workers  [][]*worker // [node][thread]
+	proxies  []*proxy
+	netMsgs  int64
+	netBytes int64
+}
+
+// New creates an empty VSA with the given configuration.
+func New(cfg Config) *VSA {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.ThreadsPerNode <= 0 {
+		cfg.ThreadsPerNode = 1
+	}
+	if cfg.DeadlockTimeout == 0 {
+		cfg.DeadlockTimeout = 30 * time.Second
+	}
+	return &VSA{
+		cfg:       cfg,
+		params:    cfg.Params,
+		vdps:      map[string]*VDP{},
+		collected: map[string][]*Packet{},
+	}
+}
+
+// NewVDP creates a VDP with the given tuple, firing counter, executable
+// function and trace class, inserts it into the array, and returns it.
+// nin and nout size the input and output slot tables.
+func (s *VSA) NewVDP(tup tuple.Tuple, counter int, fn Func, class string, nin, nout int) *VDP {
+	if counter <= 0 {
+		panic(fmt.Sprintf("pulsar: VDP %v counter %d must be positive", tup, counter))
+	}
+	key := tup.Key()
+	if _, dup := s.vdps[key]; dup {
+		panic(fmt.Sprintf("pulsar: duplicate VDP tuple %v", tup))
+	}
+	v := &VDP{
+		tup:     tup.Clone(),
+		counter: counter,
+		fn:      fn,
+		class:   class,
+		in:      make([]*Channel, nin),
+		out:     make([]*Channel, nout),
+		vsa:     s,
+	}
+	s.vdps[key] = v
+	s.order = append(s.order, v)
+	return v
+}
+
+// VDPCount returns the number of VDPs in the array.
+func (s *VSA) VDPCount() int { return len(s.order) }
+
+// ChannelCount returns the number of channels in the array.
+func (s *VSA) ChannelCount() int { return len(s.channels) }
+
+// Fired returns the total number of VDP firings so far.
+func (s *VSA) Fired() int64 { return s.fired.Load() }
+
+// NetworkStats returns the number of inter-node messages and payload bytes
+// the run moved through the message-passing substrate (valid after Run).
+func (s *VSA) NetworkStats() (messages, bytes int64) { return s.netMsgs, s.netBytes }
+
+// Connect creates a channel from output slot srcSlot of the VDP identified
+// by src to input slot dstSlot of the VDP identified by dst. maxBytes
+// declares the maximum packet size (used for accounting). When
+// startDisabled is true the channel begins inactive and must be enabled by
+// the destination VDP before it gates firing — the mechanism the QR array
+// uses for the binary-tree-to-flat-tree hand-off.
+func (s *VSA) Connect(src tuple.Tuple, srcSlot int, dst tuple.Tuple, dstSlot, maxBytes int, startDisabled bool) {
+	sv := s.mustVDP(src)
+	dv := s.mustVDP(dst)
+	c := &Channel{
+		src: src.Clone(), dst: dst.Clone(),
+		srcSlot: srcSlot, dstSlot: dstSlot,
+		maxBytes: maxBytes,
+		active:   !startDisabled,
+	}
+	s.attachOut(sv, srcSlot, c)
+	s.attachIn(dv, dstSlot, c)
+	c.srcVDP, c.dstVDP = sv, dv
+	s.channels = append(s.channels, c)
+}
+
+// Input creates an external injection channel into input slot dstSlot of
+// dst. Packets enter it through Inject.
+func (s *VSA) Input(dst tuple.Tuple, dstSlot, maxBytes int) {
+	dv := s.mustVDP(dst)
+	c := &Channel{dst: dst.Clone(), srcSlot: -1, dstSlot: dstSlot, maxBytes: maxBytes, active: true}
+	s.attachIn(dv, dstSlot, c)
+	c.dstVDP = dv
+	s.channels = append(s.channels, c)
+}
+
+// Output creates an external collector channel on output slot srcSlot of
+// src. Packets pushed to it accumulate and are retrieved with Collected
+// after the run.
+func (s *VSA) Output(src tuple.Tuple, srcSlot, maxBytes int) {
+	sv := s.mustVDP(src)
+	c := &Channel{src: src.Clone(), srcSlot: srcSlot, dstSlot: -1, maxBytes: maxBytes, active: true}
+	s.attachOut(sv, srcSlot, c)
+	c.srcVDP = sv
+	s.channels = append(s.channels, c)
+}
+
+// Inject pushes a packet into the external input channel at (dst, dstSlot).
+// It may be called before the run to seed the array, or concurrently with
+// it to stream data in.
+func (s *VSA) Inject(dst tuple.Tuple, dstSlot int, p *Packet) {
+	v, ok := s.vdps[dst.Key()]
+	if !ok {
+		panic(fmt.Sprintf("pulsar: Inject: no VDP %v", dst))
+	}
+	c := v.inputChannel(dstSlot)
+	if c.src != nil {
+		panic(fmt.Sprintf("pulsar: Inject: channel %s is not an external input", c))
+	}
+	c.push(p)
+	if s.running.Load() {
+		s.wakeWorker(v.node, v.thread)
+	}
+}
+
+// Seed places an initial token into any input channel of dst before the
+// run starts — the classical dataflow mechanism for pipeline delays (e.g.
+// the delay registers of a systolic filter). Unlike Inject it works on
+// internal channels, and it must be called before Run.
+func (s *VSA) Seed(dst tuple.Tuple, dstSlot int, p *Packet) {
+	if s.running.Load() {
+		panic("pulsar: Seed must be called before Run")
+	}
+	v, ok := s.vdps[dst.Key()]
+	if !ok {
+		panic(fmt.Sprintf("pulsar: Seed: no VDP %v", dst))
+	}
+	v.inputChannel(dstSlot).push(p)
+}
+
+// Collected returns the packets pushed to the external output channel at
+// (src, srcSlot), in push order.
+func (s *VSA) Collected(src tuple.Tuple, srcSlot int) []*Packet {
+	s.collectMu.Lock()
+	defer s.collectMu.Unlock()
+	return s.collected[collectKey(src, srcSlot)]
+}
+
+func collectKey(t tuple.Tuple, slot int) string {
+	return t.Key() + "/" + fmt.Sprint(slot)
+}
+
+func (s *VSA) mustVDP(t tuple.Tuple) *VDP {
+	v, ok := s.vdps[t.Key()]
+	if !ok {
+		panic(fmt.Sprintf("pulsar: no VDP %v", t))
+	}
+	return v
+}
+
+func (s *VSA) attachOut(v *VDP, slot int, c *Channel) {
+	if slot < 0 || slot >= len(v.out) {
+		panic(fmt.Sprintf("pulsar: VDP %v output slot %d out of range [0,%d)", v.tup, slot, len(v.out)))
+	}
+	if v.out[slot] != nil {
+		panic(fmt.Sprintf("pulsar: VDP %v output slot %d already connected", v.tup, slot))
+	}
+	v.out[slot] = c
+}
+
+func (s *VSA) attachIn(v *VDP, slot int, c *Channel) {
+	if slot < 0 || slot >= len(v.in) {
+		panic(fmt.Sprintf("pulsar: VDP %v input slot %d out of range [0,%d)", v.tup, slot, len(v.in)))
+	}
+	if v.in[slot] != nil {
+		panic(fmt.Sprintf("pulsar: VDP %v input slot %d already connected", v.tup, slot))
+	}
+	v.in[slot] = c
+}
+
+// route delivers a packet pushed on channel c: collectors accumulate,
+// intra-node channels enqueue zero-copy, inter-node channels marshal and
+// hand the bytes to the source node's proxy.
+func (s *VSA) route(c *Channel, p *Packet) {
+	switch {
+	case c.dst == nil:
+		s.collectMu.Lock()
+		key := collectKey(c.src, c.srcSlot)
+		s.collected[key] = append(s.collected[key], p)
+		s.collectMu.Unlock()
+	case !s.running.Load() || !c.interNode:
+		c.push(p)
+		if s.running.Load() {
+			s.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
+		}
+	default:
+		b, err := marshalPacket(p)
+		if err != nil {
+			panic(fmt.Sprintf("pulsar: cannot ship packet on %s: %v", c, err))
+		}
+		s.proxies[c.srcNode].enqueue(c.dstNode, c.tag, b)
+	}
+}
+
+func (s *VSA) wakeWorker(node, thread int) {
+	if node < len(s.workers) && thread < len(s.workers[node]) {
+		s.workers[node][thread].wake()
+	}
+}

@@ -1,0 +1,133 @@
+package qr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+)
+
+func TestDominoMatchesFlatSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, sh := range [][2]int{{41, 13}, {24, 8}, {8, 8}, {30, 6}, {64, 16}} {
+		d := matrix.NewRand(sh[0], sh[1], rng)
+		b := matrix.NewRand(sh[0], 3, rng)
+		o := Options{NB: 8, IB: 4, Tree: FlatTree}
+		seq, err := Factorize(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom, err := FactorizeDomino(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o,
+			RunConfig{Nodes: 1, Threads: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFactorizationsEqual(t, seq, dom)
+	}
+}
+
+func TestDominoMultiNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d := matrix.NewRand(72, 16, rng)
+	o := Options{NB: 8, IB: 4, Tree: FlatTree}
+	seq, err := Factorize(matrix.FromDense(d, o.NB), nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{2, 4} {
+		dom, err := FactorizeDomino(matrix.FromDense(d, o.NB), nil, o,
+			RunConfig{Nodes: nodes, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFactorizationsEqual(t, seq, dom)
+	}
+}
+
+func TestDominoLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	o := Options{NB: 8, IB: 4}
+	m, n := 48, 10
+	d := matrix.NewRand(m, n, rng)
+	xTrue := matrix.NewRand(n, 2, rng)
+	bm := d.Mul(xTrue)
+	f, err := FactorizeDomino(matrix.FromDense(d, o.NB), matrix.FromDense(bm, o.NB), o,
+		RunConfig{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveFromQTB()
+	if diff := matrix.MaxAbsDiff(x, xTrue); diff > 1e-10 {
+		t.Fatalf("domino least squares off by %v", diff)
+	}
+}
+
+func TestDominoSingleColumn(t *testing.T) {
+	// nt == 1 exercises the single-firing corner cases.
+	rng := rand.New(rand.NewSource(34))
+	d := matrix.NewRand(33, 7, rng)
+	b := matrix.NewRand(33, 2, rng)
+	o := Options{NB: 8, IB: 4}
+	seq, err := Factorize(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB),
+		Options{NB: 8, IB: 4, Tree: FlatTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := FactorizeDomino(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o,
+		RunConfig{Nodes: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFactorizationsEqual(t, seq, dom)
+}
+
+func TestDominoSquareSingleTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	d := matrix.NewRand(6, 6, rng)
+	o := Options{NB: 8, IB: 4}
+	dom, err := FactorizeDomino(matrix.FromDense(d, o.NB), nil, o, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := dom.Residual(d); res > 1e-13 {
+		t.Fatalf("residual %v", res)
+	}
+}
+
+func TestDominoFiringCounts(t *testing.T) {
+	// Every VDP fires exactly min(i, j, nt-1)+1 times: the total firing
+	// count is a closed-form function of the tiling.
+	rng := rand.New(rand.NewSource(36))
+	d := matrix.NewRand(40, 16, rng) // mt=5, nt=2 at nb=8
+	o := Options{NB: 8, IB: 4}
+	var mu sync.Mutex
+	fires := 0
+	rc := RunConfig{Nodes: 1, Threads: 2, FireHook: func(pulsar.FireEvent) {
+		mu.Lock()
+		fires++
+		mu.Unlock()
+	}}
+	if _, err := FactorizeDomino(matrix.FromDense(d, o.NB), nil, o, rc); err != nil {
+		t.Fatal(err)
+	}
+	mt, nt := 5, 2
+	want := 0
+	for i := 0; i < mt; i++ {
+		for j := 0; j < nt; j++ {
+			want += min(i, j, nt-1) + 1
+		}
+	}
+	if fires != want {
+		t.Fatalf("fired %d times, want %d", fires, want)
+	}
+}
+
+func TestDominoRejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	o := Options{NB: 8, IB: 4}
+	if _, err := FactorizeDomino(matrix.FromDense(matrix.NewRand(5, 9, rng), 8), nil, o, RunConfig{}); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+}

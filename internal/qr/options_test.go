@@ -1,0 +1,101 @@
+package qr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.NB <= 0 || o.IB <= 0 || o.H <= 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	if o.IB > o.NB {
+		t.Fatal("ib must not exceed nb")
+	}
+	// Oversized IB is clamped.
+	o = Options{NB: 8, IB: 99}.normalize()
+	if o.IB > o.NB {
+		t.Fatalf("ib %d not clamped to nb %d", o.IB, o.NB)
+	}
+}
+
+func TestDomainSizeByTree(t *testing.T) {
+	mt := 40
+	if got := (Options{Tree: FlatTree, H: 5}).domainSize(mt); got != mt {
+		t.Fatalf("flat domain size %d", got)
+	}
+	if got := (Options{Tree: BinaryTree, H: 5}).domainSize(mt); got != 1 {
+		t.Fatalf("binary domain size %d", got)
+	}
+	if got := (Options{Tree: HierarchicalTree, H: 5}).domainSize(mt); got != 5 {
+		t.Fatalf("hierarchical domain size %d", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		FlatTree.String():         "flat",
+		BinaryTree.String():       "binary",
+		HierarchicalTree.String(): "hierarchical",
+		ShiftedBoundary.String():  "shifted",
+		FixedBoundary.String():    "fixed",
+		BinaryInter.String():      "binary-inter",
+		FlatInter.String():        "flat-inter",
+		OpGeqrt.String():          "geqrt",
+		OpTsqrt.String():          "tsqrt",
+		OpTtqrt.String():          "ttqrt",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("stringer: got %q want %q", got, want)
+		}
+	}
+	s := (Options{NB: 192, IB: 48, Tree: HierarchicalTree, H: 6}).String()
+	for _, frag := range []string{"nb=192", "ib=48", "h=6", "hierarchical"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Options.String %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestPlanLastPanelSingleRow(t *testing.T) {
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3}.normalize()
+	p := planPanel(9, 10, o)
+	if len(p.Domains) != 1 || p.Domains[0].Top != 9 || len(p.Domains[0].Rows) != 0 {
+		t.Fatalf("single-row panel plan wrong: %+v", p)
+	}
+	if len(p.Merges) != 0 {
+		t.Fatal("single domain needs no merges")
+	}
+}
+
+func TestPlanPanicsOutOfRange(t *testing.T) {
+	o := Options{NB: 8, IB: 4}.normalize()
+	for _, j := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("planPanel(%d, 10) must panic", j)
+				}
+			}()
+			planPanel(j, 10, o)
+		}()
+	}
+}
+
+func TestExportedPlanNormalizes(t *testing.T) {
+	// The exported Plan must fill defaults rather than panic on zero H.
+	p := Plan(0, 12, Options{Tree: HierarchicalTree})
+	if len(p.Domains) == 0 {
+		t.Fatal("Plan returned empty domains")
+	}
+}
+
+func TestEngineAndClassNames(t *testing.T) {
+	for _, c := range []string{ClassPanel, ClassUpdate, ClassBinary, ClassBinaryUpdate} {
+		if c == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package qr
+
+import "pulsarqr/internal/matrix"
+
+// Q assembles the explicit m×n "thin" orthogonal factor (the first n
+// columns of the full Q), by applying the stored transformations to the
+// identity. It is an O(m·n²) operation intended for verification and for
+// small systems; production code should use ApplyQ/ApplyQT, which keep Q
+// implicit.
+func (f *Factorization) Q() *matrix.Mat {
+	e := matrix.New(f.M, f.N)
+	for i := 0; i < f.N; i++ {
+		e.Set(i, i, 1)
+	}
+	t := matrix.FromDense(e, f.Opts.NB)
+	f.ApplyQ(t)
+	return t.ToDense()
+}
+
+// QFull assembles the explicit m×m orthogonal factor. O(m²·n) work and
+// O(m²) memory; verification only.
+func (f *Factorization) QFull() *matrix.Mat {
+	t := matrix.FromDense(matrix.Identity(f.M), f.Opts.NB)
+	f.ApplyQ(t)
+	return t.ToDense()
+}

@@ -1,0 +1,59 @@
+package qr
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+func TestQuarkMatchesSequentialAllTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, o := range allTreeOpts() {
+		d := matrix.NewRand(41, 13, rng)
+		b := matrix.NewRand(41, 3, rng)
+		seq, err := Factorize(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qk, err := FactorizeQuark(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFactorizationsEqual(t, seq, qk)
+	}
+}
+
+func TestQuarkLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3}
+	m, n := 48, 12
+	d := matrix.NewRand(m, n, rng)
+	xTrue := matrix.NewRand(n, 1, rng)
+	bm := d.Mul(xTrue)
+	f, err := FactorizeQuark(matrix.FromDense(d, o.NB), matrix.FromDense(bm, o.NB), o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveFromQTB()
+	if diff := matrix.MaxAbsDiff(x, xTrue); diff > 1e-10 {
+		t.Fatalf("quark least squares off by %v", diff)
+	}
+}
+
+func TestQuarkWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	o := Options{NB: 8, IB: 4, Tree: BinaryTree}
+	d := matrix.NewRand(32, 16, rng)
+	seq, err := Factorize(matrix.FromDense(d, o.NB), nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		qk, err := FactorizeQuark(matrix.FromDense(d, o.NB), nil, o, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFactorizationsEqual(t, seq, qk)
+	}
+}

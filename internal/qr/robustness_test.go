@@ -1,0 +1,153 @@
+package qr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+// hilbertLike builds an ill-conditioned tall matrix: Vandermonde-ish
+// columns on clustered nodes. Condition number grows fast with n.
+func hilbertLike(m, n int) *matrix.Mat {
+	a := matrix.New(m, n)
+	for i := 0; i < m; i++ {
+		x := float64(i+1) / float64(m+1)
+		p := 1.0
+		for j := 0; j < n; j++ {
+			a.Set(i, j, p)
+			p *= x
+		}
+	}
+	return a
+}
+
+func TestIllConditionedResidualStaysSmall(t *testing.T) {
+	// Householder QR is backward stable: ‖QR − A‖/‖A‖ must stay at machine
+	// precision even when A is terribly conditioned.
+	d := hilbertLike(60, 12)
+	for _, o := range []Options{
+		{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3},
+		{NB: 8, IB: 4, Tree: BinaryTree},
+		{NB: 8, IB: 4, Tree: FlatTree},
+	} {
+		f := factorDense(t, d, o)
+		q := f.Q()
+		backward := matrix.MaxAbsDiff(q.Mul(f.R()), d) / d.MaxAbs()
+		if backward > 1e-13 {
+			t.Fatalf("%v: backward error %v", o, backward)
+		}
+		ortho := matrix.MaxAbsDiff(q.Transpose().Mul(q), matrix.Identity(12))
+		if ortho > 1e-12 {
+			t.Fatalf("%v: orthogonality loss %v", o, ortho)
+		}
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	d := matrix.New(24, 8)
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	f := factorDense(t, d, o)
+	if f.R().MaxAbs() != 0 {
+		t.Fatal("R of the zero matrix must be zero")
+	}
+	// Q must still be orthogonal (identity reflectors).
+	q := f.Q()
+	if diff := matrix.MaxAbsDiff(q.Transpose().Mul(q), matrix.Identity(8)); diff > 1e-14 {
+		t.Fatalf("zero-matrix Q not orthonormal: %v", diff)
+	}
+}
+
+func TestIdentityInput(t *testing.T) {
+	d := matrix.Identity(16)
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	f := factorDense(t, d.Clone(), o)
+	r := f.R()
+	for j := 0; j < 16; j++ {
+		for i := 0; i <= j; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if diff := math.Abs(math.Abs(r.At(i, j)) - want); diff > 1e-14 {
+				t.Fatalf("R(%d,%d) = %v", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestHugeAndTinyScales(t *testing.T) {
+	// Entries at 1e150 and 1e-150: the scaled norms must avoid overflow
+	// and underflow.
+	rng := rand.New(rand.NewSource(51))
+	for _, scale := range []float64{1e150, 1e-150} {
+		d := matrix.NewRand(24, 6, rng)
+		for j := 0; j < d.Cols; j++ {
+			for i := 0; i < d.Rows; i++ {
+				d.Set(i, j, d.At(i, j)*scale)
+			}
+		}
+		o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+		f := factorDense(t, d.Clone(), o)
+		r := f.R()
+		for j := 0; j < r.Cols; j++ {
+			for i := 0; i <= j; i++ {
+				if math.IsNaN(r.At(i, j)) || math.IsInf(r.At(i, j), 0) {
+					t.Fatalf("scale %g: R(%d,%d) = %v", scale, i, j, r.At(i, j))
+				}
+			}
+		}
+		q := f.Q()
+		if diff := matrix.MaxAbsDiff(q.Transpose().Mul(q), matrix.Identity(6)); diff > 1e-12 {
+			t.Fatalf("scale %g: Q not orthonormal: %v", scale, diff)
+		}
+	}
+}
+
+func TestRankDeficientColumns(t *testing.T) {
+	// Duplicate columns: QR still completes with a (numerically) singular
+	// R; the factorization itself must stay backward stable.
+	rng := rand.New(rand.NewSource(52))
+	d := matrix.NewRand(30, 9, rng)
+	for i := 0; i < 30; i++ {
+		d.Set(i, 5, d.At(i, 2)) // column 5 == column 2
+	}
+	o := Options{NB: 8, IB: 4, Tree: BinaryTree}
+	f := factorDense(t, d.Clone(), o)
+	q := f.Q()
+	if diff := matrix.MaxAbsDiff(q.Mul(f.R()), d); diff > 1e-12 {
+		t.Fatalf("rank-deficient backward error %v", diff)
+	}
+	// R(5,5) must be ~0 (the dependent column adds nothing new).
+	if v := math.Abs(f.R().At(5, 5)); v > 1e-12 {
+		t.Fatalf("R(5,5) = %v for a dependent column", v)
+	}
+}
+
+// TestStressMediumHierarchicalMultiNode is a heavier end-to-end exercise:
+// a 55-tile-row, 7-tile-column factorization with ride-along right-hand
+// sides across 4 nodes and 3 threads each, checked against the sequential
+// reference elementwise.
+func TestStressMediumHierarchicalMultiNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(53))
+	d := matrix.NewRand(437, 55, rng) // ragged edges on both dimensions
+	b := matrix.NewRand(437, 5, rng)
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 5}
+	seq, err := Factorize(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsa, err := FactorizeVSA(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o,
+		RunConfig{Nodes: 4, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFactorizationsEqual(t, seq, vsa)
+	if res := vsa.Residual(d); res > 1e-13 {
+		t.Fatalf("stress residual %v", res)
+	}
+}

@@ -1,0 +1,111 @@
+package qr
+
+import (
+	"fmt"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+)
+
+// Factorize computes the tree-based tile QR of a in place and returns the
+// factorization. It is the sequential reference implementation: it executes
+// the exact kernel sequence the 3D VSA executes (same plan, same per-datum
+// order), so the two produce bitwise-comparable results.
+//
+// b, when non-nil, is a tiled set of ride-along right-hand-side columns
+// (same tile size and row count as a): it receives every trailing-matrix
+// update but never enters panel factorization, leaving it equal to QᵀB —
+// exactly how the VSA computes least-squares solutions without a second
+// pass.
+func Factorize(a *matrix.Tiled, b *matrix.Tiled, opts Options) (*Factorization, error) {
+	opts = opts.normalize()
+	if a.M < a.N {
+		return nil, fmt.Errorf("qr: matrix is %dx%d; tall-skinny factorization requires m >= n", a.M, a.N)
+	}
+	if a.NB != opts.NB {
+		return nil, fmt.Errorf("qr: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
+	}
+	if b != nil && (b.M != a.M || b.NB != a.NB) {
+		return nil, fmt.Errorf("qr: rhs is %d rows tile %d; matrix is %d rows tile %d", b.M, b.NB, a.M, a.NB)
+	}
+	f := &Factorization{M: a.M, N: a.N, Opts: opts, A: a, QTB: b}
+
+	// colTile enumerates the trailing tiles of row i at panel j: first the
+	// matrix columns j+1..nt-1, then every rhs tile column.
+	colTile := func(i, idx, j int) *matrix.Mat {
+		if na := a.NT - j - 1; idx < na {
+			return a.Tile(i, j+1+idx)
+		} else if b != nil {
+			return b.Tile(i, idx-na)
+		}
+		panic("qr: column index out of range")
+	}
+	ncols := func(j int) int {
+		n := a.NT - j - 1
+		if b != nil {
+			n += b.NT
+		}
+		return n
+	}
+
+	for j := 0; j < a.NT && j < a.MT; j++ {
+		n := a.TileCols(j)
+		plan := planPanel(j, a.MT, opts)
+		nc := ncols(j)
+
+		// rs holds the evolving R of each domain, keyed by the domain top.
+		rs := map[int]*matrix.Mat{}
+
+		for _, d := range plan.Domains {
+			top := d.Top
+			tile := a.Tile(top, j)
+			k := min(tile.Rows, n)
+			tg := matrix.New(min(opts.IB, k), k)
+			kernels.Dgeqrt(opts.IB, tile, tg)
+			f.Ops = append(f.Ops, Op{Kind: OpGeqrt, J: j, I: top, K: -1, T: tg})
+			for l := 0; l < nc; l++ {
+				kernels.Dormqr(true, opts.IB, tile, tg, colTile(top, l, j))
+			}
+			// Extract the domain R as a working copy (upper trapezoid).
+			r := matrix.New(k, n)
+			for jj := 0; jj < n; jj++ {
+				for ii := 0; ii <= jj && ii < k; ii++ {
+					r.Set(ii, jj, tile.At(ii, jj))
+				}
+			}
+			rs[top] = r
+
+			for _, kRow := range d.Rows {
+				kt := a.Tile(kRow, j)
+				tt := matrix.New(min(opts.IB, n), n)
+				kernels.Dtsqrt(opts.IB, r, kt, tt)
+				f.Ops = append(f.Ops, Op{Kind: OpTsqrt, J: j, I: top, K: kRow, T: tt})
+				for l := 0; l < nc; l++ {
+					kernels.Dtsmqr(true, opts.IB, kt, tt, colTile(top, l, j), colTile(kRow, l, j))
+				}
+			}
+		}
+
+		for _, m := range plan.Merges {
+			r1, r2 := rs[m.Surv], rs[m.K]
+			tt := matrix.New(min(opts.IB, n), n)
+			kernels.Dttqrt(opts.IB, r1, r2, tt)
+			f.Ops = append(f.Ops, Op{Kind: OpTtqrt, J: j, I: m.Surv, K: m.K, T: tt, V2: r2})
+			for l := 0; l < nc; l++ {
+				kernels.Dttmqr(true, opts.IB, r2, tt, colTile(m.Surv, l, j), colTile(m.K, l, j))
+			}
+		}
+
+		// The surviving R of the panel becomes the final R(j,j) block:
+		// write it into the upper triangle of the diagonal tile (the
+		// Householder vectors below it are untouched).
+		final := rs[j]
+		diag := a.Tile(j, j)
+		for jj := 0; jj < n; jj++ {
+			for ii := 0; ii <= jj && ii < final.Rows; ii++ {
+				diag.Set(ii, jj, final.At(ii, jj))
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,63 @@
+package qr
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+func TestRunStatsSingleNodeZeroCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := matrix.NewRand(48, 16, rng)
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3}
+	f, err := FactorizeVSA(matrix.FromDense(d, o.NB), nil, o, RunConfig{Nodes: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.Messages != 0 || f.Stats.Bytes != 0 {
+		t.Fatalf("single-node run should be zero-copy, got %d msgs %d bytes",
+			f.Stats.Messages, f.Stats.Bytes)
+	}
+	if f.Stats.Firings == 0 || f.Stats.VDPs == 0 || f.Stats.Channels == 0 {
+		t.Fatalf("stats missing: %+v", f.Stats)
+	}
+	// Every single-fire VDP fires exactly once.
+	if f.Stats.Firings != int64(f.Stats.VDPs) {
+		t.Fatalf("firings %d != VDPs %d in the 3D array", f.Stats.Firings, f.Stats.VDPs)
+	}
+}
+
+func TestRunStatsMultiNodeTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	d := matrix.NewRand(64, 16, rng)
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	f2, err := FactorizeVSA(matrix.FromDense(d, o.NB), nil, o, RunConfig{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Stats.Messages == 0 || f2.Stats.Bytes == 0 {
+		t.Fatal("multi-node run must move messages")
+	}
+	f4, err := FactorizeVSA(matrix.FromDense(d, o.NB), nil, o, RunConfig{Nodes: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.Stats.Messages <= f2.Stats.Messages {
+		t.Fatalf("more nodes should cross more boundaries: %d vs %d msgs",
+			f4.Stats.Messages, f2.Stats.Messages)
+	}
+}
+
+func TestRunStatsDomino(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	d := matrix.NewRand(40, 8, rng)
+	o := Options{NB: 8, IB: 4}
+	f, err := FactorizeDomino(matrix.FromDense(d, o.NB), nil, o, RunConfig{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.Firings == 0 || f.Stats.Messages == 0 {
+		t.Fatalf("domino stats missing: %+v", f.Stats)
+	}
+}

@@ -1,0 +1,724 @@
+package qr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/tuple"
+)
+
+// The 3D Virtual Systolic Array (paper §V-C, Fig. 8). One VDP exists per
+// (panel step, tile row[, trailing column]) — the three nested loops of the
+// algorithm map directly onto the three dimensions of the array:
+//
+//   - panel VDPs (red): dgeqrt at each domain top, dtsqrt below it; the
+//     evolving domain R travels down the flat-tree chain as a packet;
+//   - update VDPs (orange): dormqr/dtsmqr on the trailing columns; the
+//     domain-top row tile of each column travels down the same chain
+//     shape, and (V,T) packets broadcast along each row through a by-pass
+//     chain — every VDP forwards the transformation before applying it,
+//     overlapping communication with computation;
+//   - binary-tree VDPs (blue): dttqrt merges domain Rs pairwise, dttmqr
+//     updates the paired row tiles; the eliminated side's tiles are
+//     released to the next panel, which may start as soon as they arrive
+//     (the shifted-boundary pipelining of Fig. 6/7).
+//
+// Tiles released by panel j flow directly to their VDP in panel j+1, and
+// tiles that reach their final state (the R row of the surviving top, the
+// QᵀB blocks) flow to collector channels for assembly by the driver.
+
+// VDP kinds, the first component of every tuple.
+const (
+	kindPanel       = 0 // (0, j, i, -1, -1)
+	kindUpdate      = 1 // (1, j, i, l, -1)
+	kindMerge       = 2 // (2, j, surv, k, -1)
+	kindMergeUpdate = 3 // (3, j, surv, k, l)
+)
+
+// Trace classes, matching the colors of the paper's Fig. 7/8.
+const (
+	ClassPanel        = "panel"         // red: dgeqrt/dtsqrt
+	ClassUpdate       = "update"        // orange: dormqr/dtsmqr
+	ClassBinary       = "binary"        // blue: dttqrt
+	ClassBinaryUpdate = "binary-update" // blue: dttmqr
+)
+
+// RunConfig parameterizes the runtime execution of the array.
+type RunConfig struct {
+	// Nodes is the number of simulated distributed-memory nodes.
+	Nodes int
+	// Threads is the number of worker threads per node.
+	Threads int
+	// Scheduling selects the lazy or aggressive worker scheme.
+	Scheduling pulsar.Scheduling
+	// FireHook receives one event per VDP firing (tracing); may be nil.
+	FireHook func(pulsar.FireEvent)
+	// DeadlockTimeout is passed through to the runtime; zero = default.
+	DeadlockTimeout time.Duration
+}
+
+func (rc RunConfig) normalize() RunConfig {
+	if rc.Nodes <= 0 {
+		rc.Nodes = 1
+	}
+	if rc.Threads <= 0 {
+		rc.Threads = 1
+	}
+	return rc
+}
+
+// vtMsg carries a Householder transformation along a row: the reflector
+// tile V (read-only once published) and its block factor T.
+type vtMsg struct {
+	V, T *matrix.Mat
+}
+
+// collectMsg carries a completed transformation to the driver: the kernel
+// kind, its coordinates, the reflector tile and the T factor.
+type collectMsg struct {
+	Kind    OpKind
+	J, I, K int
+	Tile, T *matrix.Mat
+}
+
+func init() {
+	// Inter-node codec for vtMsg packets: [lenV u32][V][T].
+	pulsar.RegisterCodec(pulsar.Codec{
+		ID: 16,
+		Encode: func(v any) ([]byte, bool) {
+			m, ok := v.(*vtMsg)
+			if !ok {
+				return nil, false
+			}
+			bv := pulsar.EncodeMat(m.V)
+			bt := pulsar.EncodeMat(m.T)
+			out := make([]byte, 4+len(bv)+len(bt))
+			binary.LittleEndian.PutUint32(out, uint32(len(bv)))
+			copy(out[4:], bv)
+			copy(out[4+len(bv):], bt)
+			return out, true
+		},
+		Decode: func(b []byte) (any, error) {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("qr: short vt packet")
+			}
+			lv := int(binary.LittleEndian.Uint32(b))
+			if 4+lv > len(b) {
+				return nil, fmt.Errorf("qr: corrupt vt packet")
+			}
+			v, err := pulsar.DecodeMat(b[4 : 4+lv])
+			if err != nil {
+				return nil, err
+			}
+			t, err := pulsar.DecodeMat(b[4+lv:])
+			if err != nil {
+				return nil, err
+			}
+			return &vtMsg{V: v, T: t}, nil
+		},
+	})
+}
+
+// builder accumulates the array for one factorization.
+type builder struct {
+	a, b  *matrix.Tiled
+	opts  Options
+	rc    RunConfig
+	s     *pulsar.VSA
+	plans []PanelPlan
+	bnt   int // rhs tile columns
+}
+
+// endpoint identifies a producer (VDP tuple + output slot) while wiring.
+type endpoint struct {
+	tup  tuple.Tuple
+	slot int
+}
+
+// panelLocal is the build-time configuration stored in a panel VDP.
+type panelLocal struct {
+	j, i, n, ib int
+	top         bool // dgeqrt (domain top) vs dtsqrt
+	hasVT       bool // a trailing/rhs column exists
+}
+
+// updateLocal configures an update or merge-update VDP.
+type updateLocal struct {
+	ib    int
+	top   bool // dormqr vs dtsmqr
+	fwdVT bool // forward the (V,T) packet to the next column first
+}
+
+// mergeLocal configures a merge VDP.
+type mergeLocal struct {
+	j, surv, k, n, ib int
+	hasVT             bool
+}
+
+// FactorizeVSA computes the same factorization as Factorize by building
+// and running the 3D virtual systolic array on the PULSAR runtime. The
+// tiles of a (and b) are consumed: they are injected into the array,
+// transformed in place where locality permits, and reassembled into the
+// returned factorization.
+func FactorizeVSA(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig) (*Factorization, error) {
+	opts = opts.normalize()
+	rc = rc.normalize()
+	if a.M < a.N {
+		return nil, fmt.Errorf("qr: matrix is %dx%d; tall-skinny factorization requires m >= n", a.M, a.N)
+	}
+	if a.NB != opts.NB {
+		return nil, fmt.Errorf("qr: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
+	}
+	if b != nil && (b.M != a.M || b.NB != a.NB) {
+		return nil, fmt.Errorf("qr: rhs is %d rows tile %d; matrix is %d rows tile %d", b.M, b.NB, a.M, a.NB)
+	}
+
+	bd := &builder{a: a, b: b, opts: opts, rc: rc}
+	if b != nil {
+		bd.bnt = b.NT
+	}
+	for j := 0; j < a.NT && j < a.MT; j++ {
+		bd.plans = append(bd.plans, planPanel(j, a.MT, opts))
+	}
+	bd.s = pulsar.New(pulsar.Config{
+		Nodes:           rc.Nodes,
+		ThreadsPerNode:  rc.Threads,
+		Scheduling:      rc.Scheduling,
+		Map:             bd.mapping(),
+		FireHook:        rc.FireHook,
+		DeadlockTimeout: rc.DeadlockTimeout,
+	})
+	bd.build()
+	bd.inject()
+	if err := bd.s.Run(); err != nil {
+		return nil, err
+	}
+	f, err := bd.assemble()
+	if err != nil {
+		return nil, err
+	}
+	msgs, bytes := bd.s.NetworkStats()
+	f.Stats = RunStats{
+		Firings: bd.s.Fired(), Messages: msgs, Bytes: bytes,
+		VDPs: bd.s.VDPCount(), Channels: bd.s.ChannelCount(),
+	}
+	return f, nil
+}
+
+// Tuple constructors for the four VDP kinds.
+func panelTup(j, i int) tuple.Tuple          { return tuple.Tuple{kindPanel, j, i, -1, -1} }
+func updateTup(j, i, l int) tuple.Tuple      { return tuple.Tuple{kindUpdate, j, i, l, -1} }
+func mergeTup(j, s, k int) tuple.Tuple       { return tuple.Tuple{kindMerge, j, s, k, -1} }
+func mergeUpdTup(j, s, k, l int) tuple.Tuple { return tuple.Tuple{kindMergeUpdate, j, s, k, l} }
+
+// cols returns the global trailing column indices of panel j: matrix
+// columns j+1..nt-1 followed by the rhs tile columns nt..nt+bnt-1.
+func (bd *builder) cols(j int) []int {
+	var out []int
+	for l := j + 1; l < bd.a.NT; l++ {
+		out = append(out, l)
+	}
+	for r := 0; r < bd.bnt; r++ {
+		out = append(out, bd.a.NT+r)
+	}
+	return out
+}
+
+// colTile resolves a global column index to the tile at row i.
+func (bd *builder) colTile(i, l int) *matrix.Mat {
+	if l < bd.a.NT {
+		return bd.a.Tile(i, l)
+	}
+	return bd.b.Tile(i, l-bd.a.NT)
+}
+
+// mapping places VDPs: tile rows are distributed to nodes in contiguous
+// blocks (domains stay node-local for flat-trees), threads are assigned
+// cyclically by (row, column), and — following the paper — a binary-tree
+// parent is placed with its first (surviving) child.
+func (bd *builder) mapping() pulsar.Mapping {
+	mt := bd.a.MT
+	nodes, threads := bd.rc.Nodes, bd.rc.Threads
+	rowsPerNode := (mt + nodes - 1) / nodes
+	place := func(row, col int) (int, int) {
+		n := row / rowsPerNode
+		if n >= nodes {
+			n = nodes - 1
+		}
+		return n, (row + col) % threads
+	}
+	return func(t tuple.Tuple) (int, int) {
+		switch t.At(0) {
+		case kindPanel:
+			return place(t.At(2), t.At(1))
+		case kindUpdate:
+			return place(t.At(2), t.At(3))
+		case kindMerge:
+			return place(t.At(2), t.At(1)) // survivor's row
+		default: // kindMergeUpdate
+			return place(t.At(2), t.At(4))
+		}
+	}
+}
+
+// build creates every VDP and channel of the array.
+func (bd *builder) build() {
+	nbBytes := 8*bd.opts.NB*bd.opts.NB + 64
+
+	// Pass 1: create every VDP of every panel, so that cross-panel release
+	// channels always find their destination.
+	for _, plan := range bd.plans {
+		j := plan.J
+		n := bd.a.TileCols(j)
+		cols := bd.cols(j)
+		for _, d := range plan.Domains {
+			bd.newPanelVDP(plan, d.Top, true, n, len(cols) > 0)
+			for _, k := range d.Rows {
+				bd.newPanelVDP(plan, k, false, n, len(cols) > 0)
+			}
+			for ci, l := range cols {
+				bd.newUpdateVDP(j, d.Top, l, true, ci+1 < len(cols))
+				for _, k := range d.Rows {
+					bd.newUpdateVDP(j, k, l, false, ci+1 < len(cols))
+				}
+			}
+		}
+		for _, m := range plan.Merges {
+			bd.newMergeVDP(plan, m, n, len(cols) > 0)
+			for ci, l := range cols {
+				bd.newMergeUpdVDP(j, m, l, ci+1 < len(cols))
+			}
+		}
+	}
+
+	// Pass 2: wire all channels.
+	for _, plan := range bd.plans {
+		j := plan.J
+		cols := bd.cols(j)
+
+		// --- (V,T) by-pass chains along each row ----------------------
+		for _, d := range plan.Domains {
+			rows := append([]int{d.Top}, d.Rows...)
+			for _, i := range rows {
+				prev := endpoint{panelTup(j, i), 1}
+				for _, l := range cols {
+					cur := updateTup(j, i, l)
+					bd.s.Connect(prev.tup, prev.slot, cur, 1, nbBytes*2, false)
+					prev = endpoint{cur, 0}
+				}
+			}
+		}
+		for _, m := range plan.Merges {
+			prev := endpoint{mergeTup(j, m.Surv, m.K), 1}
+			for _, l := range cols {
+				cur := mergeUpdTup(j, m.Surv, m.K, l)
+				bd.s.Connect(prev.tup, prev.slot, cur, 2, nbBytes*2, false)
+				prev = endpoint{cur, 0}
+			}
+		}
+
+		// --- R chain (panel column) ------------------------------------
+		bd.wireStreams(plan, -1, nbBytes)
+		// --- top-tile chains (each trailing column) --------------------
+		for _, l := range cols {
+			bd.wireStreams(plan, l, nbBytes)
+		}
+
+		// --- per-transformation collectors -----------------------------
+		for _, d := range plan.Domains {
+			bd.s.Output(panelTup(j, d.Top), 2, nbBytes)
+			for _, k := range d.Rows {
+				bd.s.Output(panelTup(j, k), 2, nbBytes)
+			}
+		}
+		for _, m := range plan.Merges {
+			bd.s.Output(mergeTup(j, m.Surv, m.K), 2, nbBytes)
+		}
+	}
+}
+
+// wireStreams wires the flat-tree chains and the binary tree for one
+// column of panel plan. l == -1 selects the R chain through the panel and
+// merge VDPs; l >= 0 selects the top-tile chain through the update and
+// merge-update VDPs of global column l. The chain topology is identical —
+// that structural sharing is the heart of the 3D array.
+func (bd *builder) wireStreams(plan PanelPlan, l, nbBytes int) {
+	j := plan.J
+	isR := l < 0
+
+	// Producer endpoint of each stage.
+	headOf := func(i int) endpoint {
+		if isR {
+			return endpoint{panelTup(j, i), 0}
+		}
+		return endpoint{updateTup(j, i, l), 1}
+	}
+	chainIn := func(i int) (tuple.Tuple, int) {
+		if isR {
+			return panelTup(j, i), 1
+		}
+		return updateTup(j, i, l), 2
+	}
+	mergeOf := func(m Merge) (tuple.Tuple, int, int, int) {
+		// tuple, in-slot for survivor stream, in-slot for eliminated
+		// stream, out-slot of the surviving stream
+		if isR {
+			return mergeTup(j, m.Surv, m.K), 0, 1, 0
+		}
+		return mergeUpdTup(j, m.Surv, m.K, l), 0, 1, 1
+	}
+
+	streamEnd := map[int]endpoint{}
+	for _, d := range plan.Domains {
+		prod := headOf(d.Top)
+		for _, k := range d.Rows {
+			dst, slot := chainIn(k)
+			bd.s.Connect(prod.tup, prod.slot, dst, slot, nbBytes, false)
+			prod = headOf(k)
+		}
+		streamEnd[d.Top] = prod
+	}
+	for _, m := range plan.Merges {
+		mtup, sIn, kIn, sOut := mergeOf(m)
+		es, ek := streamEnd[m.Surv], streamEnd[m.K]
+		bd.s.Connect(es.tup, es.slot, mtup, sIn, nbBytes, false)
+		bd.s.Connect(ek.tup, ek.slot, mtup, kIn, nbBytes, false)
+		streamEnd[m.Surv] = endpoint{mtup, sOut}
+		// The eliminated side's tile is released to the next panel from
+		// the merge VDP itself (the tile stream case); the R case keeps
+		// V2 in the collector instead.
+		if !isR {
+			bd.connectRelease(j, m.K, l, endpoint{mtup, 2})
+		}
+	}
+	// The surviving stream (row j) finalizes: its packet is the panel's
+	// final R (isR) or the final tile R(j, l) / (QᵀB)(j, ·).
+	fin := streamEnd[j]
+	bd.s.Output(fin.tup, fin.slot, nbBytes)
+
+	// Non-top rows release their own tile to the next panel.
+	if !isR {
+		for _, d := range plan.Domains {
+			for _, k := range d.Rows {
+				bd.connectRelease(j, k, l, endpoint{updateTup(j, k, l), 3})
+			}
+		}
+	}
+}
+
+// connectRelease wires the hand-off of tile (i, l) from panel j to its VDP
+// in panel j+1, or to a collector when panel j is the tile's last.
+func (bd *builder) connectRelease(j, i, l int, from endpoint) {
+	nbBytes := 8*bd.opts.NB*bd.opts.NB + 64
+	lastPanel := len(bd.plans) - 1
+	switch {
+	case j == lastPanel:
+		// No further panels: rhs tiles (and nothing else — matrix columns
+		// l > lastPanel cannot exist) finalize here.
+		bd.s.Output(from.tup, from.slot, nbBytes)
+	case l == j+1:
+		bd.s.Connect(from.tup, from.slot, panelTup(j+1, i), 0, nbBytes, false)
+	default:
+		bd.s.Connect(from.tup, from.slot, updateTup(j+1, i, l), 0, nbBytes, false)
+	}
+}
+
+// --- VDP constructors -------------------------------------------------
+
+func (bd *builder) newPanelVDP(plan PanelPlan, i int, top bool, n int, hasVT bool) {
+	j := plan.J
+	cfg := &panelLocal{j: j, i: i, n: n, ib: bd.opts.IB, top: top, hasVT: hasVT}
+	nin := 2 // 0: tile, 1: incoming R (unused for tops)
+	v := bd.s.NewVDP(panelTup(j, i), 1, panelFn, ClassPanel, nin, 3)
+	v.SetLocal(cfg)
+	if j == 0 {
+		// Panel-0 tiles are injected from outside; later panels receive
+		// their tile through the release channel from panel j-1.
+		bd.s.Input(panelTup(j, i), 0, 8*bd.opts.NB*bd.opts.NB+64)
+	}
+}
+
+func (bd *builder) newUpdateVDP(j, i, l int, top bool, fwdVT bool) {
+	cfg := &updateLocal{ib: bd.opts.IB, top: top, fwdVT: fwdVT}
+	// in: 0 tile, 1 VT, 2 top-tile (non-top only)
+	// out: 0 VT fwd, 1 top-tile stream, 2 (unused), 3 release (non-top)
+	v := bd.s.NewVDP(updateTup(j, i, l), 1, updateFn, ClassUpdate, 3, 4)
+	v.SetLocal(cfg)
+	if j == 0 {
+		bd.s.Input(updateTup(j, i, l), 0, 8*bd.opts.NB*bd.opts.NB+64)
+	}
+}
+
+func (bd *builder) newMergeVDP(plan PanelPlan, m Merge, n int, hasVT bool) {
+	j := plan.J
+	cfg := &mergeLocal{j: j, surv: m.Surv, k: m.K, n: n, ib: bd.opts.IB, hasVT: hasVT}
+	v := bd.s.NewVDP(mergeTup(j, m.Surv, m.K), 1, mergeFn, ClassBinary, 2, 3)
+	v.SetLocal(cfg)
+}
+
+func (bd *builder) newMergeUpdVDP(j int, m Merge, l int, fwdVT bool) {
+	cfg := &updateLocal{ib: bd.opts.IB, fwdVT: fwdVT}
+	// in: 0 B1 (survivor tile), 1 B2 (eliminated tile), 2 VT
+	// out: 0 VT fwd, 1 B1 stream, 2 B2 release
+	v := bd.s.NewVDP(mergeUpdTup(j, m.Surv, m.K, l), 1, mergeUpdFn, ClassBinaryUpdate, 3, 3)
+	v.SetLocal(cfg)
+}
+
+// --- VDP bodies ---------------------------------------------------------
+
+// extractR copies the upper trapezoid of a factored tile into a fresh
+// k×n matrix that will travel down the reduction chains.
+func extractR(tile *matrix.Mat, n int) *matrix.Mat {
+	k := min(tile.Rows, n)
+	r := matrix.New(k, n)
+	for jj := 0; jj < n; jj++ {
+		for ii := 0; ii <= jj && ii < k; ii++ {
+			r.Set(ii, jj, tile.At(ii, jj))
+		}
+	}
+	return r
+}
+
+func panelFn(v *pulsar.VDP) {
+	cfg := v.Local().(*panelLocal)
+	tile := v.Pop(0).Tile()
+	if cfg.top {
+		k := min(tile.Rows, cfg.n)
+		tg := matrix.New(min(cfg.ib, k), k)
+		kernels.Dgeqrt(cfg.ib, tile, tg)
+		if cfg.hasVT {
+			v.Push(1, pulsar.NewPacket(&vtMsg{V: tile, T: tg}))
+		}
+		v.Push(0, pulsar.NewPacket(extractR(tile, cfg.n)))
+		v.Push(2, pulsar.NewPacket(&collectMsg{Kind: OpGeqrt, J: cfg.j, I: cfg.i, K: -1, Tile: tile, T: tg}))
+		return
+	}
+	r := v.Pop(1).Tile()
+	tt := matrix.New(min(cfg.ib, cfg.n), cfg.n)
+	kernels.Dtsqrt(cfg.ib, r, tile, tt)
+	if cfg.hasVT {
+		v.Push(1, pulsar.NewPacket(&vtMsg{V: tile, T: tt}))
+	}
+	v.Push(0, pulsar.NewPacket(r))
+	v.Push(2, pulsar.NewPacket(&collectMsg{Kind: OpTsqrt, J: cfg.j, I: -1, K: cfg.i, Tile: tile, T: tt}))
+}
+
+func updateFn(v *pulsar.VDP) {
+	cfg := v.Local().(*updateLocal)
+	vtp := v.Pop(1)
+	if cfg.fwdVT {
+		// By-pass: forward the transformation before applying it, so the
+		// communication overlaps with the local kernel (paper §V-C).
+		v.Push(0, vtp)
+	}
+	msg := vtp.Data.(*vtMsg)
+	tile := v.Pop(0).Tile()
+	if cfg.top {
+		kernels.Dormqr(true, cfg.ib, msg.V, msg.T, tile)
+		v.Push(1, pulsar.NewPacket(tile))
+		return
+	}
+	topTile := v.Pop(2).Tile()
+	kernels.Dtsmqr(true, cfg.ib, msg.V, msg.T, topTile, tile)
+	v.Push(1, pulsar.NewPacket(topTile))
+	v.Push(3, pulsar.NewPacket(tile))
+}
+
+func mergeFn(v *pulsar.VDP) {
+	cfg := v.Local().(*mergeLocal)
+	rs := v.Pop(0).Tile()
+	rk := v.Pop(1).Tile()
+	tt := matrix.New(min(cfg.ib, cfg.n), cfg.n)
+	kernels.Dttqrt(cfg.ib, rs, rk, tt)
+	if cfg.hasVT {
+		v.Push(1, pulsar.NewPacket(&vtMsg{V: rk, T: tt}))
+	}
+	v.Push(0, pulsar.NewPacket(rs))
+	v.Push(2, pulsar.NewPacket(&collectMsg{Kind: OpTtqrt, J: cfg.j, I: cfg.surv, K: cfg.k, Tile: rk, T: tt}))
+}
+
+func mergeUpdFn(v *pulsar.VDP) {
+	cfg := v.Local().(*updateLocal)
+	vtp := v.Pop(2)
+	if cfg.fwdVT {
+		v.Push(0, vtp)
+	}
+	msg := vtp.Data.(*vtMsg)
+	b1 := v.Pop(0).Tile()
+	b2 := v.Pop(1).Tile()
+	kernels.Dttmqr(true, cfg.ib, msg.V, msg.T, b1, b2)
+	v.Push(1, pulsar.NewPacket(b1))
+	v.Push(2, pulsar.NewPacket(b2))
+}
+
+// --- injection and assembly ---------------------------------------------
+
+// inject seeds the array with the matrix (and rhs) tiles: column 0 tiles
+// enter their panel VDPs, every other tile enters its panel-0 update VDP.
+func (bd *builder) inject() {
+	for i := 0; i < bd.a.MT; i++ {
+		bd.s.Inject(panelTup(0, i), 0, pulsar.NewPacket(bd.a.Tile(i, 0)))
+		for _, l := range bd.cols(0) {
+			bd.s.Inject(updateTup(0, i, l), 0, pulsar.NewPacket(bd.colTile(i, l)))
+		}
+	}
+}
+
+// assemble gathers the collector outputs into a Factorization.
+func (bd *builder) assemble() (*Factorization, error) {
+	a := bd.a
+	out := matrix.NewTiled(a.M, a.N, a.NB)
+	var qtb *matrix.Tiled
+	if bd.b != nil {
+		qtb = matrix.NewTiled(bd.b.M, bd.b.N, bd.b.NB)
+	}
+	f := &Factorization{M: a.M, N: a.N, Opts: bd.opts, A: out, QTB: qtb}
+
+	one := func(tup tuple.Tuple, slot int) (*pulsar.Packet, error) {
+		ps := bd.s.Collected(tup, slot)
+		if len(ps) != 1 {
+			return nil, fmt.Errorf("qr: collector %v[%d] holds %d packets, want 1", tup, slot, len(ps))
+		}
+		return ps[0], nil
+	}
+
+	for _, plan := range bd.plans {
+		j := plan.J
+		// Transformation log in plan order, and the panel-column V tiles.
+		for _, d := range plan.Domains {
+			rows := append([]int{d.Top}, d.Rows...)
+			for _, i := range rows {
+				p, err := one(panelTup(j, i), 2)
+				if err != nil {
+					return nil, err
+				}
+				cm := p.Data.(*collectMsg)
+				op := Op{Kind: cm.Kind, J: j, T: cm.T}
+				if cm.Kind == OpGeqrt {
+					op.I, op.K = i, -1
+				} else {
+					op.I, op.K = d.Top, i
+				}
+				out.SetTile(i, j, cm.Tile)
+				f.Ops = append(f.Ops, op)
+			}
+		}
+		for _, m := range plan.Merges {
+			p, err := one(mergeTup(j, m.Surv, m.K), 2)
+			if err != nil {
+				return nil, err
+			}
+			cm := p.Data.(*collectMsg)
+			f.Ops = append(f.Ops, Op{Kind: OpTtqrt, J: j, I: m.Surv, K: m.K, T: cm.T, V2: cm.Tile})
+		}
+
+		// Final R of the panel: write into the upper triangle of the
+		// diagonal tile (over the reflectors collected above).
+		rEnd := bd.rStreamEnd(plan)
+		p, err := one(rEnd.tup, rEnd.slot)
+		if err != nil {
+			return nil, err
+		}
+		final := p.Tile()
+		diag := out.Tile(j, j)
+		n := a.TileCols(j)
+		for jj := 0; jj < n; jj++ {
+			for ii := 0; ii <= jj && ii < final.Rows; ii++ {
+				diag.Set(ii, jj, final.At(ii, jj))
+			}
+		}
+
+		// Final row tiles R(j, l) and finished rhs tiles (QᵀB)(j, ·).
+		for _, l := range bd.cols(j) {
+			tEnd := bd.tileStreamEnd(plan, l)
+			p, err := one(tEnd.tup, tEnd.slot)
+			if err != nil {
+				return nil, err
+			}
+			bd.placeFinal(f, j, l, p.Tile())
+		}
+	}
+
+	// RHS tiles of rows below the last panel finalize at the last panel's
+	// releases.
+	if bd.b != nil {
+		last := len(bd.plans) - 1
+		plan := bd.plans[last]
+		for r := 0; r < bd.bnt; r++ {
+			l := a.NT + r
+			for _, d := range plan.Domains {
+				for _, k := range d.Rows {
+					p, err := one(updateTup(last, k, l), 3)
+					if err != nil {
+						return nil, err
+					}
+					qtb.SetTile(k, r, p.Tile())
+				}
+			}
+			for _, m := range plan.Merges {
+				p, err := one(mergeUpdTup(last, m.Surv, m.K, l), 2)
+				if err != nil {
+					return nil, err
+				}
+				qtb.SetTile(m.K, r, p.Tile())
+			}
+		}
+	}
+	return f, nil
+}
+
+// placeFinal stores a finished tile of the surviving row j.
+func (bd *builder) placeFinal(f *Factorization, j, l int, tile *matrix.Mat) {
+	if l < bd.a.NT {
+		f.A.SetTile(j, l, tile)
+	} else {
+		f.QTB.SetTile(j, l-bd.a.NT, tile)
+	}
+}
+
+// rStreamEnd returns the producer endpoint of the panel's final R.
+func (bd *builder) rStreamEnd(plan PanelPlan) endpoint {
+	return bd.streamEndOf(plan, -1)
+}
+
+// tileStreamEnd returns the producer endpoint of the final tile (j, l).
+func (bd *builder) tileStreamEnd(plan PanelPlan, l int) endpoint {
+	return bd.streamEndOf(plan, l)
+}
+
+// streamEndOf recomputes the surviving stream's final endpoint, mirroring
+// wireStreams.
+func (bd *builder) streamEndOf(plan PanelPlan, l int) endpoint {
+	j := plan.J
+	isR := l < 0
+	var end endpoint
+	for _, d := range plan.Domains {
+		if d.Top != j {
+			continue
+		}
+		lastRow := j
+		if len(d.Rows) > 0 {
+			lastRow = d.Rows[len(d.Rows)-1]
+		}
+		if isR {
+			end = endpoint{panelTup(j, lastRow), 0}
+		} else {
+			end = endpoint{updateTup(j, lastRow, l), 1}
+		}
+	}
+	for _, m := range plan.Merges {
+		if m.Surv != j {
+			continue
+		}
+		if isR {
+			end = endpoint{mergeTup(j, m.Surv, m.K), 0}
+		} else {
+			end = endpoint{mergeUpdTup(j, m.Surv, m.K, l), 1}
+		}
+	}
+	return end
+}

@@ -1,0 +1,215 @@
+package qr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+)
+
+// factorBoth runs the sequential reference and the VSA on identical data
+// and returns both factorizations.
+func factorBoth(t *testing.T, d, b *matrix.Mat, o Options, rc RunConfig) (seq, vsa *Factorization) {
+	t.Helper()
+	var bs, bv *matrix.Tiled
+	if b != nil {
+		bs = matrix.FromDense(b, o.NB)
+		bv = matrix.FromDense(b, o.NB)
+	}
+	var err error
+	seq, err = Factorize(matrix.FromDense(d, o.NB), bs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsa, err = FactorizeVSA(matrix.FromDense(d, o.NB), bv, o, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, vsa
+}
+
+// assertFactorizationsEqual demands elementwise equality of the factored
+// tiles, the final R, the op logs and QᵀB: the VSA executes the same
+// kernels on the same data in the same per-datum order as the reference,
+// so the results must match exactly, not just to rounding.
+func assertFactorizationsEqual(t *testing.T, seq, vsa *Factorization) {
+	t.Helper()
+	if d := matrix.MaxAbsDiff(seq.A.ToDense(), vsa.A.ToDense()); d != 0 {
+		t.Fatalf("factored tiles differ by %v", d)
+	}
+	if len(seq.Ops) != len(vsa.Ops) {
+		t.Fatalf("op logs: %d vs %d entries", len(seq.Ops), len(vsa.Ops))
+	}
+	for i := range seq.Ops {
+		so, vo := seq.Ops[i], vsa.Ops[i]
+		if so.Kind != vo.Kind || so.J != vo.J || so.I != vo.I || so.K != vo.K {
+			t.Fatalf("op %d differs: %+v vs %+v", i, so, vo)
+		}
+		if d := matrix.MaxAbsDiff(so.T, vo.T); d != 0 {
+			t.Fatalf("op %d T differs by %v", i, d)
+		}
+		if (so.V2 == nil) != (vo.V2 == nil) {
+			t.Fatalf("op %d V2 presence differs", i)
+		}
+		if so.V2 != nil {
+			if d := matrix.MaxAbsDiff(so.V2, vo.V2); d != 0 {
+				t.Fatalf("op %d V2 differs by %v", i, d)
+			}
+		}
+	}
+	if (seq.QTB == nil) != (vsa.QTB == nil) {
+		t.Fatal("QTB presence differs")
+	}
+	if seq.QTB != nil {
+		if d := matrix.MaxAbsDiff(seq.QTB.ToDense(), vsa.QTB.ToDense()); d != 0 {
+			t.Fatalf("QᵀB differs by %v", d)
+		}
+	}
+}
+
+func TestVSAMatchesSequentialAllTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rc := RunConfig{Nodes: 1, Threads: 3}
+	for _, o := range allTreeOpts() {
+		d := matrix.NewRand(41, 13, rng)
+		b := matrix.NewRand(41, 3, rng)
+		seq, vsa := factorBoth(t, d, b, o, rc)
+		assertFactorizationsEqual(t, seq, vsa)
+		if res := vsa.Residual(d); res > 1e-13 {
+			t.Fatalf("%v: residual %v", o, res)
+		}
+	}
+}
+
+func TestVSAMultiNodeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, nodes := range []int{2, 3, 5} {
+		rc := RunConfig{Nodes: nodes, Threads: 2}
+		o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3}
+		d := matrix.NewRand(77, 21, rng)
+		b := matrix.NewRand(77, 2, rng)
+		seq, vsa := factorBoth(t, d, b, o, rc)
+		assertFactorizationsEqual(t, seq, vsa)
+	}
+}
+
+func TestVSASchedulingModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	d := matrix.NewRand(40, 16, rng)
+	for _, sched := range []pulsar.Scheduling{pulsar.Lazy, pulsar.Aggressive} {
+		rc := RunConfig{Nodes: 2, Threads: 2, Scheduling: sched}
+		seq, vsa := factorBoth(t, d, nil, o, rc)
+		assertFactorizationsEqual(t, seq, vsa)
+	}
+}
+
+func TestVSAFlatSingleColumn(t *testing.T) {
+	// Degenerate shapes: one tile column, one tile, tiny threads.
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range [][2]int{{24, 6}, {8, 8}, {6, 6}, {30, 8}} {
+		for _, tree := range []TreeKind{FlatTree, BinaryTree, HierarchicalTree} {
+			o := Options{NB: 8, IB: 4, Tree: tree, H: 2}
+			d := matrix.NewRand(shape[0], shape[1], rng)
+			seq, vsa := factorBoth(t, d, nil, o, RunConfig{Nodes: 1, Threads: 1})
+			assertFactorizationsEqual(t, seq, vsa)
+		}
+	}
+}
+
+func TestVSALeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3}
+	m, n := 56, 14
+	d := matrix.NewRand(m, n, rng)
+	xTrue := matrix.NewRand(n, 2, rng)
+	b := d.Mul(xTrue)
+	f, err := FactorizeVSA(matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB), o, RunConfig{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveFromQTB()
+	if diff := matrix.MaxAbsDiff(x, xTrue); diff > 1e-10 {
+		t.Fatalf("least-squares solution off by %v", diff)
+	}
+}
+
+func TestVSAQReplayAfterRun(t *testing.T) {
+	// The factorization gathered from the array must support Q replay.
+	rng := rand.New(rand.NewSource(6))
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	m, n := 33, 9
+	d := matrix.NewRand(m, n, rng)
+	f, err := FactorizeVSA(matrix.FromDense(d, o.NB), nil, o, RunConfig{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	stack := matrix.New(m, n)
+	stack.View(0, 0, n, n).CopyFrom(r)
+	st := matrix.FromDense(stack, o.NB)
+	f.ApplyQ(st)
+	if diff := matrix.MaxAbsDiff(st.ToDense(), d); diff > 1e-12 {
+		t.Fatalf("||QR − A|| = %v", diff)
+	}
+}
+
+func TestVSATraceClassesPresent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 2}
+	d := matrix.NewRand(48, 16, rng)
+	var mu sync.Mutex
+	classes := map[string]int{}
+	rc := RunConfig{Nodes: 1, Threads: 2, FireHook: func(e pulsar.FireEvent) {
+		mu.Lock()
+		classes[e.Class]++
+		mu.Unlock()
+	}}
+	if _, err := FactorizeVSA(matrix.FromDense(d, o.NB), nil, o, rc); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{ClassPanel, ClassUpdate, ClassBinary, ClassBinaryUpdate} {
+		if classes[c] == 0 {
+			t.Fatalf("no firings of class %q: %v", c, classes)
+		}
+	}
+	// Firing counts must match the plan's kernel counts.
+	mt, nt := 6, 2
+	var wantPanel, wantUpd, wantMerge, wantMergeUpd int
+	for j := 0; j < nt; j++ {
+		p := planPanel(j, mt, o.normalize())
+		c := p.Count(nt - j - 1)
+		wantPanel += c.Geqrt + c.Tsqrt
+		wantUpd += c.Ormqr + c.Tsmqr
+		wantMerge += c.Ttqrt
+		wantMergeUpd += c.Ttmqr
+	}
+	if classes[ClassPanel] != wantPanel || classes[ClassUpdate] != wantUpd ||
+		classes[ClassBinary] != wantMerge || classes[ClassBinaryUpdate] != wantMergeUpd {
+		t.Fatalf("firing counts %v; want panel=%d update=%d binary=%d binary-update=%d",
+			classes, wantPanel, wantUpd, wantMerge, wantMergeUpd)
+	}
+}
+
+func TestVSAFixedVsShiftedBothCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := matrix.NewRand(64, 16, rng)
+	for _, bp := range []BoundaryPolicy{ShiftedBoundary, FixedBoundary} {
+		o := Options{NB: 8, IB: 4, Tree: HierarchicalTree, H: 3, Boundary: bp}
+		seq, vsa := factorBoth(t, d, nil, o, RunConfig{Nodes: 2, Threads: 2})
+		assertFactorizationsEqual(t, seq, vsa)
+		if res := vsa.Residual(d); res > 1e-13 {
+			t.Fatalf("%v: residual %v", bp, res)
+		}
+	}
+}
+
+func TestVSARejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o := Options{NB: 8, IB: 4}
+	if _, err := FactorizeVSA(matrix.FromDense(matrix.NewRand(5, 9, rng), 8), nil, o, RunConfig{}); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package scalapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pulsarqr/internal/matrix"
+)
+
+func TestBlockQRResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range []struct{ m, n, nb, w int }{
+		{40, 16, 8, 1}, {40, 16, 8, 4}, {33, 11, 5, 2}, {16, 16, 4, 3}, {9, 9, 16, 2},
+	} {
+		d := matrix.NewRand(sh.m, sh.n, rng)
+		f, err := Factorize(d.Clone(), sh.nb, sh.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := f.Residual(d); res > 1e-13 {
+			t.Fatalf("%+v: residual %v", sh, res)
+		}
+	}
+}
+
+func TestBlockQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n := 29, 12
+	d := matrix.NewRand(m, n, rng)
+	f, err := Factorize(d.Clone(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := matrix.New(m, n)
+	stack.View(0, 0, n, n).CopyFrom(f.R())
+	f.ApplyQ(stack, 2)
+	if diff := matrix.MaxAbsDiff(stack, d); diff > 1e-12 {
+		t.Fatalf("||QR − A|| = %v", diff)
+	}
+	b := matrix.NewRand(m, 3, rng)
+	c := b.Clone()
+	f.ApplyQT(c, 2)
+	f.ApplyQ(c, 2)
+	if diff := matrix.MaxAbsDiff(c, b); diff > 1e-12 {
+		t.Fatalf("Q Qᵀ b != b: %v", diff)
+	}
+}
+
+func TestBlockQRLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 45, 10
+	d := matrix.NewRand(m, n, rng)
+	xTrue := matrix.NewRand(n, 2, rng)
+	b := d.Mul(xTrue)
+	f, err := Factorize(d.Clone(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b, 4)
+	if diff := matrix.MaxAbsDiff(x, xTrue); diff > 1e-10 {
+		t.Fatalf("solution off by %v", diff)
+	}
+}
+
+func TestWorkersDoNotChangeResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := matrix.NewRand(37, 14, rng)
+	f1, err := Factorize(d.Clone(), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Factorize(d.Clone(), 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := matrix.MaxAbsDiff(f1.A, f8.A); diff != 0 {
+		t.Fatalf("worker count changed the arithmetic by %v", diff)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Factorize(matrix.NewRand(4, 9, rng), 4, 1); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+	if _, err := Factorize(matrix.NewRand(9, 4, rng), 0, 1); err == nil {
+		t.Fatal("bad nb must be rejected")
+	}
+}
+
+func TestBlockQRRandomShapesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		m := n + rng.Intn(20)
+		nb := rng.Intn(8) + 1
+		d := matrix.NewRand(m, n, rng)
+		fac, err := Factorize(d.Clone(), nb, rng.Intn(4)+1)
+		if err != nil {
+			return false
+		}
+		return fac.Residual(d) < 1e-12 && !math.IsNaN(fac.Residual(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

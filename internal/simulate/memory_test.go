@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"testing"
+
+	"pulsarqr/internal/qr"
+)
+
+func TestMemoryDataTermDominates(t *testing.T) {
+	w := wl(192*1920, 4608, qr.HierarchicalTree, 192, 48, 12)
+	mach := Kraken(40)
+	peak := PeakNodeBytes(w, mach, KrakenMemory())
+	// 1920/40 = 48 tile rows per node × 24 tile columns × 192²×8 bytes ≈ 340 MB.
+	dataOnly := int64(48) * 24 * 192 * 192 * 8
+	if peak < dataOnly {
+		t.Fatalf("peak %d below the raw data size %d", peak, dataOnly)
+	}
+	if peak > 4*dataOnly {
+		t.Fatalf("peak %d implausibly far above data size %d", peak, dataOnly)
+	}
+}
+
+func TestMemoryFeasibilityMonotonicInNodes(t *testing.T) {
+	w := wl(192*3840, 4608, qr.HierarchicalTree, 192, 48, 12)
+	mem := KrakenMemory()
+	prev := int64(1 << 62)
+	for _, nodes := range []int{10, 40, 160, 640} {
+		_, peak := Feasible(w, Kraken(nodes), mem)
+		if peak > prev {
+			t.Fatalf("peak memory grew with more nodes: %d then %d", prev, peak)
+		}
+		prev = peak
+	}
+}
+
+func TestMemoryStrongScalingFloor(t *testing.T) {
+	// A huge matrix on tiny toy nodes must demand several of them — the
+	// §II strong-scaling memory wall.
+	w := wl(192*38400, 9216, qr.HierarchicalTree, 192, 48, 12)
+	tiny := MemoryModel{NodeBytes: 1 << 30, RuntimeOverheadPerVDP: 512} // 1 GB nodes
+	minNodes := MinNodes(w, 12, tiny)
+	if minNodes < 2 {
+		t.Fatalf("min nodes = %d; a %d-tile-row matrix cannot fit one 1GB node", minNodes, 38400)
+	}
+	// And the returned floor must itself be feasible while floor-1 is not.
+	if ok, _ := Feasible(w, Machine{Nodes: minNodes, CoresPerNode: 12}, tiny); !ok {
+		t.Fatal("reported floor infeasible")
+	}
+	if minNodes > 1 {
+		if ok, _ := Feasible(w, Machine{Nodes: minNodes - 1, CoresPerNode: 12}, tiny); ok {
+			t.Fatal("floor-1 unexpectedly feasible")
+		}
+	}
+}
+
+func TestMemoryImpossibleWorkload(t *testing.T) {
+	// One tile row alone exceeding node memory: MinNodes reports 0.
+	w := wl(1<<20, 1<<20, qr.HierarchicalTree, 1024, 48, 12) // 1M×1M matrix
+	tiny := MemoryModel{NodeBytes: 1 << 20, RuntimeOverheadPerVDP: 512}
+	if got := MinNodes(w, 12, tiny); got != 0 {
+		t.Fatalf("MinNodes = %d for an impossible workload", got)
+	}
+}
+
+func TestPaperConfigurationsFitKraken(t *testing.T) {
+	// Every configuration in Figures 10/11 must fit the real machine —
+	// otherwise our reproduction would be simulating impossible runs.
+	mem := KrakenMemory()
+	for _, m := range []int{23040, 92160, 184320, 368640, 737280} {
+		w := wl(m, 4608, qr.HierarchicalTree, 192, 48, 12)
+		if ok, peak := Feasible(w, Kraken(768), mem); !ok {
+			t.Fatalf("m=%d infeasible on 768 nodes (peak %d)", m, peak)
+		}
+	}
+	for _, cores := range []int{480, 1920, 3840, 7680, 15360} {
+		w := wl(368640, 4608, qr.HierarchicalTree, 192, 48, 12)
+		if ok, peak := Feasible(w, Kraken(cores/12), mem); !ok {
+			t.Fatalf("cores=%d infeasible (peak %d)", cores, peak)
+		}
+	}
+}

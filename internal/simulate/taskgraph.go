@@ -1,0 +1,177 @@
+package simulate
+
+import (
+	"fmt"
+
+	"pulsarqr/internal/qr"
+)
+
+// Workload describes one factorization to simulate.
+type Workload struct {
+	M, N int
+	Opts qr.Options
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("m=%d n=%d %v", w.M, w.N, w.Opts)
+}
+
+// edge is a dependency with its delivery delay (computed at build time
+// from the placement of both endpoints).
+type edge struct {
+	to    int32
+	delay float64
+}
+
+// task is one kernel invocation in the DAG.
+type task struct {
+	dur     float64
+	worker  int32
+	deps    int32
+	readyAt float64
+	crit    bool // panel/merge task: on the reduction critical path
+	kind    Kernel
+	panel   int32 // panel step j, for trace generation
+	succs   []edge
+}
+
+// graph is the complete DAG of one workload on one machine.
+type graph struct {
+	m       Machine
+	tasks   []task
+	msgs    int64
+	bytes   int64
+	flopSum float64
+	// onExec, when set, observes every task execution (trace generation).
+	onExec func(t *task, worker int32, start, finish float64)
+}
+
+// buildGraph generates the task graph the 3D VSA executes for workload w:
+// the same plans, the same chains, the same placement. Tile rows map to
+// nodes in contiguous blocks and to worker threads cyclically by
+// (row+column), exactly like the runtime's mapping.
+func buildGraph(w Workload, m Machine) *graph {
+	opts := w.Opts
+	nb, ib := opts.NB, opts.IB
+	mt := (w.M + nb - 1) / nb
+	nt := (w.N + nb - 1) / nb
+	if mt < nt {
+		panic(fmt.Sprintf("simulate: m=%d < n=%d", w.M, w.N))
+	}
+	workers := m.Workers()
+	rowsPerNode := (mt + m.Nodes - 1) / m.Nodes
+	nodeOf := func(i int) int32 {
+		n := i / rowsPerNode
+		if n >= m.Nodes {
+			n = m.Nodes - 1
+		}
+		return int32(n)
+	}
+	workerOf := func(i, c int) int32 {
+		return nodeOf(i)*int32(workers) + int32((i+c)%workers)
+	}
+
+	g := &graph{m: m}
+	nbBytes := 8 * nb * nb
+	vtBytes := 8 * (nb*nb + ib*nb)
+
+	curPanel := 0
+	newTask := func(k Kernel, row, col int, cols int, crit bool) int32 {
+		id := int32(len(g.tasks))
+		fl := kernelFlops(k, nb, cols)
+		g.flopSum += fl
+		g.tasks = append(g.tasks, task{
+			dur:    m.taskTime(k, fl),
+			worker: workerOf(row, col),
+			kind:   k,
+			crit:   crit,
+			panel:  int32(curPanel),
+		})
+		return id
+	}
+	// dep connects src -> dst with a message of the given size and an
+	// extra fixed delay (pipelined by-pass hops).
+	dep := func(src, dst int32, bytes int, extra float64) {
+		if src < 0 {
+			return
+		}
+		s, d := &g.tasks[src], &g.tasks[dst]
+		same := s.worker/int32(workers) == d.worker/int32(workers)
+		delay := m.transfer(same, bytes) + extra
+		if !same {
+			g.msgs++
+			g.bytes += int64(bytes)
+		}
+		s.succs = append(s.succs, edge{to: dst, delay: delay})
+		d.deps++
+	}
+
+	// lastTouch[i*nt+l] is the task that released tile (i,l), -1 initially.
+	lastTouch := make([]int32, mt*nt)
+	for i := range lastTouch {
+		lastTouch[i] = -1
+	}
+	lt := func(i, l int) int32 { return lastTouch[i*nt+l] }
+	setLT := func(i, l int, t int32) { lastTouch[i*nt+l] = t }
+
+	for j := 0; j < nt; j++ {
+		curPanel = j
+		plan := qr.Plan(j, mt, opts)
+
+		// Panel chains and merges (the R stream).
+		panelTask := map[int]int32{}
+		streamEnd := map[int]int32{}
+		for _, d := range plan.Domains {
+			tg := newTask(Geqrt, d.Top, j, 0, true)
+			dep(lt(d.Top, j), tg, nbBytes, 0)
+			panelTask[d.Top] = tg
+			prev := tg
+			for _, k := range d.Rows {
+				ts := newTask(Tsqrt, k, j, 0, true)
+				dep(prev, ts, nbBytes, 0)
+				dep(lt(k, j), ts, nbBytes, 0)
+				panelTask[k] = ts
+				prev = ts
+			}
+			streamEnd[d.Top] = prev
+		}
+		mergeTask := make([]int32, len(plan.Merges))
+		for mi, mg := range plan.Merges {
+			t := newTask(Ttqrt, mg.Surv, j, 0, true)
+			dep(streamEnd[mg.Surv], t, nbBytes, 0)
+			dep(streamEnd[mg.K], t, nbBytes, 0)
+			streamEnd[mg.Surv] = t
+			mergeTask[mi] = t
+		}
+
+		// Update chains per trailing column.
+		for l := j + 1; l < nt; l++ {
+			hop := float64(l-j-1) * m.HopIntra // by-pass pipeline depth
+			updEnd := map[int]int32{}
+			for _, d := range plan.Domains {
+				u := newTask(Ormqr, d.Top, l, nb, false)
+				dep(panelTask[d.Top], u, vtBytes, hop)
+				dep(lt(d.Top, l), u, nbBytes, 0)
+				prev := u
+				for _, k := range d.Rows {
+					ut := newTask(Tsmqr, k, l, nb, false)
+					dep(panelTask[k], ut, vtBytes, hop)
+					dep(prev, ut, nbBytes, 0)
+					dep(lt(k, l), ut, nbBytes, 0)
+					setLT(k, l, ut)
+					prev = ut
+				}
+				updEnd[d.Top] = prev
+			}
+			for mi, mg := range plan.Merges {
+				mu := newTask(Ttmqr, mg.Surv, l, nb, false)
+				dep(mergeTask[mi], mu, vtBytes, hop)
+				dep(updEnd[mg.Surv], mu, nbBytes, 0)
+				dep(updEnd[mg.K], mu, nbBytes, 0)
+				updEnd[mg.Surv] = mu
+				setLT(mg.K, l, mu)
+			}
+		}
+	}
+	return g
+}

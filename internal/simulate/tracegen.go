@@ -1,0 +1,53 @@
+package simulate
+
+import (
+	"time"
+
+	"pulsarqr/internal/trace"
+)
+
+// classOf maps simulator kernels to the trace classes of the runtime, so
+// simulated timelines render with the same palette as real ones (paper
+// Fig. 7: red panel, orange update, blue binary).
+func classOf(k Kernel) string {
+	switch k {
+	case Geqrt, Tsqrt:
+		return "panel"
+	case Ttqrt:
+		return "binary"
+	case Ttmqr:
+		return "binary-update"
+	default:
+		return "update"
+	}
+}
+
+// RunTraced simulates like Run and additionally returns the execution
+// trace of the first maxWorkers workers (node 0 first), converted to
+// trace events — enough to render paper-Fig.-7-style timelines for
+// machine sizes no real host could run. maxWorkers <= 0 records nothing.
+func RunTraced(w Workload, m Machine, p Profile, maxWorkers int) (Result, []trace.Event) {
+	if p == GenericProfile {
+		m.TaskOverhead *= 30
+		m.HopIntra *= 5
+		m.AlphaInter *= 3
+	}
+	g := buildGraph(w, m)
+	var events []trace.Event
+	perNode := m.Workers()
+	g.onExec = func(t *task, worker int32, start, finish float64) {
+		if int(worker) >= maxWorkers {
+			return
+		}
+		events = append(events, trace.Event{
+			Class:  classOf(t.kind),
+			Panel:  int(t.panel),
+			Node:   int(worker) / perNode,
+			Thread: int(worker) % perNode,
+			Start:  time.Duration(start * float64(time.Second)),
+			End:    time.Duration(finish * float64(time.Second)),
+		})
+	}
+	res := g.execute(p == SystolicProfile, w)
+	return res, events
+}

@@ -1,0 +1,71 @@
+package simulate
+
+import (
+	"testing"
+
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
+)
+
+func TestRunTracedEventsConsistent(t *testing.T) {
+	m := Kraken(2)
+	w := wl(192*24, 192*4, qr.HierarchicalTree, 192, 48, 4)
+	res, events := RunTraced(w, m, SystolicProfile, 6)
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	classes := map[string]bool{}
+	for _, e := range events {
+		if e.End <= e.Start {
+			t.Fatalf("empty interval: %+v", e)
+		}
+		if e.Node < 0 || e.Thread < 0 || e.Thread >= m.Workers() {
+			t.Fatalf("bad lane: %+v", e)
+		}
+		if e.Panel < 0 || e.Panel >= 4 {
+			t.Fatalf("bad panel: %+v", e)
+		}
+		classes[e.Class] = true
+	}
+	for _, c := range []string{"panel", "update", "binary", "binary-update"} {
+		if !classes[c] {
+			t.Fatalf("missing class %q in %v", c, classes)
+		}
+	}
+	// The recorded timeline fits inside the simulated makespan.
+	tl := trace.Build(events)
+	if tl.Makespan.Seconds() > res.Seconds*1.0000001 {
+		t.Fatalf("trace makespan %v exceeds simulated %vs", tl.Makespan, res.Seconds)
+	}
+	// Same result as an untraced run.
+	plain := Run(w, m, SystolicProfile)
+	if plain.Seconds != res.Seconds {
+		t.Fatalf("tracing changed the simulation: %v vs %v", plain.Seconds, res.Seconds)
+	}
+}
+
+func TestRunTracedZeroWorkers(t *testing.T) {
+	m := Kraken(1)
+	w := wl(192*8, 192*2, qr.FlatTree, 192, 48, 1)
+	_, events := RunTraced(w, m, SystolicProfile, 0)
+	if len(events) != 0 {
+		t.Fatalf("recorded %d events with maxWorkers=0", len(events))
+	}
+}
+
+func TestSimulatedShiftOverlapsLikeFig7(t *testing.T) {
+	// The simulated traces must show the same qualitative Fig. 7 result as
+	// the real runs: shifted boundaries overlap panels more than fixed.
+	m := Kraken(4)
+	base := qr.Options{NB: 192, IB: 48, Tree: qr.HierarchicalTree, H: 6}
+	overlap := func(bp qr.BoundaryPolicy) float64 {
+		o := base
+		o.Boundary = bp
+		_, ev := RunTraced(Workload{M: 192 * 96, N: 192 * 6, Opts: o}, m, SystolicProfile, m.Workers()*4)
+		return trace.Build(ev).PanelOverlap(nil)
+	}
+	sh, fx := overlap(qr.ShiftedBoundary), overlap(qr.FixedBoundary)
+	if sh <= fx {
+		t.Fatalf("shifted overlap %.2f should exceed fixed %.2f", sh, fx)
+	}
+}

@@ -1,0 +1,329 @@
+// Package trace records VDP firings and renders execution traces in the
+// style of the paper's Fig. 7: per-thread timelines where red is flat-tree
+// panel work, orange is the corresponding trailing updates, and blue is
+// binary-tree work. It also computes the overlap statistics that quantify
+// why shifted domain boundaries pipeline better than fixed ones.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pulsarqr/internal/pulsar"
+)
+
+// Event is one recorded firing.
+type Event struct {
+	Class        string
+	Panel        int // panel index j, extracted from the VDP tuple
+	Node, Thread int
+	Start, End   time.Duration // relative to the first recorded start
+}
+
+// Recorder collects fire events from the runtime. It is safe for
+// concurrent use by multiple workers.
+type Recorder struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook adapts the recorder to the runtime's FireHook.
+func (r *Recorder) Hook() func(pulsar.FireEvent) {
+	return func(e pulsar.FireEvent) {
+		r.mu.Lock()
+		if r.t0.IsZero() || e.Start.Before(r.t0) {
+			r.t0 = e.Start
+		}
+		panel := -1
+		if e.Tuple.Len() > 1 {
+			panel = e.Tuple.At(1)
+		}
+		r.events = append(r.events, Event{
+			Class: e.Class, Panel: panel,
+			Node: e.Node, Thread: e.Thread,
+			Start: e.Start.Sub(r.t0), End: e.End.Sub(r.t0),
+		})
+		r.mu.Unlock()
+	}
+}
+
+// Events returns the recorded events, normalized so the earliest start is
+// zero and sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	// Recorder t0 may have moved backwards after early events were
+	// captured; renormalize.
+	var minStart time.Duration
+	for _, e := range out {
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+	}
+	for i := range out {
+		out[i].Start -= minStart
+		out[i].End -= minStart
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Timeline is an analyzed trace.
+type Timeline struct {
+	Events   []Event
+	Makespan time.Duration
+	// BusyByClass is total busy time per class.
+	BusyByClass map[string]time.Duration
+	// Lanes maps (node, thread) pairs to lane indices, sorted.
+	Lanes map[[2]int]int
+}
+
+// Build analyzes a set of events.
+func Build(events []Event) *Timeline {
+	t := &Timeline{Events: events, BusyByClass: map[string]time.Duration{}, Lanes: map[[2]int]int{}}
+	var keys [][2]int
+	seen := map[[2]int]bool{}
+	for _, e := range events {
+		if e.End > t.Makespan {
+			t.Makespan = e.End
+		}
+		t.BusyByClass[e.Class] += e.End - e.Start
+		k := [2]int{e.Node, e.Thread}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for i, k := range keys {
+		t.Lanes[k] = i
+	}
+	return t
+}
+
+// PanelOverlap returns the fraction of the makespan during which work
+// belonging to at least two different panels is in flight simultaneously —
+// the pipelining the shifted domain boundary enables (paper Fig. 7b).
+// Classes may restrict the measurement (nil means all classes).
+func (t *Timeline) PanelOverlap(classes map[string]bool) float64 {
+	if t.Makespan == 0 {
+		return 0
+	}
+	type edge struct {
+		at    time.Duration
+		panel int
+		delta int
+	}
+	var edges []edge
+	for _, e := range t.Events {
+		if classes != nil && !classes[e.Class] {
+			continue
+		}
+		if e.Panel < 0 {
+			continue
+		}
+		edges = append(edges, edge{e.Start, e.Panel, +1}, edge{e.End, e.Panel, -1})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].at != edges[b].at {
+			return edges[a].at < edges[b].at
+		}
+		return edges[a].delta < edges[b].delta // process ends first
+	})
+	active := map[int]int{}
+	distinct := 0
+	var overlapped time.Duration
+	var last time.Duration
+	for _, ed := range edges {
+		if distinct >= 2 {
+			overlapped += ed.at - last
+		}
+		last = ed.at
+		active[ed.panel] += ed.delta
+		if active[ed.panel] == 0 {
+			delete(active, ed.panel)
+		}
+		distinct = len(active)
+	}
+	return float64(overlapped) / float64(t.Makespan)
+}
+
+// Utilization returns total busy time divided by lanes × makespan.
+func (t *Timeline) Utilization() float64 {
+	if t.Makespan == 0 || len(t.Lanes) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, d := range t.BusyByClass {
+		busy += d
+	}
+	return float64(busy) / (float64(t.Makespan) * float64(len(t.Lanes)))
+}
+
+// classGlyph maps trace classes to single characters for ASCII rendering.
+func classGlyph(class string) byte {
+	switch class {
+	case "panel":
+		return 'P'
+	case "update":
+		return 'u'
+	case "binary":
+		return 'B'
+	case "binary-update":
+		return 'b'
+	default:
+		if class == "" {
+			return '#'
+		}
+		return class[0]
+	}
+}
+
+// ASCII renders the timeline as one row per (node, thread) lane and width
+// columns; each cell shows the class that occupied most of that time
+// bucket, or '.' when idle.
+func (t *Timeline) ASCII(width int) string {
+	if width < 1 || t.Makespan == 0 || len(t.Lanes) == 0 {
+		return ""
+	}
+	rows := make([][]time.Duration, len(t.Lanes))    // per lane per bucket busy
+	classAt := make([][]map[string]time.Duration, 0) // dominant class
+	for i := range rows {
+		rows[i] = make([]time.Duration, width)
+		m := make([]map[string]time.Duration, width)
+		for j := range m {
+			m[j] = map[string]time.Duration{}
+		}
+		classAt = append(classAt, m)
+	}
+	bucket := t.Makespan / time.Duration(width)
+	if bucket == 0 {
+		bucket = 1
+	}
+	for _, e := range t.Events {
+		lane := t.Lanes[[2]int{e.Node, e.Thread}]
+		for b := int(e.Start / bucket); b < width && time.Duration(b)*bucket < e.End; b++ {
+			lo := time.Duration(b) * bucket
+			hi := lo + bucket
+			s, en := e.Start, e.End
+			if s < lo {
+				s = lo
+			}
+			if en > hi {
+				en = hi
+			}
+			if en > s {
+				rows[lane][b] += en - s
+				classAt[lane][b][e.Class] += en - s
+			}
+		}
+	}
+	var sb strings.Builder
+	laneKeys := make([][2]int, len(t.Lanes))
+	for k, i := range t.Lanes {
+		laneKeys[i] = k
+	}
+	for i, row := range rows {
+		fmt.Fprintf(&sb, "n%02dt%02d |", laneKeys[i][0], laneKeys[i][1])
+		for b, busy := range row {
+			if busy < bucket/4 {
+				sb.WriteByte('.')
+				continue
+			}
+			var best string
+			var bestD time.Duration
+			for c, d := range classAt[i][b] {
+				if d > bestD {
+					best, bestD = c, d
+				}
+			}
+			sb.WriteByte(classGlyph(best))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// classColor maps classes to the paper's Fig. 7 palette.
+func classColor(class string) string {
+	switch class {
+	case "panel":
+		return "#d62728" // red
+	case "update":
+		return "#ff9a3c" // orange
+	case "binary", "binary-update":
+		return "#1f77b4" // blue
+	default:
+		return "#777777"
+	}
+}
+
+// ChromeTrace renders the timeline in the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto): one process per node, one thread lane per
+// worker, complete events with microsecond timestamps, colored by class
+// through the event name.
+func (t *Timeline) ChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, e := range t.Events {
+		sep := ","
+		if i == len(t.Events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(bw,
+			`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"panel":%d}}%s`+"\n",
+			e.Class, e.Class,
+			float64(e.Start)/float64(time.Microsecond),
+			float64(e.End-e.Start)/float64(time.Microsecond),
+			e.Node, e.Thread, e.Panel, sep)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SVG renders the timeline as an SVG document, one lane per thread.
+func (t *Timeline) SVG(width, laneHeight int) string {
+	if t.Makespan == 0 || len(t.Lanes) == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	h := laneHeight * len(t.Lanes)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="#ffffff"/>`, width, h)
+	scale := float64(width) / float64(t.Makespan)
+	for _, e := range t.Events {
+		lane := t.Lanes[[2]int{e.Node, e.Thread}]
+		x := float64(e.Start) * scale
+		w := float64(e.End-e.Start) * scale
+		if w < 0.2 {
+			w = 0.2
+		}
+		fmt.Fprintf(&sb, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`,
+			x, lane*laneHeight+1, w, laneHeight-2, classColor(e.Class))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}

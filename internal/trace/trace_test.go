@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/tuple"
+)
+
+func ev(class string, panel, node, thread int, start, end time.Duration) Event {
+	return Event{Class: class, Panel: panel, Node: node, Thread: thread, Start: start, End: end}
+}
+
+func TestBuildBasics(t *testing.T) {
+	events := []Event{
+		ev("panel", 0, 0, 0, 0, 10*time.Millisecond),
+		ev("update", 0, 0, 1, 5*time.Millisecond, 25*time.Millisecond),
+		ev("binary", 0, 1, 0, 20*time.Millisecond, 30*time.Millisecond),
+	}
+	tl := Build(events)
+	if tl.Makespan != 30*time.Millisecond {
+		t.Fatalf("makespan %v", tl.Makespan)
+	}
+	if len(tl.Lanes) != 3 {
+		t.Fatalf("lanes %v", tl.Lanes)
+	}
+	if tl.BusyByClass["update"] != 20*time.Millisecond {
+		t.Fatalf("busy %v", tl.BusyByClass)
+	}
+	u := tl.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestPanelOverlapDisjoint(t *testing.T) {
+	// Panels strictly in sequence: zero overlap.
+	tl := Build([]Event{
+		ev("panel", 0, 0, 0, 0, 10*time.Millisecond),
+		ev("panel", 1, 0, 0, 10*time.Millisecond, 20*time.Millisecond),
+	})
+	if o := tl.PanelOverlap(nil); o != 0 {
+		t.Fatalf("disjoint overlap %v", o)
+	}
+}
+
+func TestPanelOverlapFull(t *testing.T) {
+	// Two panels active over the same 10ms of a 20ms makespan: 50%.
+	tl := Build([]Event{
+		ev("panel", 0, 0, 0, 0, 10*time.Millisecond),
+		ev("panel", 1, 0, 1, 0, 10*time.Millisecond),
+		ev("update", 1, 0, 1, 10*time.Millisecond, 20*time.Millisecond),
+	})
+	if o := tl.PanelOverlap(nil); o < 0.49 || o > 0.51 {
+		t.Fatalf("overlap %v, want ~0.5", o)
+	}
+}
+
+func TestPanelOverlapSamePanelDoesNotCount(t *testing.T) {
+	tl := Build([]Event{
+		ev("panel", 2, 0, 0, 0, 10*time.Millisecond),
+		ev("update", 2, 0, 1, 0, 10*time.Millisecond),
+	})
+	if o := tl.PanelOverlap(nil); o != 0 {
+		t.Fatalf("same-panel concurrency must not count: %v", o)
+	}
+}
+
+func TestPanelOverlapClassFilter(t *testing.T) {
+	tl := Build([]Event{
+		ev("panel", 0, 0, 0, 0, 10*time.Millisecond),
+		ev("binary", 1, 0, 1, 0, 10*time.Millisecond),
+	})
+	if o := tl.PanelOverlap(map[string]bool{"panel": true}); o != 0 {
+		t.Fatalf("filtered overlap %v", o)
+	}
+	if o := tl.PanelOverlap(nil); o <= 0.9 {
+		t.Fatalf("unfiltered overlap %v", o)
+	}
+}
+
+func TestRecorderHook(t *testing.T) {
+	r := NewRecorder()
+	h := r.Hook()
+	base := time.Now()
+	h(pulsar.FireEvent{Tuple: tuple.New(0, 3, 1), Class: "panel", Node: 0, Thread: 1,
+		Start: base, End: base.Add(time.Millisecond)})
+	h(pulsar.FireEvent{Tuple: tuple.New(1, 4, 2, 3), Class: "update", Node: 1, Thread: 0,
+		Start: base.Add(time.Millisecond), End: base.Add(3 * time.Millisecond)})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Panel != 3 || evs[1].Panel != 4 {
+		t.Fatalf("panel extraction wrong: %+v", evs)
+	}
+	if evs[0].Start != 0 {
+		t.Fatalf("events not normalized: %+v", evs[0])
+	}
+	if evs[1].End-evs[1].Start != 2*time.Millisecond {
+		t.Fatalf("duration wrong: %+v", evs[1])
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	tl := Build([]Event{
+		ev("panel", 0, 0, 0, 0, 50*time.Millisecond),
+		ev("update", 0, 0, 1, 50*time.Millisecond, 100*time.Millisecond),
+	})
+	out := tl.ASCII(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ascii:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "PPPPP") || !strings.Contains(lines[0], ".....") {
+		t.Fatalf("lane 0 wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "uuuuu") {
+		t.Fatalf("lane 1 wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "n00t00") || !strings.HasPrefix(lines[1], "n00t01") {
+		t.Fatalf("lane labels wrong:\n%s", out)
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	tl := Build([]Event{
+		ev("panel", 0, 0, 0, 0, time.Millisecond),
+		ev("binary", 0, 0, 1, 0, time.Millisecond),
+	})
+	svg := tl.SVG(400, 12)
+	for _, want := range []string{"<svg", "#d62728", "#1f77b4", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q:\n%s", want, svg)
+		}
+	}
+	if got := strings.Count(svg, "<rect"); got != 3 { // background + 2 events
+		t.Fatalf("svg has %d rects", got)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tl := Build([]Event{
+		ev("panel", 2, 0, 0, 0, time.Millisecond),
+		ev("update", 2, 1, 3, time.Millisecond, 3*time.Millisecond),
+	})
+	var sb strings.Builder
+	if err := tl.ChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[1]
+	if e["name"] != "update" || e["ph"] != "X" {
+		t.Fatalf("event: %v", e)
+	}
+	if e["ts"].(float64) != 1000 || e["dur"].(float64) != 2000 {
+		t.Fatalf("timing: ts=%v dur=%v", e["ts"], e["dur"])
+	}
+	if e["pid"].(float64) != 1 || e["tid"].(float64) != 3 {
+		t.Fatalf("lane: %v", e)
+	}
+	if e["args"].(map[string]any)["panel"].(float64) != 2 {
+		t.Fatalf("args: %v", e["args"])
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := Build(nil)
+	if tl.Makespan != 0 || tl.Utilization() != 0 || tl.PanelOverlap(nil) != 0 {
+		t.Fatal("empty timeline must be all zeros")
+	}
+	if tl.ASCII(10) != "" {
+		t.Fatal("empty ascii must be empty")
+	}
+	if !strings.Contains(tl.SVG(10, 10), "<svg") {
+		t.Fatal("empty svg must still be valid")
+	}
+}

@@ -1,0 +1,110 @@
+// Package tuple provides the integer tuples that identify Virtual Data
+// Processors (VDPs) inside a Virtual Systolic Array.
+//
+// A tuple is an ordered string of integers, as in the PULSAR runtime: every
+// VDP is uniquely identified by its tuple, and channels address their peer
+// endpoints by tuple. Tuples are small value types; they are compared
+// lexicographically and can be used as map keys through Key.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered string of integers identifying a VDP.
+// The zero value is the empty tuple.
+type Tuple []int
+
+// New returns a tuple of the given integers.
+func New(parts ...int) Tuple {
+	t := make(Tuple, len(parts))
+	copy(t, parts)
+	return t
+}
+
+// New2 returns the pair tuple (i, j), mirroring prt_tuple_new2 in PULSAR.
+func New2(i, j int) Tuple { return Tuple{i, j} }
+
+// New3 returns the triple tuple (i, j, k), mirroring prt_tuple_new3.
+func New3(i, j, k int) Tuple { return Tuple{i, j, k} }
+
+// New4 returns the quadruple tuple (i, j, k, l).
+func New4(i, j, k, l int) Tuple { return Tuple{i, j, k, l} }
+
+// Len returns the number of components.
+func (t Tuple) Len() int { return len(t) }
+
+// At returns the i-th component. It panics when i is out of range.
+func (t Tuple) At(i int) int { return t[i] }
+
+// Clone returns a copy that does not alias t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether two tuples have identical length and components.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically, shorter tuples first on ties.
+// It returns -1, 0 or +1.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case t[i] < u[i]:
+			return -1
+		case t[i] > u[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a canonical string encoding usable as a map key.
+// Distinct tuples always produce distinct keys.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// String renders the tuple as "(a, b, c)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConstructors(t *testing.T) {
+	if got := New(1, 2, 3); !got.Equal(Tuple{1, 2, 3}) {
+		t.Fatalf("New = %v", got)
+	}
+	if got := New2(4, 5); !got.Equal(Tuple{4, 5}) {
+		t.Fatalf("New2 = %v", got)
+	}
+	if got := New3(4, 5, 6); !got.Equal(Tuple{4, 5, 6}) {
+		t.Fatalf("New3 = %v", got)
+	}
+	if got := New4(4, 5, 6, 7); !got.Equal(Tuple{4, 5, 6, 7}) {
+		t.Fatalf("New4 = %v", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	src := []int{1, 2}
+	tp := New(src...)
+	src[0] = 99
+	if tp[0] != 1 {
+		t.Fatal("New must copy its arguments")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New2(3, 4)
+	b := a.Clone()
+	b[0] = -1
+	if a[0] != 3 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want bool
+	}{
+		{New2(1, 2), New2(1, 2), true},
+		{New2(1, 2), New2(2, 1), false},
+		{New2(1, 2), New3(1, 2, 0), false},
+		{Tuple{}, Tuple{}, true},
+		{nil, Tuple{}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{New2(1, 2), New2(1, 3), -1},
+		{New2(1, 3), New2(1, 2), 1},
+		{New2(1, 2), New2(1, 2), 0},
+		{New(1), New2(1, 0), -1},
+		{New2(1, 0), New(1), 1},
+		{New2(0, 9), New2(1, 0), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	seen := map[string]Tuple{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(4) + 1
+		tp := make(Tuple, n)
+		for j := range tp {
+			tp[j] = rng.Intn(20) - 10
+		}
+		k := tp.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(tp) {
+			t.Fatalf("key collision: %v and %v both map to %q", prev, tp, k)
+		}
+		seen[k] = tp
+	}
+}
+
+func TestKeyAmbiguityRegression(t *testing.T) {
+	// Adjacent components must not merge: (1,23) vs (12,3).
+	if New2(1, 23).Key() == New2(12, 3).Key() {
+		t.Fatal("keys of (1,23) and (12,3) collide")
+	}
+	// Negative numbers must stay separated.
+	if New2(-1, 2).Key() == New2(1, -2).Key() {
+		t.Fatal("keys of (-1,2) and (1,-2) collide")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New3(1, -2, 3).String(); got != "(1, -2, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Tuple{}).String(); got != "()" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Antisymmetry and consistency with Equal, property-based.
+	f := func(a, b []int8) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = int(v)
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = int(v)
+		}
+		c1, c2 := ta.Compare(tb), tb.Compare(ta)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	// Key equality must coincide with tuple equality.
+	f := func(a, b []int16) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = int(v)
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = int(v)
+		}
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package pulsarqr
+
+import (
+	"math"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+)
+
+func TestFactorEnginesAgree(t *testing.T) {
+	a := RandomMatrix(90, 30, 1)
+	opts := DefaultOptions()
+	opts.NB, opts.IB, opts.H = 16, 4, 3
+	var rs []*Matrix
+	for _, e := range []Engine{Sequential, Systolic, TaskSuperscalar} {
+		opts.Engine = e
+		f, err := Factor(a, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if res := f.Residual(a); res > 1e-13 {
+			t.Fatalf("%v: residual %v", e, res)
+		}
+		rs = append(rs, f.R())
+	}
+	for k := 1; k < len(rs); k++ {
+		if d := matrix.MaxAbsDiff(rs[0], rs[k]); d != 0 {
+			t.Fatalf("engine %d produced different R (diff %v)", k, d)
+		}
+	}
+}
+
+func TestDominoEngineMatchesFlat(t *testing.T) {
+	a := RandomMatrix(90, 30, 1)
+	opts := DefaultOptions()
+	opts.NB, opts.IB, opts.Tree = 16, 4, Flat
+	var rs []*Matrix
+	for _, e := range []Engine{Sequential, Domino} {
+		opts.Engine = e
+		f, err := Factor(a, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if res := f.Residual(a); res > 1e-13 {
+			t.Fatalf("%v: residual %v", e, res)
+		}
+		rs = append(rs, f.R())
+	}
+	for k := 1; k < len(rs); k++ {
+		if d := matrix.MaxAbsDiff(rs[0], rs[k]); d != 0 {
+			t.Fatalf("engine %d produced different R (diff %v)", k, d)
+		}
+	}
+}
+
+func TestFactorDoesNotMutateInput(t *testing.T) {
+	a := RandomMatrix(40, 16, 2)
+	orig := a.Clone()
+	opts := DefaultOptions()
+	opts.NB, opts.IB = 8, 4
+	if _, err := Factor(a, opts); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(a, orig) != 0 {
+		t.Fatal("Factor mutated its input")
+	}
+}
+
+func TestLeastSquaresAPI(t *testing.T) {
+	a := RandomMatrix(120, 20, 3)
+	xTrue := RandomMatrix(20, 2, 4)
+	b := a.Mul(xTrue)
+	opts := DefaultOptions()
+	opts.NB, opts.IB, opts.Nodes, opts.Threads = 16, 8, 2, 2
+	x, err := LeastSquares(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, xTrue); d > 1e-10 {
+		t.Fatalf("least squares off by %v", d)
+	}
+}
+
+func TestAllTreesThroughPublicAPI(t *testing.T) {
+	a := RandomMatrix(64, 24, 5)
+	for _, tree := range []Tree{Hierarchical, Flat, Binary} {
+		opts := DefaultOptions()
+		opts.NB, opts.IB, opts.Tree = 8, 4, tree
+		f, err := Factor(a, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", tree, err)
+		}
+		if res := f.Residual(a); res > 1e-13 {
+			t.Fatalf("%v: residual %v", tree, res)
+		}
+		// R has positive-magnitude diagonal entries (nonsingular input).
+		r := f.R()
+		for i := 0; i < r.Rows; i++ {
+			if math.Abs(r.At(i, i)) < 1e-12 {
+				t.Fatalf("%v: tiny diagonal at %d", tree, i)
+			}
+		}
+	}
+}
+
+func TestFactorWithRHSRequiresB(t *testing.T) {
+	if _, err := FactorWithRHS(RandomMatrix(8, 4, 6), nil, DefaultOptions()); err == nil {
+		t.Fatal("nil rhs must error")
+	}
+}
+
+func TestWideMatrixRejected(t *testing.T) {
+	if _, err := Factor(RandomMatrix(4, 8, 7), DefaultOptions()); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	// Zero-valued options must still work.
+	a := RandomMatrix(70, 10, 8)
+	f, err := Factor(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Residual(a); res > 1e-13 {
+		t.Fatalf("residual %v", res)
+	}
+}
+
+func TestCholeskyPublicAPI(t *testing.T) {
+	n := 48
+	b := RandomMatrix(n, n, 9)
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	opts := DefaultOptions()
+	opts.NB, opts.Nodes, opts.Threads = 16, 2, 2
+	f, err := Cholesky(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Residual(a); res > 1e-13 {
+		t.Fatalf("residual %v", res)
+	}
+	opts.Engine = Sequential
+	fs, err := Cholesky(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(f.L(), fs.L()); d != 0 {
+		t.Fatalf("engines disagree by %v", d)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sim is the public façade over the performance simulator: a
+// discrete-event model that executes the exact task graph of the 3D
+// virtual systolic array on a calibrated machine model, predicting
+// large-scale behavior that cannot be measured on a laptop. It regenerates
+// the paper's evaluation figures (see cmd/qrbench and EXPERIMENTS.md).
+package sim
+
+import (
+	"pulsarqr"
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/simulate"
+)
+
+// Machine models the hardware: nodes, cores, per-kernel efficiencies and
+// an α–β network.
+type Machine = simulate.Machine
+
+// Workload describes one factorization to simulate.
+type Workload = simulate.Workload
+
+// Result reports one simulated run: makespan, Gflop/s, message counts,
+// utilization, critical path.
+type Result = simulate.Result
+
+// Profile selects the runtime being modeled.
+type Profile = simulate.Profile
+
+// Profiles: Systolic models the PULSAR runtime; Generic models a
+// centralized task-superscalar runtime (the PaRSEC-class comparison).
+const (
+	Systolic = simulate.SystolicProfile
+	Generic  = simulate.GenericProfile
+)
+
+// ScaLAPACKModel is the analytic model of the bulk-synchronous block QR
+// baseline.
+type ScaLAPACKModel = simulate.ScaLAPACKModel
+
+// Kraken models the paper's Cray XT5 testbed with the given node count
+// (12 cores per node).
+func Kraken(nodes int) Machine { return simulate.Kraken(nodes) }
+
+// LocalHost models a small shared-memory machine, for cross-checks.
+func LocalHost(nodes, coresPerNode int) Machine { return simulate.LocalHost(nodes, coresPerNode) }
+
+// DefaultScaLAPACK returns the calibrated baseline model.
+func DefaultScaLAPACK() ScaLAPACKModel { return simulate.DefaultScaLAPACK() }
+
+// Run simulates a factorization of an m×n matrix with the given options on
+// the machine under the chosen profile.
+func Run(m, n int, opts pulsarqr.Options, mach Machine, p Profile) Result {
+	w := Workload{M: m, N: n, Opts: qr.Options{
+		NB: opts.NB, IB: opts.IB, Tree: opts.Tree, H: opts.H,
+		Boundary: opts.Boundary, Inter: opts.Inter,
+	}}
+	return simulate.Run(w, mach, p)
+}
+
+// Autotune sweeps the paper's tuning space — the reduction tree, tile
+// sizes nb ∈ {192, 240} with ib = nb/4, and domain sizes h ∈ {6, 12} — on
+// the machine model and returns the best-performing configuration with its
+// predicted result. This automates the experimentation §I and §VI describe
+// ("such an optimal match could be found through experimentation").
+func Autotune(m, n int, mach Machine) (pulsarqr.Options, Result) {
+	var bestOpts pulsarqr.Options
+	var best Result
+	try := func(o pulsarqr.Options) {
+		r := Run(m, n, o, mach, Systolic)
+		if r.Gflops > best.Gflops {
+			best, bestOpts = r, o
+		}
+	}
+	for _, nb := range []int{192, 240} {
+		ib := nb / 4
+		try(pulsarqr.Options{NB: nb, IB: ib, Tree: pulsarqr.Flat})
+		try(pulsarqr.Options{NB: nb, IB: ib, Tree: pulsarqr.Binary})
+		for _, h := range []int{6, 12} {
+			try(pulsarqr.Options{NB: nb, IB: ib, Tree: pulsarqr.Hierarchical, H: h})
+		}
+	}
+	return bestOpts, best
+}

@@ -1,0 +1,71 @@
+// Package vsa is the public façade over the PULSAR-style runtime: Virtual
+// Systolic Arrays of Virtual Data Processors connected by channels, run on
+// simulated distributed-memory nodes with worker threads and a
+// communication proxy per node.
+//
+// The runtime is fully decoupled from the QR factorization that motivates
+// it (one of the paper's stated goals): any algorithm expressible as a
+// network of data processors can be built with it. See examples/systolic
+// for a non-QR application.
+//
+// Build an array with New, add processors with (*VSA).NewVDP, connect them
+// with Connect/Input/Output, seed it with Inject, then Run. A VDP fires
+// when every active input channel holds a packet; inside its function it
+// may Pop, compute, Push, and enable/disable its own input channels.
+package vsa
+
+import (
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/tuple"
+)
+
+// Tuple identifies a VDP: an ordered string of integers.
+type Tuple = tuple.Tuple
+
+// NewTuple builds a tuple from its components.
+func NewTuple(parts ...int) Tuple { return tuple.New(parts...) }
+
+// VSA is a virtual systolic array plus its runtime state.
+type VSA = pulsar.VSA
+
+// VDP is a virtual data processor.
+type VDP = pulsar.VDP
+
+// Packet is the unit of data flowing through channels.
+type Packet = pulsar.Packet
+
+// Func is a VDP's executable code, invoked once per firing.
+type Func = pulsar.Func
+
+// Config parameterizes a run: nodes, threads per node, scheduling scheme,
+// VDP placement, global parameters, trace hook.
+type Config = pulsar.Config
+
+// Mapping places VDPs onto (node, thread) pairs.
+type Mapping = pulsar.Mapping
+
+// FireEvent describes one VDP firing (for tracing).
+type FireEvent = pulsar.FireEvent
+
+// Scheduling selects the worker scheme.
+type Scheduling = pulsar.Scheduling
+
+// Worker scheduling schemes: Lazy fires a ready VDP once and moves on;
+// Aggressive drains it while ready.
+const (
+	Lazy       = pulsar.Lazy
+	Aggressive = pulsar.Aggressive
+)
+
+// Codec (un)marshals one payload type for inter-node transport.
+type Codec = pulsar.Codec
+
+// New creates an empty array with the given configuration.
+func New(cfg Config) *VSA { return pulsar.New(cfg) }
+
+// NewPacket wraps a payload in a packet.
+func NewPacket(data any) *Packet { return pulsar.NewPacket(data) }
+
+// RegisterCodec installs a payload codec for inter-node transport of
+// user-defined packet types. IDs below 16 are reserved.
+func RegisterCodec(c Codec) { pulsar.RegisterCodec(c) }
