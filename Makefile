@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+BIN ?= bin
+
+.PHONY: all build test race fuzz bench-smoke launch-smoke vet clean
+
+all: build
+
+# Build every package and place the command binaries side by side in
+# $(BIN) (qrfactor finds qrnode next to itself for -launch).
+build:
+	$(GO) build ./...
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; -short skips the slowest
+# subprocess integration tests (CI runs this).
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Brief fuzz of the transport wire decoder (must never panic).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/transport
+
+# Quick benchmark pass: the real-hardware tree comparison plus one
+# distributed run over local TCP processes.
+bench-smoke: build
+	$(GO) test -run '^$$' -bench BenchmarkRealTreeComparison -benchtime 1x .
+	$(BIN)/qrfactor -launch 2 -m 1024 -n 128 -nb 32 -ib 8 -check
+
+launch-smoke: build
+	$(BIN)/qrfactor -launch 3 -m 2048 -n 256 -nb 64 -ib 16 -check
+
+clean:
+	rm -rf $(BIN)

@@ -28,6 +28,7 @@ func main() {
 	log.SetPrefix("qrbench: ")
 	fig := flag.String("fig", "10", "which experiment: 10|11|baselines|ablation|real")
 	scale := flag.Float64("scale", 1, "shrink factor for quicker runs (divides m and cores)")
+	nodes := flag.Int("nodes", 1, "runtime nodes for -fig real (inter-node traffic is reported per run)")
 	flag.Parse()
 
 	switch *fig {
@@ -42,7 +43,7 @@ func main() {
 	case "weak":
 		weak(*scale)
 	case "real":
-		real()
+		real(*nodes)
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
@@ -170,11 +171,19 @@ func ablation(scale float64) {
 
 // real runs small factorizations on this host's cores, cross-checking that
 // the simulated tree ordering holds on real hardware for tall-skinny
-// shapes.
-func real() {
-	threads := runtime.GOMAXPROCS(0)
+// shapes. Each run reports the traffic the transport layer moved between
+// the runtime's nodes (zero when nodes == 1: everything is intra-node).
+func real(nodes int) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	threads := runtime.GOMAXPROCS(0) / nodes
+	if threads < 1 {
+		threads = 1
+	}
 	m, n, nb, ib := 6144, 512, 128, 32
-	fmt.Printf("Real runs on this host: m=%d n=%d nb=%d ib=%d threads=%d\n", m, n, nb, ib, threads)
+	fmt.Printf("Real runs on this host: m=%d n=%d nb=%d ib=%d nodes=%d threads=%d\n",
+		m, n, nb, ib, nodes, threads)
 	for _, tc := range []struct {
 		name string
 		tree pulsarqr.Tree
@@ -186,14 +195,15 @@ func real() {
 	} {
 		a := pulsarqr.RandomMatrix(m, n, 7)
 		opts := pulsarqr.Options{NB: nb, IB: ib, Tree: tc.tree, H: tc.h,
-			Nodes: 1, Threads: threads}
+			Nodes: nodes, Threads: threads}
 		start := time.Now()
 		f, err := pulsarqr.Factor(a, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		el := time.Since(start)
-		fmt.Printf("  %-13s %8.3fs  %7.3f Gflop/s  residual %.2e\n",
-			tc.name, el.Seconds(), kernels.FlopsQR(m, n)/1e9/el.Seconds(), f.Residual(a))
+		fmt.Printf("  %-13s %8.3fs  %7.3f Gflop/s  residual %.2e  %6d msgs %9d bytes\n",
+			tc.name, el.Seconds(), kernels.FlopsQR(m, n)/1e9/el.Seconds(), f.Residual(a),
+			f.Stats.Messages, f.Stats.Bytes)
 	}
 }

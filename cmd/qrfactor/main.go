@@ -5,13 +5,24 @@
 //
 //	qrfactor -m 4096 -n 512 -nb 64 -ib 16 -tree hierarchical -h 4 \
 //	         -engine systolic -nodes 2 -threads 4
+//
+// With -launch N the nodes become real OS processes: qrfactor reserves N
+// loopback ports, spawns one qrnode per rank, and relays their output.
+//
+//	qrfactor -launch 2 -m 4096 -n 512 -check
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"pulsarqr"
@@ -38,8 +49,23 @@ func main() {
 		rhs     = flag.Int("rhs", 0, "ride-along right-hand-side columns")
 		inFile  = flag.String("in", "", "read A from a MatrixMarket array file instead of random")
 		outFile = flag.String("out", "", "write the R factor to a MatrixMarket array file")
+		launch  = flag.Int("launch", 0, "spawn this many qrnode processes over local TCP instead of simulating nodes in-process")
+		nodeBin = flag.String("qrnode", "", "path to the qrnode binary (default: next to qrfactor, then $PATH)")
+		check   = flag.Bool("check", false, "with -launch: rank 0 verifies elementwise against the sequential reference")
 	)
 	flag.Parse()
+
+	if *launch > 0 {
+		os.Exit(launchNodes(*launch, *nodeBin, []string{
+			"-m", fmt.Sprint(*m), "-n", fmt.Sprint(*n),
+			"-nb", fmt.Sprint(*nb), "-ib", fmt.Sprint(*ib),
+			"-tree", *tree, "-h", fmt.Sprint(*h),
+			"-threads", fmt.Sprint(*threads),
+			"-lazy=" + fmt.Sprint(*lazy),
+			"-seed", fmt.Sprint(*seed), "-rhs", fmt.Sprint(*rhs),
+			"-check=" + fmt.Sprint(*check),
+		}))
+	}
 
 	opts := pulsarqr.Options{
 		NB: *nb, IB: *ib, H: *h,
@@ -134,4 +160,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "WARNING: residual above tolerance")
 		os.Exit(1)
 	}
+}
+
+// launchNodes runs an N-process factorization: it reserves N loopback
+// ports, starts one qrnode per rank with the shared peer list, relays each
+// child's output under a [rank] prefix, and returns the worst exit code.
+func launchNodes(n int, nodeBin string, args []string) int {
+	bin, err := findQrnode(nodeBin)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	// Reserve ports by binding and releasing; the children re-bind them
+	// immediately, so collisions with other processes are unlikely.
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Printf("reserve port: %v", err)
+			return 1
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	peers := strings.Join(addrs, ",")
+	log.Printf("launching %d qrnode processes (%s)", n, bin)
+
+	var wg sync.WaitGroup
+	cmds := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, append([]string{
+			"-rank", fmt.Sprint(i), "-peers", peers,
+		}, args...)...)
+		out, err := cmd.StdoutPipe()
+		if err == nil {
+			cmd.Stderr = cmd.Stdout // merged: one ordered stream per child
+		}
+		if err != nil {
+			log.Printf("rank %d: %v", i, err)
+			return 1
+		}
+		if err := cmd.Start(); err != nil {
+			log.Printf("start rank %d: %v", i, err)
+			return 1
+		}
+		cmds[i] = cmd
+		wg.Add(1)
+		go func(i int, out *bufio.Scanner) {
+			defer wg.Done()
+			for out.Scan() {
+				fmt.Printf("[rank %d] %s\n", i, out.Text())
+			}
+		}(i, bufio.NewScanner(out))
+	}
+
+	code := 0
+	wg.Wait()
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			log.Printf("rank %d: %v", i, err)
+			if ec := cmd.ProcessState.ExitCode(); ec > code {
+				code = ec
+			} else if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}
+
+// findQrnode locates the qrnode binary: explicit flag, then the directory
+// qrfactor itself runs from, then $PATH.
+func findQrnode(nodeBin string) (string, error) {
+	if nodeBin != "" {
+		return nodeBin, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "qrnode")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("qrnode"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("qrnode binary not found: build it (go build ./cmd/qrnode) next to qrfactor, put it on $PATH, or pass -qrnode")
 }

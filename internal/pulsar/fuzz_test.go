@@ -34,6 +34,6 @@ func FuzzUnmarshalPacket(f *testing.F) {
 	f.Add([]byte{3, 1})
 	f.Add([]byte{4, 10, 20})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		_, _ = unmarshalPacket(b) // must not panic
+		_, _ = UnmarshalPacket(b) // must not panic
 	})
 }

@@ -10,7 +10,8 @@
 // push them to output channels. Each firing decrements the VDP's counter;
 // at zero the VDP is destroyed. Intra-node channels hand packet pointers
 // across zero-copy; inter-node channels marshal payloads and move them
-// through the mpi substrate using one tag per channel within each node
+// through a pluggable transport (in-process by default, TCP between real
+// OS processes via Config.Comm) using one tag per channel within each node
 // pair, mirroring the six-call MPI usage of the original runtime.
 package pulsar
 
@@ -186,9 +187,11 @@ func DecodeMat(b []byte) (*matrix.Mat, error) {
 	return m, nil
 }
 
-// marshalPacket serializes a packet for inter-node transport: one codec ID
-// byte followed by the codec's payload bytes.
-func marshalPacket(p *Packet) ([]byte, error) {
+// MarshalPacket serializes a packet for inter-node transport: one codec ID
+// byte followed by the codec's payload bytes. Besides the runtime's own
+// inter-node channels, distributed drivers use it to ship collector output
+// between processes.
+func MarshalPacket(p *Packet) ([]byte, error) {
 	codecMu.RLock()
 	defer codecMu.RUnlock()
 	for _, c := range codecSeq {
@@ -199,8 +202,8 @@ func marshalPacket(p *Packet) ([]byte, error) {
 	return nil, fmt.Errorf("pulsar: no codec for payload type %T", p.Data)
 }
 
-// unmarshalPacket reverses marshalPacket.
-func unmarshalPacket(b []byte) (*Packet, error) {
+// UnmarshalPacket reverses MarshalPacket.
+func UnmarshalPacket(b []byte) (*Packet, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("pulsar: empty packet payload")
 	}

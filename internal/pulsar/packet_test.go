@@ -32,13 +32,13 @@ func TestDecodeMatErrors(t *testing.T) {
 }
 
 func TestUnmarshalPacketErrors(t *testing.T) {
-	if _, err := unmarshalPacket(nil); err == nil {
+	if _, err := UnmarshalPacket(nil); err == nil {
 		t.Fatal("empty payload must fail")
 	}
-	if _, err := unmarshalPacket([]byte{200, 1, 2}); err == nil {
+	if _, err := UnmarshalPacket([]byte{200, 1, 2}); err == nil {
 		t.Fatal("unknown codec id must fail")
 	}
-	if _, err := unmarshalPacket([]byte{2, 1, 2, 3}); err == nil {
+	if _, err := UnmarshalPacket([]byte{2, 1, 2, 3}); err == nil {
 		t.Fatal("misaligned float64 payload must fail")
 	}
 }

@@ -35,11 +35,11 @@ func TestPacketCodecs(t *testing.T) {
 		matrix.Identity(3),
 	}
 	for _, c := range cases {
-		b, err := marshalPacket(NewPacket(c))
+		b, err := MarshalPacket(NewPacket(c))
 		if err != nil {
 			t.Fatalf("marshal %T: %v", c, err)
 		}
-		p, err := unmarshalPacket(b)
+		p, err := UnmarshalPacket(b)
 		if err != nil {
 			t.Fatalf("unmarshal %T: %v", c, err)
 		}
@@ -71,7 +71,7 @@ func TestPacketCodecs(t *testing.T) {
 			}
 		}
 	}
-	if _, err := marshalPacket(NewPacket(struct{}{})); err == nil {
+	if _, err := MarshalPacket(NewPacket(struct{}{})); err == nil {
 		t.Fatal("marshaling an unregistered type must fail")
 	}
 }

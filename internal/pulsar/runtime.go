@@ -7,13 +7,20 @@ import (
 	"sync"
 	"time"
 
-	"pulsarqr/internal/mpi"
+	"pulsarqr/internal/transport"
 )
 
 // Run maps the array onto nodes and threads, launches the workers and
 // proxies, propagates data until every VDP has been destroyed, and returns.
-// A non-nil error reports a deadlock (no firing for DeadlockTimeout while
+// A non-nil error reports a deadlock (no progress for DeadlockTimeout while
 // VDPs remain alive), including a description of the stuck VDPs.
+//
+// When Config.Comm is nil every node runs in this process over the
+// in-process substrate. When Comm is set, only the VDPs mapped to node
+// Comm.Rank() execute here; inter-node packets travel over the endpoint,
+// and Run ends with a Barrier across all ranks so that every process's
+// proxy has shut down (its wildcard receive canceled) before any process
+// posts follow-up traffic such as a result gather.
 func (s *VSA) Run() error {
 	if s.running.Load() {
 		return fmt.Errorf("pulsar: VSA already running")
@@ -21,27 +28,52 @@ func (s *VSA) Run() error {
 	if len(s.order) == 0 {
 		return nil
 	}
+	dist := s.cfg.Comm != nil
+	local := -1
+	var msgs0, bytes0 int64
+	if dist {
+		if s.cfg.Comm.Size() != s.cfg.Nodes {
+			return fmt.Errorf("pulsar: Comm spans %d ranks but Nodes is %d", s.cfg.Comm.Size(), s.cfg.Nodes)
+		}
+		local = s.cfg.Comm.Rank()
+		msgs0, bytes0 = s.cfg.Comm.Stats() // endpoint is caller-owned: report deltas
+	}
 	s.place()
 
-	world := mpi.NewWorld(s.cfg.Nodes)
+	var lw *transport.Local
+	if !dist {
+		lw = transport.NewLocal(s.cfg.Nodes)
+	}
 	s.workers = make([][]*worker, s.cfg.Nodes)
 	s.proxies = make([]*proxy, s.cfg.Nodes)
 	for n := 0; n < s.cfg.Nodes; n++ {
+		if dist && n != local {
+			continue
+		}
 		s.workers[n] = make([]*worker, s.cfg.ThreadsPerNode)
 		for t := 0; t < s.cfg.ThreadsPerNode; t++ {
 			w := &worker{vsa: s, node: n, id: t}
 			w.cond = sync.NewCond(&w.mu)
 			s.workers[n][t] = w
 		}
-		s.proxies[n] = newProxy(s, n, world.Comm(n))
+		ep := s.cfg.Comm
+		if !dist {
+			ep = lw.Endpoint(n)
+		}
+		s.proxies[n] = newProxy(s, n, ep)
 	}
 	s.resolveChannels()
+	alive := 0
 	for _, v := range s.order {
+		if dist && v.node != local {
+			continue
+		}
 		w := s.workers[v.node][v.thread]
 		w.vdps = append(w.vdps, v)
 		w.aliveLocal++
+		alive++
 	}
-	s.alive.Store(int64(len(s.order)))
+	s.alive.Store(int64(alive))
 	s.running.Store(true)
 	defer s.running.Store(false)
 
@@ -57,6 +89,9 @@ func (s *VSA) Run() error {
 	}
 	var pwg sync.WaitGroup
 	for _, p := range s.proxies {
+		if p == nil {
+			continue
+		}
 		pwg.Add(1)
 		go func(p *proxy) {
 			defer pwg.Done()
@@ -64,9 +99,11 @@ func (s *VSA) Run() error {
 		}(p)
 	}
 
-	// Deadlock watchdog: if the firing counter stalls while VDPs remain,
-	// stop the workers; the error is composed after they have all exited,
-	// so VDP state is read race-free.
+	// Deadlock watchdog: if progress stalls while VDPs remain, stop the
+	// workers; the error is composed after they have all exited, so VDP
+	// state is read race-free. Progress is firings plus delivered
+	// inter-node packets: a distributed rank may go long stretches without
+	// firing while remote ranks feed it.
 	var deadlocked bool
 	watchdogDone := make(chan struct{})
 	finished := make(chan struct{})
@@ -84,7 +121,7 @@ func (s *VSA) Run() error {
 			case <-finished:
 				return
 			case <-tick.C:
-				cur := s.fired.Load()
+				cur := s.fired.Load() + s.delivered.Load()
 				if cur == last && s.alive.Load() > 0 {
 					deadlocked = true
 					s.stopAll()
@@ -99,12 +136,28 @@ func (s *VSA) Run() error {
 	close(finished)
 	<-watchdogDone
 	for _, p := range s.proxies {
-		p.stopProxy()
+		if p != nil {
+			p.stopProxy()
+		}
 	}
 	pwg.Wait()
-	s.netMsgs, s.netBytes = world.Stats()
+	if dist {
+		m, b := s.cfg.Comm.Stats()
+		s.netMsgs, s.netBytes = m-msgs0, b-bytes0
+		s.cfg.Comm.OnArrival(nil) // the proxy is gone; stop waking it
+		if err := s.cfg.Comm.Barrier(); err != nil && !deadlocked {
+			return fmt.Errorf("pulsar: post-run barrier: %w", err)
+		}
+	} else {
+		s.netMsgs, s.netBytes = 0, 0
+		for _, p := range s.proxies {
+			m, b := p.comm.Stats()
+			s.netMsgs += m
+			s.netBytes += b
+		}
+	}
 	if deadlocked {
-		return s.deadlockError()
+		return s.deadlockError(dist, local)
 	}
 	return nil
 }
@@ -151,7 +204,9 @@ func (s *VSA) resolveChannels() {
 		next[p]++
 	}
 	for _, px := range s.proxies {
-		px.index(s.channels)
+		if px != nil {
+			px.index(s.channels)
+		}
 	}
 }
 
@@ -163,11 +218,13 @@ func (s *VSA) stopAll() {
 	}
 }
 
-// deadlockError describes the live VDPs and the state of their inputs.
-func (s *VSA) deadlockError() error {
+// deadlockError describes the live VDPs and the state of their inputs; in
+// distributed mode only this rank's VDPs are inspected (remote ones never
+// fire here, so their state is meaningless locally).
+func (s *VSA) deadlockError(dist bool, local int) error {
 	var stuck []string
 	for _, v := range s.order {
-		if v.dead {
+		if v.dead || (dist && v.node != local) {
 			continue
 		}
 		var ins []string
@@ -299,7 +356,7 @@ func (w *worker) fire(v *VDP) {
 type proxy struct {
 	vsa  *VSA
 	node int
-	comm *mpi.Comm
+	comm transport.Endpoint
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -315,7 +372,7 @@ type outMsg struct {
 	data     []byte
 }
 
-func newProxy(s *VSA, node int, comm *mpi.Comm) *proxy {
+func newProxy(s *VSA, node int, comm transport.Endpoint) *proxy {
 	p := &proxy{vsa: s, node: node, comm: comm, inChans: map[int64]*Channel{}}
 	p.cond = sync.NewCond(&p.mu)
 	comm.OnArrival(p.wake)
@@ -356,12 +413,12 @@ func (p *proxy) enqueue(dst, tag int, data []byte) {
 }
 
 func (p *proxy) run() {
-	recv := p.comm.Irecv(mpi.Any, mpi.Any)
+	recv := p.comm.Irecv(transport.Any, transport.Any)
 	for {
 		progress := false
 		for recv.Test() {
 			p.deliver(recv.Source(), recv.Tag(), recv.Data())
-			recv = p.comm.Irecv(mpi.Any, mpi.Any)
+			recv = p.comm.Irecv(transport.Any, transport.Any)
 			progress = true
 		}
 		p.mu.Lock()
@@ -399,10 +456,11 @@ func (p *proxy) deliver(src, tag int, data []byte) {
 	if !ok {
 		panic(fmt.Sprintf("pulsar: node %d received unroutable message src=%d tag=%d", p.node, src, tag))
 	}
-	pkt, err := unmarshalPacket(data)
+	pkt, err := UnmarshalPacket(data)
 	if err != nil {
 		panic(fmt.Sprintf("pulsar: node %d channel %s: %v", p.node, c, err))
 	}
 	c.push(pkt)
+	p.vsa.delivered.Add(1)
 	p.vsa.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
 }

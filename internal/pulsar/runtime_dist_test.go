@@ -1,0 +1,107 @@
+package pulsar
+
+import (
+	"sync"
+	"testing"
+
+	"pulsarqr/internal/transport"
+	"pulsarqr/internal/tuple"
+)
+
+// TestDistributedPipeline runs the chain with one VSA instance per rank,
+// each seeing only its own node's VDPs, wired together through explicit
+// transport endpoints — the execution model used when ranks are separate
+// OS processes. The in-process Local substrate stands in for TCP here, so
+// the test exercises exactly the distributed code path without sockets.
+func TestDistributedPipeline(t *testing.T) {
+	const (
+		nodes   = 3
+		nVDP    = 9
+		packets = 4
+	)
+	lw := transport.NewLocal(nodes)
+	arrays := make([]*VSA, nodes)
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for r := 0; r < nodes; r++ {
+		// Every rank builds the identical array; Comm selects its share.
+		cfg := Config{
+			Nodes: nodes, ThreadsPerNode: 2,
+			Map:  func(tp tuple.Tuple) (int, int) { return tp.At(0) % nodes, tp.At(0) % 2 },
+			Comm: lw.Endpoint(r),
+		}
+		s := buildChain(cfg, nVDP, packets)
+		arrays[r] = s
+		if r == 0 { // tuple 0 maps to node 0: inject on its owner only
+			for k := 0; k < packets; k++ {
+				s.Inject(tuple.New(0), 0, NewPacket([]int{k}))
+			}
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = arrays[r].Run()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	// The collector output lives on the rank owning the last VDP.
+	owner := (nVDP - 1) % nodes
+	for r, s := range arrays {
+		out := s.Collected(tuple.New(nVDP-1), 0)
+		if r == owner {
+			if len(out) != packets {
+				t.Fatalf("owner rank %d collected %d packets, want %d", r, len(out), packets)
+			}
+			for k, p := range out {
+				got := p.Data.([]int)
+				if got[0] != k || len(got) != nVDP+1 {
+					t.Fatalf("packet %d corrupted: %v", k, got)
+				}
+				for i := 0; i < nVDP; i++ {
+					if got[i+1] != i {
+						t.Fatalf("packet %d hop order wrong: %v", k, got)
+					}
+				}
+			}
+		} else if len(out) != 0 {
+			t.Fatalf("rank %d holds %d collected packets, want 0", r, len(out))
+		}
+	}
+
+	// Each rank fired only its own VDPs.
+	var fired int64
+	for _, s := range arrays {
+		if f := s.Fired(); f != packets*nVDP/nodes {
+			t.Fatalf("rank fired %d, want %d", f, packets*nVDP/nodes)
+		}
+		fired += s.Fired()
+	}
+	if fired != packets*nVDP {
+		t.Fatalf("total fired %d, want %d", fired, packets*nVDP)
+	}
+
+	// The chain crosses a rank boundary at every hop, so every rank but
+	// the last sent packets; stats must reflect that.
+	for r := 0; r < nodes; r++ {
+		msgs, bytes := arrays[r].NetworkStats()
+		if msgs == 0 || bytes == 0 {
+			t.Fatalf("rank %d reports no network traffic (%d msgs, %d bytes)", r, msgs, bytes)
+		}
+	}
+}
+
+// TestDistributedSizeMismatch verifies the guard against a communicator
+// that does not span Config.Nodes ranks.
+func TestDistributedSizeMismatch(t *testing.T) {
+	lw := transport.NewLocal(2)
+	s := buildChain(Config{Nodes: 3, Comm: lw.Endpoint(0)}, 3, 1)
+	if err := s.Run(); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}

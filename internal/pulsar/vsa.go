@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pulsarqr/internal/transport"
 	"pulsarqr/internal/tuple"
 )
 
@@ -65,6 +66,15 @@ type Config struct {
 	// DeadlockTimeout aborts the run when no VDP fires for this long while
 	// VDPs remain alive. Zero selects the 30s default; negative disables.
 	DeadlockTimeout time.Duration
+	// Comm, when non-nil, switches the run to distributed mode: this
+	// process executes only the VDPs mapped to node Comm.Rank() and
+	// exchanges inter-node packets over the endpoint (e.g. a TCP mesh of
+	// real OS processes built with transport.DialTCP). Every participating
+	// process must construct an identical array — same VDPs, channels and
+	// Map — so tags and placements agree. Nodes must equal Comm.Size().
+	// When nil, all nodes run in this process over the in-process
+	// substrate, preserving the original single-process behavior.
+	Comm transport.Endpoint
 }
 
 // VSA is a Virtual Systolic Array: the set of VDPs and channels built by
@@ -80,13 +90,14 @@ type VSA struct {
 	collectMu sync.Mutex
 	collected map[string][]*Packet
 
-	running  atomic.Bool
-	fired    atomic.Int64
-	alive    atomic.Int64
-	workers  [][]*worker // [node][thread]
-	proxies  []*proxy
-	netMsgs  int64
-	netBytes int64
+	running   atomic.Bool
+	fired     atomic.Int64
+	delivered atomic.Int64
+	alive     atomic.Int64
+	workers   [][]*worker // [node][thread]; only the local row in distributed mode
+	proxies   []*proxy    // per node; only the local entry in distributed mode
+	netMsgs   int64
+	netBytes  int64
 }
 
 // New creates an empty VSA with the given configuration.
@@ -222,11 +233,24 @@ func (s *VSA) Seed(dst tuple.Tuple, dstSlot int, p *Packet) {
 }
 
 // Collected returns the packets pushed to the external output channel at
-// (src, srcSlot), in push order.
+// (src, srcSlot), in push order. In distributed mode each process holds
+// only the output of its own VDPs; drivers gather the rest explicitly
+// (see AddCollected).
 func (s *VSA) Collected(src tuple.Tuple, srcSlot int) []*Packet {
 	s.collectMu.Lock()
 	defer s.collectMu.Unlock()
 	return s.collected[collectKey(src, srcSlot)]
+}
+
+// AddCollected appends a packet to the external output channel at
+// (src, srcSlot), as if the array had pushed it. Distributed drivers use
+// it on the root rank to merge collector output gathered from the other
+// processes, so assembly code written against Collected works unchanged.
+func (s *VSA) AddCollected(src tuple.Tuple, srcSlot int, p *Packet) {
+	s.collectMu.Lock()
+	key := collectKey(src, srcSlot)
+	s.collected[key] = append(s.collected[key], p)
+	s.collectMu.Unlock()
 }
 
 func collectKey(t tuple.Tuple, slot int) string {
@@ -277,7 +301,7 @@ func (s *VSA) route(c *Channel, p *Packet) {
 			s.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
 		}
 	default:
-		b, err := marshalPacket(p)
+		b, err := MarshalPacket(p)
 		if err != nil {
 			panic(fmt.Sprintf("pulsar: cannot ship packet on %s: %v", c, err))
 		}

@@ -1,0 +1,235 @@
+package qr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/transport"
+)
+
+// gatherTagBase keys the post-run result gather: collector endpoint i uses
+// tag gatherTagBase+i. The runtime's channel tags are small consecutive
+// integers, so this range can never collide with in-run traffic (and the
+// proxies are gone by gather time anyway — Run ends with a barrier).
+const gatherTagBase = 1 << 24
+
+func init() {
+	// Inter-process codec for collectMsg packets, used by the result
+	// gather: [kind u8][J i32][I i32][K i32][lenTile u32][tile][T].
+	pulsar.RegisterCodec(pulsar.Codec{
+		ID: 17,
+		Encode: func(v any) ([]byte, bool) {
+			m, ok := v.(*collectMsg)
+			if !ok {
+				return nil, false
+			}
+			bt := pulsar.EncodeMat(m.Tile)
+			bf := pulsar.EncodeMat(m.T)
+			out := make([]byte, 17+len(bt)+len(bf))
+			out[0] = byte(m.Kind)
+			binary.LittleEndian.PutUint32(out[1:], uint32(int32(m.J)))
+			binary.LittleEndian.PutUint32(out[5:], uint32(int32(m.I)))
+			binary.LittleEndian.PutUint32(out[9:], uint32(int32(m.K)))
+			binary.LittleEndian.PutUint32(out[13:], uint32(len(bt)))
+			copy(out[17:], bt)
+			copy(out[17+len(bt):], bf)
+			return out, true
+		},
+		Decode: func(b []byte) (any, error) {
+			if len(b) < 17 {
+				return nil, fmt.Errorf("qr: short collect packet")
+			}
+			lt := int(binary.LittleEndian.Uint32(b[13:]))
+			if lt < 0 || 17+lt > len(b) {
+				return nil, fmt.Errorf("qr: corrupt collect packet")
+			}
+			tile, err := pulsar.DecodeMat(b[17 : 17+lt])
+			if err != nil {
+				return nil, err
+			}
+			tf, err := pulsar.DecodeMat(b[17+lt:])
+			if err != nil {
+				return nil, err
+			}
+			return &collectMsg{
+				Kind: OpKind(b[0]),
+				J:    int(int32(binary.LittleEndian.Uint32(b[1:]))),
+				I:    int(int32(binary.LittleEndian.Uint32(b[5:]))),
+				K:    int(int32(binary.LittleEndian.Uint32(b[9:]))),
+				Tile: tile, T: tf,
+			}, nil
+		},
+	})
+}
+
+// FactorizeVSADist runs the 3D virtual systolic array across the real
+// process mesh behind ep: every rank must call it with identical inputs
+// (a, b, opts, rc), each builds the same array, and each executes only the
+// VDPs its rank owns. Collector output is gathered to rank 0, which
+// assembles and returns the factorization; the other ranks return
+// (nil, nil). The call is collective and ends with a barrier, so when it
+// returns on any rank the whole mesh has finished.
+func FactorizeVSADist(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig, ep transport.Endpoint) (*Factorization, error) {
+	opts = opts.normalize()
+	rc = rc.normalize()
+	rc.Nodes = ep.Size()
+	if a.M < a.N {
+		return nil, fmt.Errorf("qr: matrix is %dx%d; tall-skinny factorization requires m >= n", a.M, a.N)
+	}
+	if a.NB != opts.NB {
+		return nil, fmt.Errorf("qr: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
+	}
+	if b != nil && (b.M != a.M || b.NB != a.NB) {
+		return nil, fmt.Errorf("qr: rhs is %d rows tile %d; matrix is %d rows tile %d", b.M, b.NB, a.M, a.NB)
+	}
+
+	bd := &builder{a: a, b: b, opts: opts, rc: rc}
+	if b != nil {
+		bd.bnt = b.NT
+	}
+	for j := 0; j < a.NT && j < a.MT; j++ {
+		bd.plans = append(bd.plans, planPanel(j, a.MT, opts))
+	}
+	bd.s = pulsar.New(pulsar.Config{
+		Nodes:           rc.Nodes,
+		ThreadsPerNode:  rc.Threads,
+		Scheduling:      rc.Scheduling,
+		Map:             bd.mapping(),
+		FireHook:        rc.FireHook,
+		DeadlockTimeout: rc.DeadlockTimeout,
+		Comm:            ep,
+	})
+	bd.build()
+	bd.injectLocal(ep.Rank())
+	if err := bd.s.Run(); err != nil {
+		return nil, err
+	}
+	if err := bd.gather(ep); err != nil {
+		return nil, err
+	}
+	defer ep.Barrier()
+	if ep.Rank() != 0 {
+		return nil, nil
+	}
+	f, err := bd.assemble()
+	if err != nil {
+		return nil, err
+	}
+	msgs, bytes := bd.s.NetworkStats()
+	f.Stats = RunStats{
+		Firings: bd.s.Fired(), Messages: msgs, Bytes: bytes,
+		VDPs: bd.s.VDPCount(), Channels: bd.s.ChannelCount(),
+	}
+	return f, nil
+}
+
+// injectLocal seeds the array with the tiles whose consuming VDP lives on
+// this rank; the other ranks inject their own shares, so every tile enters
+// the array exactly once across the mesh.
+func (bd *builder) injectLocal(rank int) {
+	mp := bd.mapping()
+	for i := 0; i < bd.a.MT; i++ {
+		if n, _ := mp(panelTup(0, i)); n == rank {
+			bd.s.Inject(panelTup(0, i), 0, pulsar.NewPacket(bd.a.Tile(i, 0)))
+		}
+		for _, l := range bd.cols(0) {
+			if n, _ := mp(updateTup(0, i, l)); n == rank {
+				bd.s.Inject(updateTup(0, i, l), 0, pulsar.NewPacket(bd.colTile(i, l)))
+			}
+		}
+	}
+}
+
+// collectorEndpoints enumerates every external output channel in the exact
+// order assemble visits them. The enumeration is a pure function of the
+// (identical) array structure, so all ranks agree on the index — and
+// therefore the gather tag — of each endpoint.
+func (bd *builder) collectorEndpoints() []endpoint {
+	var eps []endpoint
+	for _, plan := range bd.plans {
+		j := plan.J
+		for _, d := range plan.Domains {
+			rows := append([]int{d.Top}, d.Rows...)
+			for _, i := range rows {
+				eps = append(eps, endpoint{panelTup(j, i), 2})
+			}
+		}
+		for _, m := range plan.Merges {
+			eps = append(eps, endpoint{mergeTup(j, m.Surv, m.K), 2})
+		}
+		eps = append(eps, bd.rStreamEnd(plan))
+		for _, l := range bd.cols(j) {
+			eps = append(eps, bd.tileStreamEnd(plan, l))
+		}
+	}
+	if bd.b != nil {
+		last := len(bd.plans) - 1
+		plan := bd.plans[last]
+		for r := 0; r < bd.bnt; r++ {
+			l := bd.a.NT + r
+			for _, d := range plan.Domains {
+				for _, k := range d.Rows {
+					eps = append(eps, endpoint{updateTup(last, k, l), 3})
+				}
+			}
+			for _, m := range plan.Merges {
+				eps = append(eps, endpoint{mergeUpdTup(last, m.Surv, m.K, l), 2})
+			}
+		}
+	}
+	return eps
+}
+
+// gather moves every collector packet to rank 0. Each endpoint holds
+// exactly one packet on the rank that ran its producing VDP; the owner
+// sends it with a tag derived from the endpoint's enumeration index, and
+// rank 0 posts the matching specific receives — no wildcard, so nothing
+// can be misattributed.
+func (bd *builder) gather(ep transport.Endpoint) error {
+	rank := ep.Rank()
+	mp := bd.mapping()
+	if rank != 0 {
+		for idx, e := range bd.collectorEndpoints() {
+			owner, _ := mp(e.tup)
+			if owner != rank {
+				continue
+			}
+			ps := bd.s.Collected(e.tup, e.slot)
+			if len(ps) != 1 {
+				return fmt.Errorf("qr: rank %d collector %v[%d] holds %d packets, want 1", rank, e.tup, e.slot, len(ps))
+			}
+			buf, err := pulsar.MarshalPacket(ps[0])
+			if err != nil {
+				return fmt.Errorf("qr: collector %v[%d]: %w", e.tup, e.slot, err)
+			}
+			ep.Isend(buf, 0, gatherTagBase+idx)
+		}
+		return nil
+	}
+	type pending struct {
+		e   endpoint
+		req transport.Request
+	}
+	var reqs []pending
+	for idx, e := range bd.collectorEndpoints() {
+		owner, _ := mp(e.tup)
+		if owner == 0 {
+			continue // already in the local collected map
+		}
+		reqs = append(reqs, pending{e, ep.Irecv(owner, gatherTagBase+idx)})
+	}
+	for _, p := range reqs {
+		p.req.Wait()
+		if p.req.Canceled() {
+			return fmt.Errorf("qr: gather of collector %v[%d] canceled: peer gone", p.e.tup, p.e.slot)
+		}
+		pkt, err := pulsar.UnmarshalPacket(p.req.Data())
+		if err != nil {
+			return fmt.Errorf("qr: gather of collector %v[%d]: %w", p.e.tup, p.e.slot, err)
+		}
+		bd.s.AddCollected(p.e.tup, p.e.slot, pkt)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"pulsarqr/internal/mpi"
+)
+
+// Local is the in-process communicator: size ranks inside one OS process,
+// backed by the internal/mpi substrate. Message payloads are copied between
+// ranks (the isolation a distributed-memory system enforces) but never
+// touch a socket, which keeps the single-process path as fast as the seed
+// implementation.
+type Local struct {
+	world *mpi.World
+	eps   []*localEndpoint
+}
+
+// NewLocal creates an in-process communicator spanning size ranks.
+func NewLocal(size int) *Local {
+	l := &Local{world: mpi.NewWorld(size), eps: make([]*localEndpoint, size)}
+	for i := range l.eps {
+		l.eps[i] = &localEndpoint{comm: l.world.Comm(i)}
+	}
+	return l
+}
+
+// Size returns the number of ranks.
+func (l *Local) Size() int { return l.world.Size() }
+
+// Endpoint returns the communicator endpoint for one rank.
+func (l *Local) Endpoint(rank int) Endpoint { return l.eps[rank] }
+
+type localEndpoint struct {
+	comm  *mpi.Comm
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (e *localEndpoint) Rank() int { return e.comm.Rank() }
+func (e *localEndpoint) Size() int { return e.comm.Size() }
+
+func (e *localEndpoint) Isend(data []byte, dest, tag int) Request {
+	e.msgs.Add(1)
+	e.bytes.Add(int64(len(data)))
+	return e.comm.Isend(data, dest, tag)
+}
+
+func (e *localEndpoint) Irecv(source, tag int) Request {
+	return e.comm.Irecv(source, tag)
+}
+
+func (e *localEndpoint) Barrier() error {
+	e.comm.Barrier()
+	return nil
+}
+
+func (e *localEndpoint) OnArrival(fn func()) { e.comm.OnArrival(fn) }
+
+// Stats reports the messages and payload bytes sent through this endpoint.
+// Unlike mpi.World.Stats, which aggregates the whole world, the per-rank
+// accounting here matches what a real network transport can observe — both
+// implementations report through the same interface.
+func (e *localEndpoint) Stats() (messages, bytes int64) {
+	return e.msgs.Load(), e.bytes.Load()
+}
+
+func (e *localEndpoint) Close() error { return nil }

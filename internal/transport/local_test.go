@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLocalEndpointSemantics drives the in-process implementation through
+// the same Endpoint surface the TCP tests use: the two substrates must be
+// interchangeable behind the interface.
+func TestLocalEndpointSemantics(t *testing.T) {
+	l := NewLocal(3)
+	if l.Size() != 3 {
+		t.Fatalf("size %d", l.Size())
+	}
+	e0, e1 := l.Endpoint(0), l.Endpoint(1)
+	if e0.Rank() != 0 || e1.Rank() != 1 || e0.Size() != 3 {
+		t.Fatalf("rank/size wiring wrong")
+	}
+
+	buf := []byte("abc")
+	s := e0.Isend(buf, 1, 5)
+	buf[0] = 'X' // payload must have been copied
+	if !s.Test() {
+		t.Fatal("send not eagerly complete")
+	}
+	r := e1.Irecv(Any, Any)
+	r.Wait()
+	if string(r.Data()) != "abc" || r.Source() != 0 || r.Tag() != 5 || r.GetCount() != 3 {
+		t.Fatalf("recv %q src=%d tag=%d n=%d", r.Data(), r.Source(), r.Tag(), r.GetCount())
+	}
+
+	// Cancel of an unmatched posted receive.
+	r2 := e1.Irecv(2, 9)
+	if !r2.Cancel() || !r2.Canceled() {
+		t.Fatal("cancel failed")
+	}
+
+	// Stats are per-endpoint, counted at the transport layer.
+	if m, b := e0.Stats(); m != 1 || b != 3 {
+		t.Fatalf("e0 stats %d/%d, want 1/3", m, b)
+	}
+	if m, b := e1.Stats(); m != 0 || b != 0 {
+		t.Fatalf("e1 stats %d/%d, want 0/0", m, b)
+	}
+
+	// Barrier across all three ranks.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.Endpoint(i).Barrier(); err != nil {
+				t.Errorf("barrier rank %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := e0.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,602 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPConfig configures one rank of a TCP communicator.
+type TCPConfig struct {
+	// Rank is this process's rank in [0, len(Peers)).
+	Rank int
+	// Peers lists every rank's address ("host:port"), own rank included;
+	// Peers[Rank] is the address this endpoint listens on.
+	Peers []string
+	// Listener, when non-nil, is a pre-bound listener used instead of
+	// binding Peers[Rank] — tests use it to avoid port races.
+	Listener net.Listener
+	// RendezvousTimeout bounds the whole mesh setup: dialing every peer
+	// (with retry/backoff) and receiving every peer's hello. Default 15s.
+	RendezvousTimeout time.Duration
+	// DialBackoff is the initial delay between dial retries; it doubles up
+	// to 1s. Default 25ms.
+	DialBackoff time.Duration
+	// WriteTimeout bounds each frame write so a wedged peer cannot block a
+	// writer forever. Default 30s.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives diagnostic messages (dropped stray
+	// connections, write failures).
+	Logf func(format string, args ...any)
+}
+
+func (cfg TCPConfig) withDefaults() TCPConfig {
+	if cfg.RendezvousTimeout <= 0 {
+		cfg.RendezvousTimeout = 15 * time.Second
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 25 * time.Millisecond
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+var errClosed = errors.New("transport: endpoint closed")
+
+// DialTCP joins the TCP communicator described by cfg: it listens on its
+// own address, dials every peer with retry/backoff, and waits until every
+// peer has dialed in, so the full mesh is up when it returns. Each ordered
+// rank pair (i → j) uses one dedicated connection carrying i's frames to j;
+// the dialing side writes, the accepting side reads — see docs/TRANSPORT.md.
+func DialTCP(cfg TCPConfig) (Endpoint, error) {
+	cfg = cfg.withDefaults()
+	size := len(cfg.Peers)
+	if size == 0 {
+		return nil, fmt.Errorf("transport: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("transport: rank %d out of world of %d", cfg.Rank, size)
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: rank %d cannot listen on %s: %w", cfg.Rank, cfg.Peers[cfg.Rank], err)
+		}
+	}
+
+	ep := &tcpEndpoint{
+		rank:         cfg.Rank,
+		size:         size,
+		ln:           ln,
+		writeTimeout: cfg.WriteTimeout,
+		logf:         cfg.Logf,
+		mb:           newMailbox(size),
+		bar:          newBarrierState(size),
+		peers:        make([]*peerLink, size),
+		helloSeen:    make([]bool, size),
+	}
+	ep.helloCond = sync.NewCond(&ep.connMu)
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+
+	deadline := time.Now().Add(cfg.RendezvousTimeout)
+
+	// Dial every peer concurrently, retrying with exponential backoff
+	// until the rendezvous deadline.
+	dialErrs := make([]error, size)
+	var dwg sync.WaitGroup
+	for j := 0; j < size; j++ {
+		if j == cfg.Rank {
+			continue
+		}
+		dwg.Add(1)
+		go func(j int) {
+			defer dwg.Done()
+			dialErrs[j] = ep.dialPeer(j, cfg.Peers[j], cfg.DialBackoff, deadline)
+		}(j)
+	}
+	dwg.Wait()
+	for j, err := range dialErrs {
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("transport: rank %d cannot reach rank %d at %s: %w",
+				cfg.Rank, j, cfg.Peers[j], err)
+		}
+	}
+
+	// Wait until every peer has dialed in (their hello identifies them).
+	expire := time.AfterFunc(time.Until(deadline), func() {
+		ep.connMu.Lock()
+		ep.helloExpired = true
+		ep.connMu.Unlock()
+		ep.helloCond.Broadcast()
+	})
+	ep.connMu.Lock()
+	for ep.helloCnt < size-1 && !ep.helloExpired {
+		ep.helloCond.Wait()
+	}
+	ok := ep.helloCnt == size-1
+	var missing []int
+	if !ok {
+		for j, seen := range ep.helloSeen {
+			if j != cfg.Rank && !seen {
+				missing = append(missing, j)
+			}
+		}
+	}
+	ep.connMu.Unlock()
+	expire.Stop()
+	if !ok {
+		ep.Close()
+		return nil, fmt.Errorf("transport: rank %d rendezvous timed out after %v waiting for ranks %v",
+			cfg.Rank, cfg.RendezvousTimeout, missing)
+	}
+	return ep, nil
+}
+
+// dialPeer establishes the outbound connection to one peer, retrying with
+// exponential backoff until the deadline, then sends the hello frame and
+// starts the peer's writer goroutine.
+func (ep *tcpEndpoint) dialPeer(j int, addr string, backoff time.Duration, deadline time.Time) error {
+	const maxBackoff = time.Second
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("dial budget exhausted")
+			}
+			return lastErr
+		}
+		attempt := 2 * time.Second
+		if remaining < attempt {
+			attempt = remaining
+		}
+		conn, err := net.DialTimeout("tcp", addr, attempt)
+		if err == nil {
+			conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+			err = WriteFrame(conn, Frame{Type: FrameHello, Rank: ep.rank})
+			conn.SetWriteDeadline(time.Time{})
+			if err == nil {
+				p := newPeerLink(conn)
+				ep.peers[j] = p
+				ep.wg.Add(1)
+				go func() {
+					defer ep.wg.Done()
+					ep.writeLoop(j, p)
+				}()
+				return nil
+			}
+			conn.Close()
+		}
+		lastErr = err
+		if time.Now().Add(backoff).After(deadline) {
+			return lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// tcpEndpoint is one rank of a TCP communicator.
+type tcpEndpoint struct {
+	rank, size   int
+	ln           net.Listener
+	writeTimeout time.Duration
+	logf         func(string, ...any)
+
+	mb  *mailbox
+	bar *barrierState
+
+	peers []*peerLink // outbound links; nil at own rank
+
+	connMu       sync.Mutex
+	helloCond    *sync.Cond
+	inConns      []net.Conn
+	helloSeen    []bool
+	helloCnt     int
+	helloExpired bool
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (ep *tcpEndpoint) Rank() int { return ep.rank }
+func (ep *tcpEndpoint) Size() int { return ep.size }
+
+func (ep *tcpEndpoint) OnArrival(fn func()) { ep.mb.setNotify(fn) }
+
+func (ep *tcpEndpoint) Stats() (messages, bytes int64) {
+	return ep.msgs.Load(), ep.bytes.Load()
+}
+
+// Isend sends data to dest with the given tag. The payload is serialized
+// into a frame before return, so the caller may reuse its buffer; delivery
+// is asynchronous through the peer's writer goroutine.
+func (ep *tcpEndpoint) Isend(data []byte, dest, tag int) Request {
+	if dest < 0 || dest >= ep.size {
+		panic(fmt.Sprintf("transport: Isend to rank %d out of world of %d", dest, ep.size))
+	}
+	if tag < 0 || tag > MaxTag {
+		panic(fmt.Sprintf("transport: Isend tag %d out of range", tag))
+	}
+	ep.msgs.Add(1)
+	ep.bytes.Add(int64(len(data)))
+	if dest == ep.rank {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		ep.mb.push(envelope{source: ep.rank, tag: tag, data: buf})
+	} else {
+		ep.peers[dest].enqueue(EncodeFrame(Frame{Type: FrameData, Rank: ep.rank, Tag: tag, Payload: data}))
+	}
+	return &netRequest{done: true, source: dest, tag: tag}
+}
+
+// Irecv posts a receive for (source|Any, tag|Any). On a failed or closed
+// endpoint the returned request is already canceled, never left hanging.
+func (ep *tcpEndpoint) Irecv(source, tag int) Request {
+	if source != Any && (source < 0 || source >= ep.size) {
+		panic(fmt.Sprintf("transport: Irecv source %d out of world of %d", source, ep.size))
+	}
+	if tag != Any && (tag < 0 || tag > MaxTag) {
+		panic(fmt.Sprintf("transport: Irecv tag %d out of range", tag))
+	}
+	req := &netRequest{isRecv: true, source: source, tag: tag, mb: ep.mb}
+	ep.mb.post(req)
+	return req
+}
+
+// fail marks the communicator broken (protocol corruption): every posted
+// receive is canceled and every barrier waiter errors out.
+func (ep *tcpEndpoint) fail(err error) {
+	ep.logf("transport: rank %d: %v", ep.rank, err)
+	ep.bar.fail(err)
+	ep.mb.fail()
+}
+
+// peerLost records that a peer's connection ended (clean shutdown or
+// crash — TCP cannot tell them apart). Only operations that can no longer
+// complete are failed: posted receives naming that source, and barrier
+// waits still missing that peer's participation. Everything else — data
+// already in flight from other peers, barrier releases already on the
+// wire — proceeds, which is what lets ranks shut down in their natural
+// staggered order.
+func (ep *tcpEndpoint) peerLost(src int, err error) {
+	ep.logf("transport: rank %d lost peer %d: %v", ep.rank, src, err)
+	ep.bar.depart(src, fmt.Errorf("transport: rank %d is gone: %w", src, err))
+	ep.mb.depart(src)
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.connMu.Lock()
+		ep.inConns = append(ep.inConns, conn)
+		ep.connMu.Unlock()
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			ep.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop serves one inbound connection: a hello frame identifies the
+// sender, then data frames are demultiplexed into the mailbox (where the
+// runtime's tag/source matching picks them up) and barrier frames into the
+// barrier state.
+func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != FrameHello || f.Rank < 0 || f.Rank >= ep.size || f.Rank == ep.rank {
+		// A stray or malformed connection (port scan, misconfiguration):
+		// drop it without failing the communicator.
+		ep.logf("transport: rank %d dropped stray connection from %v", ep.rank, conn.RemoteAddr())
+		conn.Close()
+		return
+	}
+	src := f.Rank
+	ep.connMu.Lock()
+	if !ep.helloSeen[src] {
+		ep.helloSeen[src] = true
+		ep.helloCnt++
+	}
+	ep.connMu.Unlock()
+	ep.helloCond.Broadcast()
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			// End of stream: the peer shut down or crashed. That is a
+			// departure, not a communicator failure — ranks finishing at
+			// different times is the normal course of a run.
+			conn.Close()
+			if !ep.closed.Load() {
+				ep.peerLost(src, err)
+			}
+			return
+		}
+		switch f.Type {
+		case FrameData:
+			if f.Rank != src {
+				conn.Close()
+				ep.fail(fmt.Errorf("rank %d sent frame claiming rank %d", src, f.Rank))
+				return
+			}
+			ep.mb.push(envelope{source: src, tag: f.Tag, data: f.Payload})
+		case FrameBarrier:
+			if len(f.Payload) != 1 {
+				conn.Close()
+				ep.fail(fmt.Errorf("rank %d sent malformed barrier frame", src))
+				return
+			}
+			ep.bar.handle(src, f.Tag, f.Payload[0])
+		default:
+			// Redundant hello: ignore.
+		}
+	}
+}
+
+// writeLoop drains one peer's outbound queue onto its connection. On close
+// it flushes everything already queued before shutting the connection down
+// (graceful shutdown); on a write error it drops the queue and marks the
+// peer departed.
+func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
+	for {
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.stopped && p.err == nil {
+			p.cond.Wait()
+		}
+		if p.err != nil || (p.stopped && len(p.q) == 0) {
+			p.mu.Unlock()
+			p.conn.Close()
+			return
+		}
+		batch := p.q
+		p.q = nil
+		p.mu.Unlock()
+		for _, b := range batch {
+			p.conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+			if _, err := p.conn.Write(b); err != nil {
+				p.mu.Lock()
+				p.err = err
+				p.q = nil
+				p.mu.Unlock()
+				p.conn.Close()
+				if !ep.closed.Load() {
+					ep.peerLost(dst, fmt.Errorf("write: %w", err))
+				}
+				return
+			}
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it, using a centralized
+// protocol over reserved barrier frames: every rank reports to rank 0,
+// which releases everyone once all have arrived. Generations keep distinct
+// barrier episodes apart; the collective-call contract (every rank calls
+// Barrier the same number of times, in the same order relative to its own
+// sends) makes the generation counters line up across ranks.
+func (ep *tcpEndpoint) Barrier() error {
+	b := ep.bar
+	b.mu.Lock()
+	if b.err != nil {
+		defer b.mu.Unlock()
+		return b.err
+	}
+	gen := b.gen
+	b.gen++
+	b.mu.Unlock()
+	if ep.size == 1 {
+		return nil
+	}
+
+	if ep.rank == 0 {
+		b.mu.Lock()
+		for len(b.entered[gen]) < ep.size-1 && b.err == nil && b.missingLocked(gen) < 0 {
+			b.cond.Wait()
+		}
+		// A completed generation wins over a concurrent failure or
+		// departure (a peer may exit cleanly right after its own Barrier
+		// returned, its enter frame for this generation already received).
+		var err error
+		if len(b.entered[gen]) < ep.size-1 {
+			if b.err != nil {
+				err = b.err
+			} else if j := b.missingLocked(gen); j >= 0 {
+				err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[j])
+			}
+		}
+		delete(b.entered, gen)
+		b.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		release := EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierRelease}})
+		for j := 1; j < ep.size; j++ {
+			ep.peers[j].enqueue(release)
+		}
+		return nil
+	}
+
+	ep.peers[0].enqueue(EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierEnter}}))
+	b.mu.Lock()
+	for !b.released[gen] && b.err == nil && !b.departed[0] {
+		b.cond.Wait()
+	}
+	// A release already received wins over a concurrent failure: rank 0
+	// may exit immediately after releasing the last generation.
+	var err error
+	if !b.released[gen] {
+		if b.err != nil {
+			err = b.err
+		} else {
+			err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[0])
+		}
+	}
+	delete(b.released, gen)
+	b.mu.Unlock()
+	return err
+}
+
+// Close shuts the endpoint down gracefully: queued outbound frames are
+// flushed, connections and the listener are closed, and any still-posted
+// receive is canceled so no caller blocks on a closed communicator.
+func (ep *tcpEndpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		ep.closed.Store(true)
+		ep.ln.Close()
+		for _, p := range ep.peers {
+			if p != nil {
+				p.stop()
+			}
+		}
+		// Writers flush their queues and close their own connections; the
+		// inbound side is cut here, which ends the reader goroutines.
+		ep.connMu.Lock()
+		conns := append([]net.Conn(nil), ep.inConns...)
+		ep.connMu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		ep.helloCond.Broadcast()
+		ep.wg.Wait()
+		ep.bar.fail(errClosed)
+		ep.mb.fail()
+	})
+	return nil
+}
+
+// peerLink is the outbound half of one rank pair: an unbounded frame queue
+// drained by a dedicated writer goroutine, so Isend never blocks on the
+// network (the same eager decoupling the in-process substrate provides).
+type peerLink struct {
+	conn    net.Conn
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       [][]byte
+	stopped bool
+	err     error
+}
+
+func newPeerLink(conn net.Conn) *peerLink {
+	p := &peerLink{conn: conn}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *peerLink) enqueue(frame []byte) {
+	p.mu.Lock()
+	if p.stopped || p.err != nil {
+		p.mu.Unlock()
+		return // dropped: the communicator is shutting down or broken
+	}
+	p.q = append(p.q, frame)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *peerLink) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// barrierState tracks barrier generations on both sides of the centralized
+// protocol: rank 0 records which ranks entered each generation, other ranks
+// wait for their release frame. Departed peers fail only the barriers they
+// never participated in — a generation a peer entered before leaving still
+// completes, so ranks may exit in staggered order.
+type barrierState struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	gen       int
+	entered   map[int]map[int]bool // generation → set of ranks that entered (rank 0 only)
+	released  map[int]bool
+	departed  []bool
+	departErr []error
+	err       error // communicator-wide failure (protocol violation or Close)
+}
+
+func newBarrierState(size int) *barrierState {
+	b := &barrierState{
+		entered:   map[int]map[int]bool{},
+		released:  map[int]bool{},
+		departed:  make([]bool, size),
+		departErr: make([]error, size),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrierState) handle(src, gen int, phase byte) {
+	b.mu.Lock()
+	switch phase {
+	case BarrierEnter:
+		set := b.entered[gen]
+		if set == nil {
+			set = map[int]bool{}
+			b.entered[gen] = set
+		}
+		set[src] = true
+	case BarrierRelease:
+		b.released[gen] = true
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *barrierState) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *barrierState) depart(src int, err error) {
+	b.mu.Lock()
+	if src >= 0 && src < len(b.departed) {
+		b.departed[src] = true
+		if b.departErr[src] == nil {
+			b.departErr[src] = err
+		}
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// missingLocked returns a rank that departed without entering generation
+// gen (so the generation can never complete), or -1. Callers hold b.mu.
+func (b *barrierState) missingLocked(gen int) int {
+	for j := 1; j < len(b.departed); j++ {
+		if b.departed[j] && !b.entered[gen][j] {
+			return j
+		}
+	}
+	return -1
+}

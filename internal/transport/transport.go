@@ -1,0 +1,75 @@
+// Package transport is the pluggable inter-node communication layer of the
+// PULSAR runtime reproduction. It abstracts the six MPI calls the runtime
+// relies on — Isend, Irecv, Test, Get_count, Barrier and Cancel — behind an
+// Endpoint interface with two implementations:
+//
+//   - Local: the zero-copy in-process substrate (backed by internal/mpi),
+//     where every rank is a set of goroutines in one OS process; and
+//   - TCP: a real network transport where every rank is its own OS process
+//     and messages travel through length-prefixed frames over a full mesh
+//     of TCP connections (see wire.go and docs/TRANSPORT.md).
+//
+// The runtime's proxy path is written against Endpoint only, so a
+// factorization runs unchanged on either substrate.
+package transport
+
+// Any is the wildcard for Irecv's source or tag (MPI_ANY_SOURCE /
+// MPI_ANY_TAG). It equals mpi.Any.
+const Any = -1
+
+// Request tracks an outstanding Isend or Irecv, mirroring the MPI request
+// object surface the runtime uses.
+type Request interface {
+	// Test reports whether the request has completed (MPI_Test).
+	Test() bool
+	// Wait blocks until the request completes or is canceled.
+	Wait()
+	// Cancel cancels an outstanding receive (MPI_Cancel), reporting
+	// whether the cancellation took effect. Eager sends report false.
+	Cancel() bool
+	// Canceled reports whether the request was canceled before completing.
+	Canceled() bool
+	// Data returns the received payload (valid after a recv completes).
+	Data() []byte
+	// GetCount returns the payload size in bytes (MPI_Get_count).
+	GetCount() int
+	// Source returns the matched source rank of a completed receive.
+	Source() int
+	// Tag returns the matched tag of a completed receive.
+	Tag() int
+}
+
+// Endpoint is one rank's attachment to the communicator: the six-call
+// surface the runtime's proxy drives, plus lifecycle and accounting.
+//
+// Semantics (identical across implementations, matching internal/mpi):
+// sends are eager — the payload is copied (or serialized) before Isend
+// returns, so the caller may reuse its buffer immediately, and the returned
+// request tests complete at once. Receives match on a (source, tag) pair,
+// either of which may be Any; messages between a given pair of ranks are
+// non-overtaking with respect to matching receives.
+type Endpoint interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the communicator.
+	Size() int
+	// Isend sends data to dest with the given tag. The payload is copied;
+	// the request completes eagerly.
+	Isend(data []byte, dest, tag int) Request
+	// Irecv posts a receive for a message from source (or Any) with the
+	// given tag (or Any).
+	Irecv(source, tag int) Request
+	// Barrier blocks until every rank has entered it. It returns an error
+	// when the communicator has failed (e.g. a peer process died).
+	Barrier() error
+	// OnArrival registers a callback invoked (outside internal locks)
+	// whenever a message arrives at this rank; the runtime's proxy uses it
+	// to wake up instead of busy-polling.
+	OnArrival(fn func())
+	// Stats reports the number of messages and payload bytes this endpoint
+	// has sent so far.
+	Stats() (messages, bytes int64)
+	// Close releases the endpoint's resources. Posted receives that can no
+	// longer complete are canceled so no caller is left hanging.
+	Close() error
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format. Every unit on a TCP connection is one frame:
+//
+//	[u32 payload length][u8 type][u32 source rank][u32 tag][payload...]
+//
+// All integers are big-endian. The length prefix covers the payload only;
+// the fixed header is HeaderLen bytes. Three frame types exist:
+//
+//   - FrameHello is sent once, immediately after dialing, and identifies
+//     the sender's rank to the accepting side (tag and payload unused);
+//   - FrameData carries one message: rank is the sender, tag is the MPI
+//     tag, payload is the marshaled packet;
+//   - FrameBarrier carries barrier protocol traffic: tag is the barrier
+//     generation, payload is one byte (BarrierEnter or BarrierRelease).
+const (
+	FrameHello   byte = 1
+	FrameData    byte = 2
+	FrameBarrier byte = 3
+)
+
+// Barrier phases carried in a FrameBarrier payload.
+const (
+	BarrierEnter   byte = 0
+	BarrierRelease byte = 1
+)
+
+// HeaderLen is the fixed frame header size in bytes.
+const HeaderLen = 4 + 1 + 4 + 4
+
+// MaxTag is the largest representable tag. It fits an int32, so tags
+// survive the wire on every platform Go supports.
+const MaxTag = 1<<31 - 1
+
+// MaxPayload bounds a frame payload, defending the decoder against
+// hostile or corrupt length prefixes.
+const MaxPayload = 1 << 30
+
+// ErrShortFrame reports that a buffer ends before the frame it starts.
+var ErrShortFrame = errors.New("transport: short frame")
+
+// Frame is one decoded wire unit.
+type Frame struct {
+	Type    byte
+	Rank    int
+	Tag     int
+	Payload []byte
+}
+
+func validFrameType(t byte) bool {
+	return t == FrameHello || t == FrameData || t == FrameBarrier
+}
+
+// AppendFrame appends the encoding of f to dst and returns the extended
+// slice. It panics on out-of-range rank/tag or oversized payloads — those
+// are programming errors on the sending side, mirroring mpi.Isend.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if !validFrameType(f.Type) {
+		panic(fmt.Sprintf("transport: encode frame type %d", f.Type))
+	}
+	if f.Rank < 0 || f.Rank > MaxTag {
+		panic(fmt.Sprintf("transport: encode frame rank %d", f.Rank))
+	}
+	if f.Tag < 0 || f.Tag > MaxTag {
+		panic(fmt.Sprintf("transport: encode frame tag %d", f.Tag))
+	}
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("transport: encode frame payload %d bytes", len(f.Payload)))
+	}
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(f.Payload)))
+	hdr[4] = f.Type
+	binary.BigEndian.PutUint32(hdr[5:], uint32(f.Rank))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(f.Tag))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// EncodeFrame returns the wire encoding of f in a fresh buffer (the
+// payload is copied, never aliased).
+func EncodeFrame(f Frame) []byte {
+	return AppendFrame(make([]byte, 0, HeaderLen+len(f.Payload)), f)
+}
+
+// DecodeFrame decodes the frame at the head of b, returning the frame and
+// the number of bytes consumed. The returned payload aliases b. It never
+// panics: malformed input yields an error (ErrShortFrame when b simply
+// ends early, so stream decoders can wait for more bytes).
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderLen {
+		return Frame{}, 0, ErrShortFrame
+	}
+	n := binary.BigEndian.Uint32(b[0:])
+	typ := b[4]
+	rank := binary.BigEndian.Uint32(b[5:])
+	tag := binary.BigEndian.Uint32(b[9:])
+	if n > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("transport: frame payload %d exceeds limit %d", n, MaxPayload)
+	}
+	if !validFrameType(typ) {
+		return Frame{}, 0, fmt.Errorf("transport: unknown frame type %d", typ)
+	}
+	if rank > MaxTag {
+		return Frame{}, 0, fmt.Errorf("transport: frame rank %d out of range", rank)
+	}
+	if tag > MaxTag {
+		return Frame{}, 0, fmt.Errorf("transport: frame tag %d out of range", tag)
+	}
+	total := HeaderLen + int(n)
+	if len(b) < total {
+		return Frame{}, 0, ErrShortFrame
+	}
+	return Frame{Type: typ, Rank: int(rank), Tag: int(tag), Payload: b[HeaderLen:total]}, total, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	_, err := w.Write(EncodeFrame(f))
+	return err
+}
+
+// ReadFrame reads one frame from r. The payload is freshly allocated. A
+// clean EOF before the first header byte is reported as io.EOF; a stream
+// that ends mid-frame is an io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("transport: frame payload %d exceeds limit %d", n, MaxPayload)
+	}
+	buf := make([]byte, HeaderLen+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return Frame{}, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	f, _, err := DecodeFrame(buf)
+	return f, err
+}

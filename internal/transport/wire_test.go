@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func frameEq(a, b Frame) bool {
+	if a.Type != b.Type || a.Rank != b.Rank || a.Tag != b.Tag {
+		return false
+	}
+	if len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	return bytes.Equal(a.Payload, b.Payload)
+}
+
+// TestFrameRoundTrip drives the codec through the corner cases the wire
+// must survive: zero-length payloads, maximum tag and rank values, and a
+// randomized property sweep.
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Type: FrameHello, Rank: 0, Tag: 0},
+		{Type: FrameData, Rank: 0, Tag: 0, Payload: []byte{}},
+		{Type: FrameData, Rank: 3, Tag: MaxTag, Payload: []byte("payload")},
+		{Type: FrameData, Rank: MaxTag, Tag: 17, Payload: make([]byte, 4096)},
+		{Type: FrameBarrier, Rank: 1, Tag: MaxTag, Payload: []byte{BarrierEnter}},
+		{Type: FrameBarrier, Rank: 2, Tag: 0, Payload: []byte{BarrierRelease}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := make([]byte, rng.Intn(512))
+		rng.Read(p)
+		types := []byte{FrameHello, FrameData, FrameBarrier}
+		cases = append(cases, Frame{
+			Type:    types[rng.Intn(len(types))],
+			Rank:    rng.Intn(1 << 20),
+			Tag:     rng.Intn(MaxTag + 1),
+			Payload: p,
+		})
+	}
+	for i, f := range cases {
+		enc := EncodeFrame(f)
+		if len(enc) != HeaderLen+len(f.Payload) {
+			t.Fatalf("case %d: encoded length %d, want %d", i, len(enc), HeaderLen+len(f.Payload))
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d", i, n, len(enc))
+		}
+		if !frameEq(got, f) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, f, got)
+		}
+		// Stream reader must agree with the slice decoder, including when
+		// frames are concatenated.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+		for k := 0; k < 2; k++ {
+			rf, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("case %d: read %d: %v", i, k, err)
+			}
+			if !frameEq(rf, f) {
+				t.Fatalf("case %d: stream round trip mismatch", i)
+			}
+		}
+		if _, err := ReadFrame(&buf); err != io.EOF {
+			t.Fatalf("case %d: read past end: %v, want io.EOF", i, err)
+		}
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := EncodeFrame(Frame{Type: FrameData, Rank: 1, Tag: 2, Payload: []byte("abc")})
+
+	// Every strict prefix is a short frame.
+	for n := 0; n < len(good); n++ {
+		if _, _, err := DecodeFrame(good[:n]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("prefix %d: err %v, want ErrShortFrame", n, err)
+		}
+	}
+	// Unknown type.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, _, err := DecodeFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("bad type: err %v", err)
+	}
+	// Hostile length prefix.
+	bad = append([]byte(nil), good...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("hostile length: err %v", err)
+	}
+	// Tag above MaxTag (high bit set).
+	bad = append([]byte(nil), good...)
+	bad[9] = 0x80
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatalf("tag overflow: want error")
+	}
+	// Rank above MaxTag.
+	bad = append([]byte(nil), good...)
+	bad[5] = 0x80
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatalf("rank overflow: want error")
+	}
+	// Truncated stream mid-frame.
+	if _, err := ReadFrame(bytes.NewReader(good[:len(good)-1])); err == nil {
+		t.Fatalf("truncated stream: want error")
+	}
+}
+
+// FuzzDecodeFrame asserts the decoder never panics on malformed input, and
+// that anything it accepts re-encodes to the bytes it consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(EncodeFrame(Frame{Type: FrameHello, Rank: 0, Tag: 0}))
+	f.Add(EncodeFrame(Frame{Type: FrameData, Rank: 5, Tag: MaxTag, Payload: []byte("xyz")}))
+	f.Add(EncodeFrame(Frame{Type: FrameBarrier, Rank: 1, Tag: 3, Payload: []byte{BarrierEnter}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 2, 0, 0, 0, 1, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if n < HeaderLen || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		enc := EncodeFrame(fr)
+		if !bytes.Equal(enc, b[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
