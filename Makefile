@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz bench-smoke launch-smoke vet clean
+.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke vet clean
 
 all: build
 
@@ -33,6 +33,14 @@ fuzz:
 bench-smoke: build
 	$(GO) test -run '^$$' -bench BenchmarkRealTreeComparison -benchtime 1x .
 	$(BIN)/qrfactor -launch 2 -m 1024 -n 128 -nb 32 -ib 8 -check
+
+# Kernel/BLAS throughput benchmarks, benchstat-friendly (fixed count and
+# pinned benchtime so runs are comparable):
+#   make bench-kernels > new.txt && benchstat BENCH_kernels.json new.txt
+# BENCH_kernels.json holds the committed baseline from the recorded host.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkGemm|BenchmarkTrmm' -benchtime 200ms -count 5 ./internal/blas
+	$(GO) test -run '^$$' -bench 'BenchmarkD(geqrt|tsqrt|ttqrt|ormqr|tsmqr|ttmqr)$$' -benchtime 200ms -count 5 ./internal/kernels
 
 launch-smoke: build
 	$(BIN)/qrfactor -launch 3 -m 2048 -n 256 -nb 64 -ib 16 -check

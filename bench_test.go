@@ -330,6 +330,8 @@ func BenchmarkKernels(b *testing.B) {
 		v, _, t := mk()
 		kernels.Dgeqrt(ib, v, t)
 		c := RandomMatrix(nb, nb, 3)
+		kernels.Dormqr(true, ib, v, t, c) // warm the pooled workspace
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			kernels.Dormqr(true, ib, v, t, c)
@@ -341,6 +343,8 @@ func BenchmarkKernels(b *testing.B) {
 		a1u := a1.UpperTriangle()
 		kernels.Dtsqrt(ib, a1u, a2, t)
 		c1, c2 := RandomMatrix(nb, nb, 4), RandomMatrix(nb, nb, 5)
+		kernels.Dtsmqr(true, ib, a2, t, c1, c2) // warm the pooled workspace
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			kernels.Dtsmqr(true, ib, a2, t, c1, c2)
@@ -352,6 +356,8 @@ func BenchmarkKernels(b *testing.B) {
 		a1u, a2u := a1.UpperTriangle(), a2.UpperTriangle()
 		kernels.Dttqrt(ib, a1u, a2u, t)
 		c1, c2 := RandomMatrix(nb, nb, 6), RandomMatrix(nb, nb, 7)
+		kernels.Dttmqr(true, ib, a2u, t, c1, c2) // warm the pooled workspace
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			kernels.Dttmqr(true, ib, a2u, t, c1, c2)

@@ -10,6 +10,7 @@ func benchGemm(b *testing.B, transA bool, n int) {
 	a := colMajor(rng, n, n, n)
 	bb := colMajor(rng, n, n, n)
 	c := colMajor(rng, n, n, n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Dgemm(transA, false, n, n, n, 1, a, n, bb, n, 1, c, n)
@@ -20,3 +21,25 @@ func benchGemm(b *testing.B, transA bool, n int) {
 
 func BenchmarkGemmNN128(b *testing.B) { benchGemm(b, false, 128) }
 func BenchmarkGemmTN128(b *testing.B) { benchGemm(b, true, 128) }
+func BenchmarkGemmNN192(b *testing.B) { benchGemm(b, false, 192) }
+func BenchmarkGemmTN192(b *testing.B) { benchGemm(b, true, 192) }
+func BenchmarkGemmNN512(b *testing.B) { benchGemm(b, false, 512) }
+func BenchmarkGemmTN512(b *testing.B) { benchGemm(b, true, 512) }
+
+// benchTrmmLeft measures the left-side triangular multiply the block
+// reflector applies lean on: B := op(T)·B with T k×k and B k×n.
+func benchTrmmLeft(b *testing.B, trans bool, k, n int) {
+	rng := rand.New(rand.NewSource(2))
+	a := colMajor(rng, k, k, k)
+	bb := colMajor(rng, k, n, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dtrmm(true, true, trans, false, k, n, 1, a, k, bb, k)
+	}
+	b.ReportMetric(float64(k*k*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkTrmmLeft48x192(b *testing.B)  { benchTrmmLeft(b, false, 48, 192) }
+func BenchmarkTrmmLeftT48x192(b *testing.B) { benchTrmmLeft(b, true, 48, 192) }
+func BenchmarkTrmmLeft192x192(b *testing.B) { benchTrmmLeft(b, false, 192, 192) }

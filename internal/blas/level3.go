@@ -3,30 +3,58 @@ package blas
 // Dgemm computes C := alpha*op(A)*op(B) + beta*C with op selected by
 // transA/transB. C is m×n, op(A) is m×k, op(B) is k×n, all column-major.
 //
-// The no-transpose path runs a j-k-i loop nest so the inner loop streams
-// down contiguous columns, which is the cache-friendly order for
-// column-major data; the transposed paths reduce to dot products or
-// column-axpy sweeps with the same property.
+// Shapes large enough to amortize panel packing run on the blocked engine
+// in gemm_blocked.go; everything else falls through to the scalar loops in
+// dgemmScalar. The routing depends only on (m, n, k), so for fixed operand
+// shapes the summation order — and therefore the bitwise result — is
+// fixed too.
 func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int,
 	b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if m <= 0 || n <= 0 {
 		return
 	}
-	// Scale C by beta first.
-	if beta != 1 {
-		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
-				}
+	if alpha != 0 && k > 0 && useBlocked(m, n, k) {
+		scaleC(beta, m, n, c, ldc)
+		dgemmBlocked(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	dgemmScalar(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// scaleC applies C := beta*C over the m×n window.
+func scaleC(beta float64, m, n int, c []float64, ldc int) {
+	if beta == 1 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else {
+			for i := range col {
+				col[i] *= beta
 			}
 		}
 	}
+}
+
+// dgemmScalar is the unblocked reference implementation, kept both as the
+// small-shape fast path (packing overhead exceeds the work below the
+// dispatch threshold) and as the oracle the differential tests pit the
+// blocked engine against.
+//
+// The no-transpose path runs a j-k-i loop nest so the inner loop streams
+// down contiguous columns, which is the cache-friendly order for
+// column-major data; the transposed paths reduce to dot products or
+// column-axpy sweeps with the same property.
+func dgemmScalar(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int,
+	b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	scaleC(beta, m, n, c, ldc)
 	if alpha == 0 || k <= 0 {
 		return
 	}
@@ -152,14 +180,10 @@ func Dtrmm(left, upper, trans, unit bool, m, n int, alpha float64,
 		return
 	}
 	if left {
-		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
-			Dtrmv(upper, trans, unit, m, a, lda, col, 1)
-			if alpha != 1 {
-				for i := range col {
-					col[i] *= alpha
-				}
-			}
+		if m > trmmLeafM {
+			trmmLeftBlocked(upper, trans, unit, m, n, alpha, a, lda, b, ldb)
+		} else {
+			trmmLeftScalar(upper, trans, unit, m, n, alpha, a, lda, b, ldb)
 		}
 		return
 	}
@@ -205,6 +229,71 @@ func Dtrmm(left, upper, trans, unit bool, m, n int, alpha float64,
 	}
 	for j := 0; j < n; j++ {
 		copy(b[j*ldb:j*ldb+m], out[j*m:j*m+m])
+	}
+}
+
+// trmmLeafM is the triangle size below which the recursive left-side Dtrmm
+// stops splitting and runs the per-column scalar sweep directly.
+const trmmLeafM = 16
+
+// trmmLeftScalar is the unblocked reference: one Dtrmv per column of B.
+// Retained both as the recursion leaf and as the oracle for the
+// differential Dtrmm tests.
+func trmmLeftScalar(upper, trans, unit bool, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int) {
+	for j := 0; j < n; j++ {
+		col := b[j*ldb : j*ldb+m]
+		Dtrmv(upper, trans, unit, m, a, lda, col, 1)
+		if alpha != 1 {
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+}
+
+// trmmLeftBlocked computes B := alpha*op(A)*B by splitting the triangle in
+// two: the diagonal blocks recurse and the off-diagonal rectangle becomes a
+// Dgemm, which routes the bulk of the flops onto the blocked engine. The
+// update order within each case is chosen so every term reads operand rows
+// that have not been overwritten yet. The split point depends only on m, so
+// the evaluation order — and the bitwise result — is a pure function of the
+// operand shape.
+func trmmLeftBlocked(upper, trans, unit bool, m, n int, alpha float64,
+	a []float64, lda int, b []float64, ldb int) {
+	if m <= trmmLeafM {
+		trmmLeftScalar(upper, trans, unit, m, n, alpha, a, lda, b, ldb)
+		return
+	}
+	// Split rows at h, rounded to the micro-tile height so the Dgemm below
+	// sees aligned panels. m > trmmLeafM guarantees 0 < h < m.
+	h := (m/2 + gemmMR - 1) / gemmMR * gemmMR
+	// Partition A = [A11 A12; A21 A22] with A11 h×h, and B rows as B1/B2.
+	a22 := a[h+h*lda:]
+	b2 := b[h:]
+	switch {
+	case upper && !trans:
+		// B1 = alpha*(A11·B1 + A12·B2); B2 = alpha*A22·B2. B1 first: it
+		// needs the not-yet-updated B2.
+		trmmLeftBlocked(upper, trans, unit, h, n, alpha, a, lda, b, ldb)
+		Dgemm(false, false, h, n, m-h, alpha, a[h*lda:], lda, b2, ldb, 1, b, ldb)
+		trmmLeftBlocked(upper, trans, unit, m-h, n, alpha, a22, lda, b2, ldb)
+	case upper && trans:
+		// op(A) is lower: B2 = alpha*(A12ᵀ·B1 + A22ᵀ·B2); B1 = alpha*A11ᵀ·B1.
+		trmmLeftBlocked(upper, trans, unit, m-h, n, alpha, a22, lda, b2, ldb)
+		Dgemm(true, false, m-h, n, h, alpha, a[h*lda:], lda, b, ldb, 1, b2, ldb)
+		trmmLeftBlocked(upper, trans, unit, h, n, alpha, a, lda, b, ldb)
+	case !upper && !trans:
+		// Lower: B2 = alpha*(A21·B1 + A22·B2); B1 = alpha*A11·B1.
+		trmmLeftBlocked(upper, trans, unit, m-h, n, alpha, a22, lda, b2, ldb)
+		Dgemm(false, false, m-h, n, h, alpha, a[h:], lda, b, ldb, 1, b2, ldb)
+		trmmLeftBlocked(upper, trans, unit, h, n, alpha, a, lda, b, ldb)
+	default:
+		// Lower, trans — op(A) is upper: B1 = alpha*(A11ᵀ·B1 + A21ᵀ·B2);
+		// B2 = alpha*A22ᵀ·B2.
+		trmmLeftBlocked(upper, trans, unit, h, n, alpha, a, lda, b, ldb)
+		Dgemm(true, false, h, n, m-h, alpha, a[h:], lda, b2, ldb, 1, b, ldb)
+		trmmLeftBlocked(upper, trans, unit, m-h, n, alpha, a22, lda, b2, ldb)
 	}
 }
 

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package blas
+
+// dgemmKernel8x6 is the AVX2+FMA micro-kernel: C[0:8,0:6] += Ap·Bp over kc
+// rank-1 terms, where Ap is an 8-row packed panel (8 values per k-step,
+// contiguous) and Bp a 6-column packed panel (6 values per k-step,
+// contiguous). C is column-major with leading dimension ldc (elements).
+// The 8×6 accumulator tile lives in twelve YMM registers for the whole
+// k-loop and is added into C once at the end.
+//
+//go:noescape
+func dgemmKernel8x6(kc int, a, b, c *float64, ldc int)
+
+// cpuidx executes CPUID with the given leaf/subleaf.
+//
+//go:noescape
+func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// haveFastKernel reports whether this host can run the assembly kernel.
+// Detected once at startup so the per-tile dispatch is a predictable branch.
+var haveFastKernel = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidx(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&(fmaBit|osxsaveBit|avxBit) != fmaBit|osxsaveBit|avxBit {
+		return false
+	}
+	// The OS must save/restore YMM state (XCR0 bits 1 and 2).
+	if xeax, _ := xgetbv0(); xeax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidx(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+func microFast(kc int, a, b, c []float64, ldc int) {
+	dgemmKernel8x6(kc, &a[0], &b[0], &c[0], ldc)
+}

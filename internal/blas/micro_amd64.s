@@ -1,0 +1,134 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dgemmKernel8x6(kc int, a, b, c *float64, ldc int)
+//
+// 8×6 AVX2+FMA micro-kernel. The accumulator tile occupies Y4–Y15 (column
+// j is the pair Y(4+2j) = rows 0–3, Y(5+2j) = rows 4–7); Y0/Y1 hold the
+// current 8 packed A values and Y2/Y3 rotate through broadcast B values.
+// Per k-step: 2 vector loads + 6 broadcasts + 12 FMAs = 96 flops.
+TEXT ·dgemmKernel8x6(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), R8
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX              // ldc in bytes
+
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+	VXORPD Y12, Y12, Y12
+	VXORPD Y13, Y13, Y13
+	VXORPD Y14, Y14, Y14
+	VXORPD Y15, Y15, Y15
+
+	TESTQ R8, R8
+	JZ    done
+
+loop:
+	VMOVUPD (SI), Y0         // a[0:4]
+	VMOVUPD 32(SI), Y1       // a[4:8]
+
+	VBROADCASTSD (DI), Y2    // b[0]
+	VBROADCASTSD 8(DI), Y3   // b[1]
+	VFMADD231PD  Y2, Y0, Y4
+	VFMADD231PD  Y2, Y1, Y5
+	VFMADD231PD  Y3, Y0, Y6
+	VFMADD231PD  Y3, Y1, Y7
+
+	VBROADCASTSD 16(DI), Y2  // b[2]
+	VBROADCASTSD 24(DI), Y3  // b[3]
+	VFMADD231PD  Y2, Y0, Y8
+	VFMADD231PD  Y2, Y1, Y9
+	VFMADD231PD  Y3, Y0, Y10
+	VFMADD231PD  Y3, Y1, Y11
+
+	VBROADCASTSD 32(DI), Y2  // b[4]
+	VBROADCASTSD 40(DI), Y3  // b[5]
+	VFMADD231PD  Y2, Y0, Y12
+	VFMADD231PD  Y2, Y1, Y13
+	VFMADD231PD  Y3, Y0, Y14
+	VFMADD231PD  Y3, Y1, Y15
+
+	ADDQ $64, SI
+	ADDQ $48, DI
+	DECQ R8
+	JNZ  loop
+
+done:
+	// C[:, j] += acc column pair, walking one ldc stride per column.
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y4, Y0, Y0
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y6, Y0, Y0
+	VADDPD  Y7, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y8, Y0, Y0
+	VADDPD  Y9, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y10, Y0, Y0
+	VADDPD  Y11, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y12, Y0, Y0
+	VADDPD  Y13, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Y0
+	VMOVUPD 32(CX), Y1
+	VADDPD  Y14, Y0, Y0
+	VADDPD  Y15, Y1, Y1
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+
+	VZEROUPPER
+	RET
+
+// func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

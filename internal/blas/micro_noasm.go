@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package blas
+
+// Hosts without the assembly micro-kernel always take the portable path.
+const haveFastKernel = false
+
+func microFast(kc int, a, b, c []float64, ldc int) {
+	microGeneric(kc, a, b, c, ldc)
+}

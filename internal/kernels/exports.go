@@ -7,19 +7,23 @@ import "pulsarqr/internal/matrix"
 // receives min(m,n) scaling factors. Exported for the block (LAPACK-style)
 // algorithm used by the ScaLAPACK baseline.
 func Dgeqr2(a *matrix.Mat, tau []float64) {
-	work := make([]float64, max(a.Rows, a.Cols))
-	dgeqr2(a, tau, work)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	dgeqr2(a, tau, grow(&ws.work, max(a.Rows, a.Cols)))
 }
 
 // Dlarft forms the k×k upper-triangular factor T of the block reflector
 // defined by the unit lower-trapezoidal v (m×k) and tau.
 func Dlarft(v *matrix.Mat, tau []float64, t *matrix.Mat) {
-	work := make([]float64, len(tau))
-	dlarft(v, tau, t, work)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	dlarft(v, tau, t, grow(&ws.work, len(tau)))
 }
 
 // Dlarfb applies the block reflector H = I − V·T·Vᵀ (or Hᵀ when trans) to
 // c from the left.
 func Dlarfb(trans bool, v, t, c *matrix.Mat) {
-	dlarfb(trans, v, t, c)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	dlarfb(ws, trans, v, t, c)
 }

@@ -10,7 +10,19 @@ import (
 // block size ib. On exit a holds R in its upper triangle and the Householder
 // vectors below the diagonal; t (ib×n, at least ib×min(m,n)) holds the
 // upper-triangular block-reflector factors, one sb×sb block per column block.
+// Scratch comes from a pooled Workspace; callers that hold one should use
+// DgeqrtWS.
 func Dgeqrt(ib int, a, t *matrix.Mat) {
+	DgeqrtWS(nil, ib, a, t)
+}
+
+// DgeqrtWS is Dgeqrt drawing its scratch from ws. A nil ws borrows a
+// pooled workspace for the duration of the call.
+func DgeqrtWS(ws *Workspace, ib int, a, t *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if k == 0 {
@@ -23,16 +35,16 @@ func Dgeqrt(ib int, a, t *matrix.Mat) {
 		panic(fmt.Sprintf("kernels: Dgeqrt T %dx%d too small for ib=%d k=%d",
 			t.Rows, t.Cols, ib, k))
 	}
-	tau := make([]float64, ib)
-	work := make([]float64, max(m, n))
+	tau := grow(&ws.tau, ib)
+	work := grow(&ws.work, max(m, n))
 	for j := 0; j < k; j += ib {
 		sb := min(ib, k-j)
-		panel := a.View(j, j, m-j, sb)
+		panel := a.ViewInto(&ws.vView, j, j, m-j, sb)
 		dgeqr2(panel, tau[:sb], work)
-		tb := t.View(0, j, sb, sb)
+		tb := t.ViewInto(&ws.tView, 0, j, sb, sb)
 		dlarft(panel, tau[:sb], tb, work)
 		if j+sb < n {
-			dlarfb(true, panel, tb, a.View(j, j+sb, m-j, n-j-sb))
+			dlarfb(ws, true, panel, tb, a.ViewInto(&ws.c1View, j, j+sb, m-j, n-j-sb))
 		}
 	}
 }
@@ -41,6 +53,15 @@ func Dgeqrt(ib int, a, t *matrix.Mat) {
 // from the left, where the reflectors are stored in v (m×nv, k=min(m,nv)
 // reflectors, output of Dgeqrt) with block factors in t (ib×k).
 func Dormqr(trans bool, ib int, v, t, c *matrix.Mat) {
+	DormqrWS(nil, trans, ib, v, t, c)
+}
+
+// DormqrWS is Dormqr drawing its scratch from ws (nil borrows a pooled one).
+func DormqrWS(ws *Workspace, trans bool, ib int, v, t, c *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
 	m, n := c.Rows, c.Cols
 	if v.Rows != m {
 		panic(fmt.Sprintf("kernels: Dormqr v rows %d != c rows %d", v.Rows, m))
@@ -49,26 +70,20 @@ func Dormqr(trans bool, ib int, v, t, c *matrix.Mat) {
 	if k == 0 || n == 0 {
 		return
 	}
-	blocks := blockStarts(k, ib, trans)
-	for _, j := range blocks {
+	apply := func(j int) {
 		sb := min(ib, k-j)
-		dlarfb(trans, v.View(j, j, m-j, sb), t.View(0, j, sb, sb),
-			c.View(j, 0, m-j, n))
+		dlarfb(ws, trans, v.ViewInto(&ws.vView, j, j, m-j, sb),
+			t.ViewInto(&ws.tView, 0, j, sb, sb),
+			c.ViewInto(&ws.c1View, j, 0, m-j, n))
 	}
-}
-
-// blockStarts returns the column-block starting offsets for k reflectors
-// with block size ib, forward when fwd is true (Qᵀ application) and
-// backward otherwise (Q application).
-func blockStarts(k, ib int, fwd bool) []int {
-	var s []int
-	for j := 0; j < k; j += ib {
-		s = append(s, j)
-	}
-	if !fwd {
-		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
-			s[i], s[j] = s[j], s[i]
+	// Column blocks forward for Qᵀ, backward for Q.
+	if trans {
+		for j := 0; j < k; j += ib {
+			apply(j)
+		}
+	} else {
+		for j := (k - 1) / ib * ib; j >= 0; j -= ib {
+			apply(j)
 		}
 	}
-	return s
 }

@@ -103,16 +103,19 @@ func dlarft(v *matrix.Mat, tau []float64, t *matrix.Mat, work []float64) {
 
 // dlarfb applies the block reflector H = I − V·T·Vᵀ (or its transpose when
 // trans is true) from the left to C. V is m×k unit lower-trapezoidal with
-// m ≥ k, T is the k×k upper-triangular view, C is m×n.
-func dlarfb(trans bool, v, t, c *matrix.Mat) {
+// m ≥ k, T is the k×k upper-triangular view, C is m×n. The W panel lives in
+// ws and is fully overwritten before use.
+func dlarfb(ws *Workspace, trans bool, v, t, c *matrix.Mat) {
 	m, k := v.Rows, v.Cols
 	n := c.Cols
 	if k == 0 || n == 0 || m == 0 {
 		return
 	}
-	w := matrix.New(k, n)
+	w := matInto(&ws.wMat, &ws.wbuf, k, n)
 	// W = V1ᵀ C1  (V1 = top k×k unit lower triangle of V).
-	w.CopyFrom(c.View(0, 0, k, n))
+	for j := 0; j < n; j++ {
+		copy(w.Data[j*w.LD:j*w.LD+k], c.Data[j*c.LD:j*c.LD+k])
+	}
 	blas.Dtrmm(true, false, true, true, k, n, 1, v.Data, v.LD, w.Data, w.LD)
 	if m > k {
 		// W += V2ᵀ C2.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kernels
+
+const raceEnabled = false

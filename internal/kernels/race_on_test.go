@@ -1,0 +1,7 @@
+//go:build race
+
+package kernels
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops items under it, so alloc-count assertions are skipped.
+const raceEnabled = true

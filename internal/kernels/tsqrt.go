@@ -16,7 +16,16 @@ import (
 // Only the upper triangle of a1 is read or written, so reflector vectors
 // stored below a1's diagonal by an earlier Dgeqrt survive intact.
 func Dtsqrt(ib int, a1, a2, t *matrix.Mat) {
-	tsqrtGeneric(ib, a1, a2, t, false)
+	DtsqrtWS(nil, ib, a1, a2, t)
+}
+
+// DtsqrtWS is Dtsqrt drawing its scratch from ws (nil borrows a pooled one).
+func DtsqrtWS(ws *Workspace, ib int, a1, a2, t *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
+	tsqrtGeneric(ws, ib, a1, a2, t, false)
 }
 
 // Dttqrt is Dtsqrt for the case where the relevant content of a2 is also
@@ -25,10 +34,19 @@ func Dtsqrt(ib int, a1, a2, t *matrix.Mat) {
 // The strictly-lower part of a2 is neither read nor written, so Householder
 // vectors stored there by an earlier Dgeqrt survive intact.
 func Dttqrt(ib int, a1, a2, t *matrix.Mat) {
-	tsqrtGeneric(ib, a1, a2, t, true)
+	DttqrtWS(nil, ib, a1, a2, t)
 }
 
-func tsqrtGeneric(ib int, a1, a2, t *matrix.Mat, tri bool) {
+// DttqrtWS is Dttqrt drawing its scratch from ws (nil borrows a pooled one).
+func DttqrtWS(ws *Workspace, ib int, a1, a2, t *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
+	tsqrtGeneric(ws, ib, a1, a2, t, true)
+}
+
+func tsqrtGeneric(ws *Workspace, ib int, a1, a2, t *matrix.Mat, tri bool) {
 	n, m2 := a1.Cols, a2.Rows
 	if a1.Rows < n {
 		panic(fmt.Sprintf("kernels: tsqrt a1 %dx%d not at least square", a1.Rows, n))
@@ -50,7 +68,7 @@ func tsqrtGeneric(ib int, a1, a2, t *matrix.Mat, tri bool) {
 		}
 		return m2
 	}
-	w := make([]float64, n)
+	w := grow(&ws.wvec, n)
 	for j := 0; j < n; j += ib {
 		sb := min(ib, n-j)
 		for jj := j; jj < j+sb; jj++ {
@@ -85,9 +103,10 @@ func tsqrtGeneric(ib int, a1, a2, t *matrix.Mat, tri bool) {
 		// Block-apply Hᵀ to the trailing columns of the pair.
 		if nc := n - j - sb; nc > 0 {
 			rows := vrows(j + sb - 1)
-			v2 := v2Block(a2, j, sb, rows, tri)
-			applyTS(true, v2, t.View(0, j, sb, sb),
-				a1.View(j, j+sb, sb, nc), a2.View(0, j+sb, rows, nc))
+			v2 := v2Block(ws, a2, j, sb, rows, tri)
+			applyTS(ws, true, v2, t.ViewInto(&ws.tView, 0, j, sb, sb),
+				a1.ViewInto(&ws.c1View, j, j+sb, sb, nc),
+				a2.ViewInto(&ws.c2View, 0, j+sb, rows, nc))
 		}
 	}
 }
@@ -95,16 +114,23 @@ func tsqrtGeneric(ib int, a1, a2, t *matrix.Mat, tri bool) {
 // v2Block returns the rows×sb reflector block starting at column j of a2.
 // In the triangular case the stored heights vary per column and entries
 // below a column's height may hold unrelated data (Householder vectors of
-// an earlier factorization), so a zero-padded copy is returned instead of a
-// view; the copy cost is negligible against the level-3 work it enables.
-func v2Block(a2 *matrix.Mat, j, sb, rows int, tri bool) *matrix.Mat {
+// an earlier factorization), so a zero-padded copy is built in the
+// workspace instead of a view; the copy cost is negligible against the
+// level-3 work it enables. Every element of the copy is written — copied up
+// to the column height, zeroed below it — so reuse cannot leak state
+// between calls.
+func v2Block(ws *Workspace, a2 *matrix.Mat, j, sb, rows int, tri bool) *matrix.Mat {
 	if !tri {
-		return a2.View(0, j, rows, sb)
+		return a2.ViewInto(&ws.vView, 0, j, rows, sb)
 	}
-	c := matrix.New(rows, sb)
+	c := matInto(&ws.v2Mat, &ws.v2b, rows, sb)
 	for l := 0; l < sb; l++ {
 		h := min(j+l+1, rows)
-		copy(c.Data[l*c.LD:l*c.LD+h], a2.Data[(j+l)*a2.LD:(j+l)*a2.LD+h])
+		col := c.Data[l*c.LD : l*c.LD+rows]
+		copy(col[:h], a2.Data[(j+l)*a2.LD:(j+l)*a2.LD+h])
+		for i := h; i < rows; i++ {
+			col[i] = 0
+		}
 	}
 	return c
 }
@@ -112,14 +138,15 @@ func v2Block(a2 *matrix.Mat, j, sb, rows int, tri bool) *matrix.Mat {
 // applyTS applies the TS/TT block reflector H = I − [E;V2]·T·[E;V2]ᵀ (or
 // its transpose) to the stacked pair [C1; C2], where the identity part E
 // aligns with C1's rows. C1 is sb×nc (rows j..j+sb of the top tile), v2 is
-// rows×sb, C2 is rows×nc.
-func applyTS(trans bool, v2, t, c1, c2 *matrix.Mat) {
+// rows×sb, C2 is rows×nc. The W panel lives in ws and is fully overwritten
+// before use.
+func applyTS(ws *Workspace, trans bool, v2, t, c1, c2 *matrix.Mat) {
 	sb, nc := c1.Rows, c1.Cols
 	rows := v2.Rows
 	if nc == 0 || sb == 0 {
 		return
 	}
-	w := matrix.New(sb, nc)
+	w := matInto(&ws.wMat, &ws.wbuf, sb, nc)
 	// W = C1 + V2ᵀ C2.
 	w.CopyFrom(c1)
 	if rows > 0 {
@@ -149,7 +176,16 @@ func applyTS(trans bool, v2, t, c1, c2 *matrix.Mat) {
 // (ib×k). B1 must have at least k rows (only its first k rows are touched);
 // B2 must have m2 rows and the same number of columns as B1.
 func Dtsmqr(trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
-	tsmqrGeneric(trans, ib, v2, t, b1, b2, false)
+	DtsmqrWS(nil, trans, ib, v2, t, b1, b2)
+}
+
+// DtsmqrWS is Dtsmqr drawing its scratch from ws (nil borrows a pooled one).
+func DtsmqrWS(ws *Workspace, trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
+	tsmqrGeneric(ws, trans, ib, v2, t, b1, b2, false)
 }
 
 // Dttmqr applies the transformations computed by Dttqrt to the stacked pair
@@ -157,10 +193,19 @@ func Dtsmqr(trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
 // (the rest of the tile may hold unrelated reflectors); only the first k
 // rows of B2 are touched.
 func Dttmqr(trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
-	tsmqrGeneric(trans, ib, v2, t, b1, b2, true)
+	DttmqrWS(nil, trans, ib, v2, t, b1, b2)
 }
 
-func tsmqrGeneric(trans bool, ib int, v2, t, b1, b2 *matrix.Mat, tri bool) {
+// DttmqrWS is Dttmqr drawing its scratch from ws (nil borrows a pooled one).
+func DttmqrWS(ws *Workspace, trans bool, ib int, v2, t, b1, b2 *matrix.Mat) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
+	tsmqrGeneric(ws, trans, ib, v2, t, b1, b2, true)
+}
+
+func tsmqrGeneric(ws *Workspace, trans bool, ib int, v2, t, b1, b2 *matrix.Mat, tri bool) {
 	k := v2.Cols
 	nc := b1.Cols
 	if b2.Cols != nc {
@@ -178,14 +223,25 @@ func tsmqrGeneric(trans bool, ib int, v2, t, b1, b2 *matrix.Mat, tri bool) {
 	if k == 0 || nc == 0 {
 		return
 	}
-	for _, j := range blockStarts(k, ib, trans) {
+	apply := func(j int) {
 		sb := min(ib, k-j)
 		rows := v2.Rows
 		if tri {
 			rows = min(j+sb, v2.Rows)
 		}
-		vb := v2Block(v2, j, sb, rows, tri)
-		applyTS(trans, vb, t.View(0, j, sb, sb),
-			b1.View(j, 0, sb, nc), b2.View(0, 0, rows, nc))
+		vb := v2Block(ws, v2, j, sb, rows, tri)
+		applyTS(ws, trans, vb, t.ViewInto(&ws.tView, 0, j, sb, sb),
+			b1.ViewInto(&ws.c1View, j, 0, sb, nc),
+			b2.ViewInto(&ws.c2View, 0, 0, rows, nc))
+	}
+	// Column blocks forward for Qᵀ, backward for Q.
+	if trans {
+		for j := 0; j < k; j += ib {
+			apply(j)
+		}
+	} else {
+		for j := (k - 1) / ib * ib; j >= 0; j -= ib {
+			apply(j)
+		}
 	}
 }

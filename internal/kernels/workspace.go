@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"sync"
+
+	"pulsarqr/internal/matrix"
+)
+
+// Workspace holds the scratch storage a kernel invocation needs — the W
+// panel of the block-reflector applies, the zero-padded V2 copy of the
+// triangular kernels, Dgeqrt's tau/work vectors, and reusable matrix
+// headers for the per-block operand views — so that steady-state kernel
+// fires allocate nothing.
+//
+// Ownership rules (see docs/KERNELS.md): a Workspace belongs to exactly one
+// goroutine at a time and is NOT safe for concurrent use. The runtime gives
+// each worker thread its own via pulsar.Config.WorkerState; the sequential
+// reference owns one per factorization; callers without one pass nil and
+// the entry points borrow from a process-wide sync.Pool. Buffers grow
+// monotonically and are never shrunk or zeroed between calls — every kernel
+// fully overwrites the region it reads, which is what keeps results
+// independent of buffer history (the determinism contract).
+type Workspace struct {
+	tau  []float64 // Dgeqrt reflector scaling factors
+	work []float64 // dgeqr2/dlarft vector scratch
+	wvec []float64 // tsqrtGeneric T-column scratch
+	wbuf []float64 // applyTS/dlarfb W panel storage
+	v2b  []float64 // v2Block zero-padded triangular copy storage
+
+	vView, tView, c1View, c2View matrix.Mat // per-block operand view headers
+	wMat, v2Mat                  matrix.Mat // W panel and V2 copy headers
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on demand and are
+// retained across kernel calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool backs the nil-Workspace convenience path of the exported kernels.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// grow returns buf resized to n elements, reallocating only when capacity
+// is insufficient. Contents are unspecified: callers must fully overwrite
+// whatever they later read.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// matInto shapes one of the workspace's matrix headers as a compact
+// rows×cols matrix over the given backing buffer and returns it.
+func matInto(hdr *matrix.Mat, buf *[]float64, rows, cols int) *matrix.Mat {
+	ld := rows
+	if ld < 1 {
+		ld = 1
+	}
+	hdr.Rows, hdr.Cols, hdr.LD = rows, cols, ld
+	hdr.Data = grow(buf, ld*cols)
+	return hdr
+}

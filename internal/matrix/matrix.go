@@ -90,6 +90,19 @@ func (m *Mat) View(i, j, rows, cols int) *Mat {
 	return &Mat{Rows: rows, Cols: cols, LD: m.LD, Data: m.Data[i+j*m.LD:]}
 }
 
+// ViewInto fills dst with the same view View would return — rows [i, i+rows)
+// and columns [j, j+cols) sharing storage with m — and returns dst. It
+// exists so hot paths can reuse a caller-owned header instead of allocating
+// one per call.
+func (m *Mat) ViewInto(dst *Mat, i, j, rows, cols int) *Mat {
+	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
+		panic(fmt.Sprintf("matrix: view [%d:%d, %d:%d) out of %dx%d",
+			i, i+rows, j, j+cols, m.Rows, m.Cols))
+	}
+	dst.Rows, dst.Cols, dst.LD, dst.Data = rows, cols, m.LD, m.Data[i+j*m.LD:]
+	return dst
+}
+
 // Clone returns a compact deep copy of m.
 func (m *Mat) Clone() *Mat {
 	c := New(m.Rows, m.Cols)

@@ -51,6 +51,13 @@ type Codec struct {
 	ID     byte
 	Encode func(v any) ([]byte, bool)
 	Decode func(b []byte) (any, error)
+	// EncodeAppend, when non-nil, appends the payload encoding to dst and
+	// returns the extended slice instead of allocating a fresh one. The
+	// runtime's inter-node send path prefers it so marshal buffers can be
+	// pooled across packets. On a type mismatch it must report false
+	// without having grown dst's contents meaningfully (the caller
+	// discards the returned slice in that case).
+	EncodeAppend func(dst []byte, v any) ([]byte, bool)
 }
 
 var (
@@ -80,6 +87,13 @@ func init() {
 				return nil, false
 			}
 			return EncodeMat(m), true
+		},
+		EncodeAppend: func(dst []byte, v any) ([]byte, bool) {
+			m, ok := v.(*matrix.Mat)
+			if !ok {
+				return dst, false
+			}
+			return AppendMat(dst, m), true
 		},
 		Decode: func(b []byte) (any, error) { return DecodeMat(b) },
 	})
@@ -152,7 +166,15 @@ func init() {
 
 // EncodeMat serializes a matrix compactly (rows, cols, column-major data).
 func EncodeMat(m *matrix.Mat) []byte {
-	out := make([]byte, 8+8*m.Rows*m.Cols)
+	return AppendMat(make([]byte, 0, 8+8*m.Rows*m.Cols), m)
+}
+
+// AppendMat appends EncodeMat's serialization of m to dst and returns the
+// extended slice, allocating only when dst lacks capacity.
+func AppendMat(dst []byte, m *matrix.Mat) []byte {
+	n := len(dst)
+	dst = growBytes(dst, 8+8*m.Rows*m.Cols)
+	out := dst[n:]
 	binary.LittleEndian.PutUint32(out[0:], uint32(m.Rows))
 	binary.LittleEndian.PutUint32(out[4:], uint32(m.Cols))
 	o := 8
@@ -162,7 +184,18 @@ func EncodeMat(m *matrix.Mat) []byte {
 			o += 8
 		}
 	}
-	return out
+	return dst
+}
+
+// growBytes extends b by n bytes (contents unspecified), reallocating only
+// when capacity is insufficient.
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n)
+	copy(nb, b)
+	return nb
 }
 
 // DecodeMat reverses EncodeMat.
@@ -192,11 +225,24 @@ func DecodeMat(b []byte) (*matrix.Mat, error) {
 // inter-node channels, distributed drivers use it to ship collector output
 // between processes.
 func MarshalPacket(p *Packet) ([]byte, error) {
+	return appendPacket(nil, p)
+}
+
+// appendPacket appends the wire form of p (codec ID byte + payload) to dst.
+// MarshalPacket is this with a nil dst and so always returns a fresh slice;
+// the runtime's inter-node send path passes pooled buffers instead.
+func appendPacket(dst []byte, p *Packet) ([]byte, error) {
 	codecMu.RLock()
 	defer codecMu.RUnlock()
 	for _, c := range codecSeq {
+		if c.EncodeAppend != nil {
+			if out, ok := c.EncodeAppend(append(dst, c.ID), p.Data); ok {
+				return out, nil
+			}
+			continue // mismatch left dst's length unchanged; try the next codec
+		}
 		if b, ok := c.Encode(p.Data); ok {
-			return append([]byte{c.ID}, b...), nil
+			return append(append(dst, c.ID), b...), nil
 		}
 	}
 	return nil, fmt.Errorf("pulsar: no codec for payload type %T", p.Data)

@@ -54,6 +54,9 @@ func (s *VSA) Run() error {
 		for t := 0; t < s.cfg.ThreadsPerNode; t++ {
 			w := &worker{vsa: s, node: n, id: t}
 			w.cond = sync.NewCond(&w.mu)
+			if s.cfg.WorkerState != nil {
+				w.state = s.cfg.WorkerState(n, t)
+			}
 			s.workers[n][t] = w
 		}
 		ep := s.cfg.Comm
@@ -258,6 +261,7 @@ func (s *VSA) deadlockError(dist bool, local int) error {
 type worker struct {
 	vsa      *VSA
 	node, id int
+	state    any // per-worker private state from Config.WorkerState
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -369,7 +373,7 @@ type proxy struct {
 
 type outMsg struct {
 	dst, tag int
-	data     []byte
+	buf      *[]byte // pooled marshal buffer, recycled after Isend
 }
 
 func newProxy(s *VSA, node int, comm transport.Endpoint) *proxy {
@@ -404,9 +408,9 @@ func (p *proxy) stopProxy() {
 	p.cond.Signal()
 }
 
-func (p *proxy) enqueue(dst, tag int, data []byte) {
+func (p *proxy) enqueue(dst, tag int, buf *[]byte) {
 	p.mu.Lock()
-	p.outQ = append(p.outQ, outMsg{dst, tag, data})
+	p.outQ = append(p.outQ, outMsg{dst, tag, buf})
 	p.kick = true
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -426,7 +430,12 @@ func (p *proxy) run() {
 		p.outQ = nil
 		p.mu.Unlock()
 		for _, m := range out {
-			p.comm.Isend(m.data, m.dst, m.tag)
+			// Sends are eager: the transport has copied or serialized the
+			// payload by the time Isend returns, so the marshal buffer can
+			// go back to the pool immediately.
+			p.comm.Isend(*m.buf, m.dst, m.tag)
+			*m.buf = (*m.buf)[:0]
+			sendBufPool.Put(m.buf)
 			progress = true
 		}
 		// Exit once asked to stop with nothing left to send or deliver;

@@ -56,6 +56,20 @@ func (v *VDP) SetLocal(x any) { v.local = x }
 // Params returns the VSA's read-only global parameters.
 func (v *VDP) Params() any { return v.vsa.params }
 
+// WorkerState returns the private state of the worker thread currently
+// firing this VDP (created by Config.WorkerState), or nil when no factory
+// was configured or the VDP is not being fired by the runtime. Because a
+// worker fires one VDP at a time, the state may be used without locking for
+// the duration of the firing.
+func (v *VDP) WorkerState() any {
+	if v.node < len(v.vsa.workers) && v.thread < len(v.vsa.workers[v.node]) {
+		if w := v.vsa.workers[v.node][v.thread]; w != nil {
+			return w.state
+		}
+	}
+	return nil
+}
+
 // Pop removes and returns the packet at the head of input channel slot.
 // Calling it on an empty or unconnected slot panics: the firing rule
 // guarantees one packet per active input at fire time, so an empty pop is

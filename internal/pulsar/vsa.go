@@ -63,6 +63,12 @@ type Config struct {
 	// FireHook, when non-nil, is called after every VDP firing. It may be
 	// called concurrently from different workers and must be safe for that.
 	FireHook func(FireEvent)
+	// WorkerState, when non-nil, is called once per worker thread at Run
+	// time to create that worker's private state (e.g. a reusable kernel
+	// workspace). A firing VDP reaches its worker's state through
+	// VDP.WorkerState; since a worker fires one VDP at a time, the state
+	// needs no locking.
+	WorkerState func(node, thread int) any
 	// DeadlockTimeout aborts the run when no VDP fires for this long while
 	// VDPs remain alive. Zero selects the 30s default; negative disables.
 	DeadlockTimeout time.Duration
@@ -285,9 +291,15 @@ func (s *VSA) attachIn(v *VDP, slot int, c *Channel) {
 	v.in[slot] = c
 }
 
+// sendBufPool recycles the marshal buffers of the inter-node send path:
+// route fills one per packet and the proxy returns it right after Isend,
+// which the Endpoint contract requires to have copied or serialized the
+// bytes before returning.
+var sendBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // route delivers a packet pushed on channel c: collectors accumulate,
-// intra-node channels enqueue zero-copy, inter-node channels marshal and
-// hand the bytes to the source node's proxy.
+// intra-node channels enqueue zero-copy, inter-node channels marshal into a
+// pooled buffer and hand the bytes to the source node's proxy.
 func (s *VSA) route(c *Channel, p *Packet) {
 	switch {
 	case c.dst == nil:
@@ -301,11 +313,13 @@ func (s *VSA) route(c *Channel, p *Packet) {
 			s.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
 		}
 	default:
-		b, err := MarshalPacket(p)
+		buf := sendBufPool.Get().(*[]byte)
+		b, err := appendPacket((*buf)[:0], p)
 		if err != nil {
 			panic(fmt.Sprintf("pulsar: cannot ship packet on %s: %v", c, err))
 		}
-		s.proxies[c.srcNode].enqueue(c.dstNode, c.tag, b)
+		*buf = b
+		s.proxies[c.srcNode].enqueue(c.dstNode, c.tag, buf)
 	}
 }
 

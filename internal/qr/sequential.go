@@ -30,6 +30,10 @@ func Factorize(a *matrix.Tiled, b *matrix.Tiled, opts Options) (*Factorization, 
 	}
 	f := &Factorization{M: a.M, N: a.N, Opts: opts, A: a, QTB: b}
 
+	// One workspace for the whole factorization: the sequential reference is
+	// single-goroutine, so every kernel call below reuses the same scratch.
+	ws := kernels.NewWorkspace()
+
 	// colTile enumerates the trailing tiles of row i at panel j: first the
 	// matrix columns j+1..nt-1, then every rhs tile column.
 	colTile := func(i, idx, j int) *matrix.Mat {
@@ -61,10 +65,10 @@ func Factorize(a *matrix.Tiled, b *matrix.Tiled, opts Options) (*Factorization, 
 			tile := a.Tile(top, j)
 			k := min(tile.Rows, n)
 			tg := matrix.New(min(opts.IB, k), k)
-			kernels.Dgeqrt(opts.IB, tile, tg)
+			kernels.DgeqrtWS(ws, opts.IB, tile, tg)
 			f.Ops = append(f.Ops, Op{Kind: OpGeqrt, J: j, I: top, K: -1, T: tg})
 			for l := 0; l < nc; l++ {
-				kernels.Dormqr(true, opts.IB, tile, tg, colTile(top, l, j))
+				kernels.DormqrWS(ws, true, opts.IB, tile, tg, colTile(top, l, j))
 			}
 			// Extract the domain R as a working copy (upper trapezoid).
 			r := matrix.New(k, n)
@@ -78,10 +82,10 @@ func Factorize(a *matrix.Tiled, b *matrix.Tiled, opts Options) (*Factorization, 
 			for _, kRow := range d.Rows {
 				kt := a.Tile(kRow, j)
 				tt := matrix.New(min(opts.IB, n), n)
-				kernels.Dtsqrt(opts.IB, r, kt, tt)
+				kernels.DtsqrtWS(ws, opts.IB, r, kt, tt)
 				f.Ops = append(f.Ops, Op{Kind: OpTsqrt, J: j, I: top, K: kRow, T: tt})
 				for l := 0; l < nc; l++ {
-					kernels.Dtsmqr(true, opts.IB, kt, tt, colTile(top, l, j), colTile(kRow, l, j))
+					kernels.DtsmqrWS(ws, true, opts.IB, kt, tt, colTile(top, l, j), colTile(kRow, l, j))
 				}
 			}
 		}
@@ -89,10 +93,10 @@ func Factorize(a *matrix.Tiled, b *matrix.Tiled, opts Options) (*Factorization, 
 		for _, m := range plan.Merges {
 			r1, r2 := rs[m.Surv], rs[m.K]
 			tt := matrix.New(min(opts.IB, n), n)
-			kernels.Dttqrt(opts.IB, r1, r2, tt)
+			kernels.DttqrtWS(ws, opts.IB, r1, r2, tt)
 			f.Ops = append(f.Ops, Op{Kind: OpTtqrt, J: j, I: m.Surv, K: m.K, T: tt, V2: r2})
 			for l := 0; l < nc; l++ {
-				kernels.Dttmqr(true, opts.IB, r2, tt, colTile(m.Surv, l, j), colTile(m.K, l, j))
+				kernels.DttmqrWS(ws, true, opts.IB, r2, tt, colTile(m.Surv, l, j), colTile(m.K, l, j))
 			}
 		}
 

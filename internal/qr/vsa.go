@@ -191,6 +191,9 @@ func FactorizeVSA(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig) 
 		Map:             bd.mapping(),
 		FireHook:        rc.FireHook,
 		DeadlockTimeout: rc.DeadlockTimeout,
+		// One kernel workspace per worker thread: every VDP that fires on a
+		// thread reuses that thread's scratch instead of allocating per fire.
+		WorkerState: func(node, thread int) any { return kernels.NewWorkspace() },
 	})
 	bd.build()
 	bd.inject()
@@ -483,13 +486,20 @@ func extractR(tile *matrix.Mat, n int) *matrix.Mat {
 	return r
 }
 
+// wsOf returns the firing worker's kernel workspace; nil (letting the
+// kernels fall back to their pool) if the runtime has none configured.
+func wsOf(v *pulsar.VDP) *kernels.Workspace {
+	ws, _ := v.WorkerState().(*kernels.Workspace)
+	return ws
+}
+
 func panelFn(v *pulsar.VDP) {
 	cfg := v.Local().(*panelLocal)
 	tile := v.Pop(0).Tile()
 	if cfg.top {
 		k := min(tile.Rows, cfg.n)
 		tg := matrix.New(min(cfg.ib, k), k)
-		kernels.Dgeqrt(cfg.ib, tile, tg)
+		kernels.DgeqrtWS(wsOf(v), cfg.ib, tile, tg)
 		if cfg.hasVT {
 			v.Push(1, pulsar.NewPacket(&vtMsg{V: tile, T: tg}))
 		}
@@ -499,7 +509,7 @@ func panelFn(v *pulsar.VDP) {
 	}
 	r := v.Pop(1).Tile()
 	tt := matrix.New(min(cfg.ib, cfg.n), cfg.n)
-	kernels.Dtsqrt(cfg.ib, r, tile, tt)
+	kernels.DtsqrtWS(wsOf(v), cfg.ib, r, tile, tt)
 	if cfg.hasVT {
 		v.Push(1, pulsar.NewPacket(&vtMsg{V: tile, T: tt}))
 	}
@@ -518,12 +528,12 @@ func updateFn(v *pulsar.VDP) {
 	msg := vtp.Data.(*vtMsg)
 	tile := v.Pop(0).Tile()
 	if cfg.top {
-		kernels.Dormqr(true, cfg.ib, msg.V, msg.T, tile)
+		kernels.DormqrWS(wsOf(v), true, cfg.ib, msg.V, msg.T, tile)
 		v.Push(1, pulsar.NewPacket(tile))
 		return
 	}
 	topTile := v.Pop(2).Tile()
-	kernels.Dtsmqr(true, cfg.ib, msg.V, msg.T, topTile, tile)
+	kernels.DtsmqrWS(wsOf(v), true, cfg.ib, msg.V, msg.T, topTile, tile)
 	v.Push(1, pulsar.NewPacket(topTile))
 	v.Push(3, pulsar.NewPacket(tile))
 }
@@ -533,7 +543,7 @@ func mergeFn(v *pulsar.VDP) {
 	rs := v.Pop(0).Tile()
 	rk := v.Pop(1).Tile()
 	tt := matrix.New(min(cfg.ib, cfg.n), cfg.n)
-	kernels.Dttqrt(cfg.ib, rs, rk, tt)
+	kernels.DttqrtWS(wsOf(v), cfg.ib, rs, rk, tt)
 	if cfg.hasVT {
 		v.Push(1, pulsar.NewPacket(&vtMsg{V: rk, T: tt}))
 	}
@@ -550,7 +560,7 @@ func mergeUpdFn(v *pulsar.VDP) {
 	msg := vtp.Data.(*vtMsg)
 	b1 := v.Pop(0).Tile()
 	b2 := v.Pop(1).Tile()
-	kernels.Dttmqr(true, cfg.ib, msg.V, msg.T, b1, b2)
+	kernels.DttmqrWS(wsOf(v), true, cfg.ib, msg.V, msg.T, b1, b2)
 	v.Push(1, pulsar.NewPacket(b1))
 	v.Push(2, pulsar.NewPacket(b2))
 }

@@ -51,6 +51,12 @@ func (cfg TCPConfig) withDefaults() TCPConfig {
 
 var errClosed = errors.New("transport: endpoint closed")
 
+// framePool recycles outbound data-frame buffers: Isend fills one per
+// message and the peer's writer goroutine returns it once the bytes are on
+// the wire. Frames dropped during shutdown or on a write error are simply
+// left to the garbage collector.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // DialTCP joins the TCP communicator described by cfg: it listens on its
 // own address, dials every peer with retry/backoff, and waits until every
 // peer has dialed in, so the full mesh is up when it returns. Each ordered
@@ -245,7 +251,9 @@ func (ep *tcpEndpoint) Isend(data []byte, dest, tag int) Request {
 		copy(buf, data)
 		ep.mb.push(envelope{source: ep.rank, tag: tag, data: buf})
 	} else {
-		ep.peers[dest].enqueue(EncodeFrame(Frame{Type: FrameData, Rank: ep.rank, Tag: tag, Payload: data}))
+		fb := framePool.Get().(*[]byte)
+		*fb = AppendFrame((*fb)[:0], Frame{Type: FrameData, Rank: ep.rank, Tag: tag, Payload: data})
+		ep.peers[dest].enqueue(*fb, fb)
 	}
 	return &netRequest{done: true, source: dest, tag: tag}
 }
@@ -378,7 +386,7 @@ func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
 		p.mu.Unlock()
 		for _, b := range batch {
 			p.conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
-			if _, err := p.conn.Write(b); err != nil {
+			if _, err := p.conn.Write(b.data); err != nil {
 				p.mu.Lock()
 				p.err = err
 				p.q = nil
@@ -388,6 +396,10 @@ func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
 					ep.peerLost(dst, fmt.Errorf("write: %w", err))
 				}
 				return
+			}
+			if b.owner != nil {
+				*b.owner = (*b.owner)[:0]
+				framePool.Put(b.owner)
 			}
 		}
 	}
@@ -436,12 +448,12 @@ func (ep *tcpEndpoint) Barrier() error {
 		}
 		release := EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierRelease}})
 		for j := 1; j < ep.size; j++ {
-			ep.peers[j].enqueue(release)
+			ep.peers[j].enqueue(release, nil)
 		}
 		return nil
 	}
 
-	ep.peers[0].enqueue(EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierEnter}}))
+	ep.peers[0].enqueue(EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierEnter}}), nil)
 	b.mu.Lock()
 	for !b.released[gen] && b.err == nil && !b.departed[0] {
 		b.cond.Wait()
@@ -496,9 +508,18 @@ type peerLink struct {
 	conn    net.Conn
 	mu      sync.Mutex
 	cond    *sync.Cond
-	q       [][]byte
+	q       []outFrame
 	stopped bool
 	err     error
+}
+
+// outFrame is one queued wire frame; owner, when non-nil, is the pooled
+// buffer backing data, returned to framePool after a successful write.
+// Barrier frames enqueue the same slice to several peers and so carry no
+// owner.
+type outFrame struct {
+	data  []byte
+	owner *[]byte
 }
 
 func newPeerLink(conn net.Conn) *peerLink {
@@ -507,13 +528,13 @@ func newPeerLink(conn net.Conn) *peerLink {
 	return p
 }
 
-func (p *peerLink) enqueue(frame []byte) {
+func (p *peerLink) enqueue(frame []byte, owner *[]byte) {
 	p.mu.Lock()
 	if p.stopped || p.err != nil {
 		p.mu.Unlock()
 		return // dropped: the communicator is shutting down or broken
 	}
-	p.q = append(p.q, frame)
+	p.q = append(p.q, outFrame{frame, owner})
 	p.mu.Unlock()
 	p.cond.Signal()
 }
