@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke vet clean
+.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke serve-smoke vet clean
 
 all: build
 
@@ -44,6 +44,11 @@ bench-kernels:
 
 launch-smoke: build
 	$(BIN)/qrfactor -launch 3 -m 2048 -n 256 -nb 64 -ib 16 -check
+
+# End-to-end check of the factorization service: qrserve + 2 launched
+# agent processes, 3 concurrent HTTP jobs, metrics and clean shutdown.
+serve-smoke: build
+	sh scripts/serve_smoke.sh $(BIN)
 
 clean:
 	rm -rf $(BIN)

@@ -20,14 +20,16 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
-	"sync"
+	"syscall"
 	"time"
 
 	"pulsarqr"
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/procgroup"
 )
 
 func main() {
@@ -165,6 +167,9 @@ func main() {
 // launchNodes runs an N-process factorization: it reserves N loopback
 // ports, starts one qrnode per rank with the shared peer list, relays each
 // child's output under a [rank] prefix, and returns the worst exit code.
+// The children form one supervised group: a signal to qrfactor, a failed
+// rank, or any early return tears the whole mesh down — no orphaned qrnode
+// processes holding ports.
 func launchNodes(n int, nodeBin string, args []string) int {
 	bin, err := findQrnode(nodeBin)
 	if err != nil {
@@ -191,43 +196,67 @@ func launchNodes(n int, nodeBin string, args []string) int {
 	peers := strings.Join(addrs, ",")
 	log.Printf("launching %d qrnode processes (%s)", n, bin)
 
-	var wg sync.WaitGroup
-	cmds := make([]*exec.Cmd, n)
+	group := procgroup.New()
+	defer group.Kill() // covers every exit path, error returns included
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	type exit struct {
+		rank, code int
+		err        error
+	}
+	exits := make(chan exit, n)
 	for i := 0; i < n; i++ {
 		cmd := exec.Command(bin, append([]string{
 			"-rank", fmt.Sprint(i), "-peers", peers,
 		}, args...)...)
 		out, err := cmd.StdoutPipe()
-		if err == nil {
-			cmd.Stderr = cmd.Stdout // merged: one ordered stream per child
-		}
 		if err != nil {
 			log.Printf("rank %d: %v", i, err)
 			return 1
 		}
-		if err := cmd.Start(); err != nil {
+		cmd.Stderr = cmd.Stdout // merged: one ordered stream per child
+		if err := group.Start(cmd); err != nil {
 			log.Printf("start rank %d: %v", i, err)
 			return 1
 		}
-		cmds[i] = cmd
-		wg.Add(1)
-		go func(i int, out *bufio.Scanner) {
-			defer wg.Done()
-			for out.Scan() {
-				fmt.Printf("[rank %d] %s\n", i, out.Text())
+		go func(i int, cmd *exec.Cmd, sc *bufio.Scanner) {
+			for sc.Scan() {
+				fmt.Printf("[rank %d] %s\n", i, sc.Text())
 			}
-		}(i, bufio.NewScanner(out))
+			err := cmd.Wait()
+			code := 0
+			if err != nil {
+				if code = cmd.ProcessState.ExitCode(); code <= 0 {
+					code = 1
+				}
+			}
+			exits <- exit{i, code, err}
+		}(i, cmd, bufio.NewScanner(out))
 	}
 
 	code := 0
-	wg.Wait()
-	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			log.Printf("rank %d: %v", i, err)
-			if ec := cmd.ProcessState.ExitCode(); ec > code {
-				code = ec
-			} else if code == 0 {
-				code = 1
+	for done := 0; done < n; {
+		select {
+		case sig := <-sigc:
+			log.Printf("received %v, stopping nodes", sig)
+			group.Kill()
+			if code == 0 {
+				code = 130
+			}
+		case e := <-exits:
+			done++
+			if e.code != 0 {
+				if !group.Killed() {
+					log.Printf("rank %d: %v", e.rank, e.err)
+					// One dead rank would leave the rest blocked in the
+					// mesh until their deadlock timeout; fail fast instead.
+					group.Kill()
+				}
+				if e.code > code {
+					code = e.code
+				}
 			}
 		}
 	}

@@ -18,12 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pulsarqr"
@@ -125,9 +129,19 @@ func main() {
 		tb = matrix.FromDense(b, *nb)
 	}
 
+	// SIGINT/SIGTERM cancel the run: in-flight kernels drain, the runtime
+	// aborts, and the process exits instead of lingering in the mesh. The
+	// launcher signals the whole group, so every rank unwinds together.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
 	start := time.Now()
-	f, err := qr.FactorizeVSADist(ta, tb, opts, rc, ep)
+	f, err := qr.FactorizeVSADistCtx(ctx, ta, tb, opts, rc, ep)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Print(err)
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)

@@ -1,0 +1,239 @@
+// Command qrserve is the factorization service: a long-running process that
+// accepts QR jobs over HTTP and multiplexes them onto a warm VSA runtime —
+// a persistent worker pool and, in fleet mode, persistent TCP sessions to a
+// set of qrservenode agents, one factorization job per mux channel.
+//
+// Standalone:
+//
+//	qrserve -listen 127.0.0.1:7311 -threads 4
+//
+// Fleet of three processes on one machine (one server + two agents,
+// launched and supervised as a group):
+//
+//	qrserve -listen 127.0.0.1:7311 -launch 2
+//
+// Submit work:
+//
+//	curl -s http://127.0.0.1:7311/v1/factorize \
+//	     -d '{"m":2048,"n":512,"seed":7,"wait":true}'
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pulsarqr/internal/procgroup"
+	"pulsarqr/internal/service"
+	"pulsarqr/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrserve: ")
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7311", "HTTP listen address (use :0 for an ephemeral port)")
+		portfile = flag.String("portfile", "", "write the bound HTTP address to this file (for scripts using -listen :0)")
+		threads  = flag.Int("threads", 4, "worker threads in the persistent pool")
+		queue    = flag.Int("queue", 32, "admission queue capacity (submits beyond it get 429)")
+		maxjobs  = flag.Int("maxjobs", 4, "jobs factorizing concurrently")
+		results  = flag.Int("results", 64, "terminal jobs kept queryable before eviction")
+		launch   = flag.Int("launch", 0, "spawn this many qrservenode agent processes and serve as rank 0 of the fleet")
+		peers    = flag.String("peers", "", "join an existing fleet: comma-separated host:port of every rank, this process first (rank 0)")
+		nodeBin  = flag.String("qrservenode", "", "path to the qrservenode binary (default: next to qrserve, then $PATH)")
+		rdv      = flag.Duration("rendezvous", 30*time.Second, "fleet mesh setup timeout")
+	)
+	flag.Parse()
+	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv))
+}
+
+// run is main minus os.Exit, so the deferred group kill and closes fire on
+// every path.
+func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv time.Duration) int {
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	group := procgroup.New()
+	defer group.Kill() // no orphaned agents on any exit path
+	var childWG sync.WaitGroup
+
+	var ep transport.Endpoint
+	switch {
+	case launch > 0:
+		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		ep = e
+	case peers != "":
+		e, err := transport.DialTCP(transport.TCPConfig{
+			Rank:              0,
+			Peers:             strings.Split(peers, ","),
+			RendezvousTimeout: rdv,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		ep = e
+	}
+	if ep != nil {
+		defer ep.Close()
+	}
+
+	srv, err := service.NewServer(service.Config{
+		Threads:       threads,
+		QueueCap:      queue,
+		MaxConcurrent: maxjobs,
+		ResultCap:     results,
+		Ep:            ep,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Printf("listen %s: %v", listen, err)
+		srv.Close()
+		return 1
+	}
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Printf("portfile: %v", err)
+			ln.Close()
+			srv.Close()
+			return 1
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	log.Printf("serving on http://%s (%d ranks, %d threads, queue %d, %d concurrent jobs)",
+		ln.Addr(), srv.Ranks(), threads, queue, maxjobs)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+	case err := <-httpDone:
+		log.Printf("http server: %v", err)
+	}
+	stopSig()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	hs.Shutdown(shutCtx)
+	cancel()
+	srv.Close() // cancels jobs, broadcasts agent shutdown, drains the pool
+
+	// Give launched agents a moment to exit on the shutdown broadcast, then
+	// make sure nothing is left behind.
+	waited := make(chan struct{})
+	go func() { childWG.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		log.Print("agents still running, killing")
+	}
+	group.Kill()
+	return 0
+}
+
+// launchFleet reserves ports for a (1+agents)-rank mesh, keeps rank 0's
+// listener bound for itself, spawns the agent processes under group
+// supervision, and dials the mesh.
+func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, nodeBin string, threads int, rdv time.Duration) (transport.Endpoint, error) {
+	bin, err := findNode(nodeBin)
+	if err != nil {
+		return nil, err
+	}
+	total := agents + 1
+	addrs := make([]string, total)
+	lns := make([]net.Listener, total)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return nil, fmt.Errorf("reserve port: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	// Rank 0 keeps its listener; agent ports are released for the children
+	// to re-bind immediately.
+	for _, ln := range lns[1:] {
+		ln.Close()
+	}
+	peerList := strings.Join(addrs, ",")
+	log.Printf("launching %d qrservenode agents (%s)", agents, bin)
+	for i := 1; i < total; i++ {
+		cmd := exec.Command(bin,
+			"-rank", fmt.Sprint(i),
+			"-peers", peerList,
+			"-threads", fmt.Sprint(threads),
+			"-rendezvous", rdv.String(),
+		)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := group.Start(cmd); err != nil {
+			return nil, fmt.Errorf("start agent %d: %w", i, err)
+		}
+		childWG.Add(1)
+		go func(i int, cmd *exec.Cmd, sc *bufio.Scanner) {
+			defer childWG.Done()
+			for sc.Scan() {
+				fmt.Printf("[agent %d] %s\n", i, sc.Text())
+			}
+			if err := cmd.Wait(); err != nil && !group.Killed() {
+				log.Printf("agent %d: %v", i, err)
+			}
+		}(i, cmd, bufio.NewScanner(out))
+	}
+	return transport.DialTCP(transport.TCPConfig{
+		Rank:              0,
+		Peers:             addrs,
+		Listener:          lns[0],
+		RendezvousTimeout: rdv,
+		Logf:              log.Printf,
+	})
+}
+
+// findNode locates the qrservenode binary: explicit flag, then the
+// directory qrserve runs from, then $PATH.
+func findNode(nodeBin string) (string, error) {
+	if nodeBin != "" {
+		return nodeBin, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "qrservenode")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("qrservenode"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("qrservenode binary not found: build it (go build ./cmd/qrservenode) next to qrserve, put it on $PATH, or pass -qrservenode")
+}

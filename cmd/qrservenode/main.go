@@ -1,0 +1,95 @@
+// Command qrservenode is a fleet agent for qrserve: one non-root rank that
+// joins the TCP mesh once, keeps a warm worker pool, and executes its share
+// of every factorization job the server dispatches over the multiplexed
+// session. It exits when the server broadcasts shutdown, the connection
+// drops, or it receives SIGINT/SIGTERM.
+//
+// The -rank and -peers flags fall back to the QRSERVE_RANK and
+// QRSERVE_PEERS environment variables.
+//
+// Example (usually spawned by `qrserve -launch N`):
+//
+//	qrservenode -rank 1 -peers 127.0.0.1:9001,127.0.0.1:9002 -threads 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pulsarqr/internal/service"
+	"pulsarqr/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrservenode: ")
+	var (
+		rank    = flag.Int("rank", -1, "this process's rank, >= 1 (env QRSERVE_RANK)")
+		peers   = flag.String("peers", "", "comma-separated host:port of every rank, server first (env QRSERVE_PEERS)")
+		threads = flag.Int("threads", 4, "worker threads in the persistent pool")
+		rdv     = flag.Duration("rendezvous", 30*time.Second, "mesh setup timeout")
+	)
+	flag.Parse()
+
+	if *rank < 0 {
+		if v := os.Getenv("QRSERVE_RANK"); v != "" {
+			r, err := strconv.Atoi(v)
+			if err != nil {
+				log.Fatalf("QRSERVE_RANK: %v", err)
+			}
+			*rank = r
+		}
+	}
+	if *peers == "" {
+		*peers = os.Getenv("QRSERVE_PEERS")
+	}
+	if *peers == "" {
+		log.Fatal("no peer list: pass -peers or set QRSERVE_PEERS")
+	}
+	peerList := strings.Split(*peers, ",")
+	if *rank < 1 || *rank >= len(peerList) {
+		log.Fatalf("rank %d outside agent range [1, %d)", *rank, len(peerList))
+	}
+	log.SetPrefix(fmt.Sprintf("qrservenode %d: ", *rank))
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	ep, err := transport.DialTCP(transport.TCPConfig{
+		Rank:              *rank,
+		Peers:             peerList,
+		RendezvousTimeout: *rdv,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	log.Printf("fleet of %d ranks up, %d worker threads warm", ep.Size(), *threads)
+
+	agent, err := service.NewAgent(ep, *threads, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = agent.Run(ctx)
+	agent.Close()
+	switch {
+	case err == nil:
+		log.Print("shutdown received, exiting")
+	case errors.Is(err, context.Canceled):
+		log.Print("interrupted, exiting")
+		os.Exit(130)
+	default:
+		log.Print(err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package procgroup
+
+import (
+	"os"
+	"os/exec"
+)
+
+func setup(cmd *exec.Cmd) {}
+
+func term(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Signal(os.Interrupt)
+	}
+}
+
+func kill(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+}

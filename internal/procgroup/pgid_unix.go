@@ -1,0 +1,33 @@
+//go:build unix
+
+package procgroup
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setup puts the child in its own process group so signals aimed at it
+// reach its descendants too — and so a ^C delivered to the launcher's
+// foreground group does not pre-empt our orderly shutdown of the children.
+func setup(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Setpgid = true
+}
+
+func signalGroup(cmd *exec.Cmd, sig syscall.Signal) {
+	if cmd.Process == nil || cmd.Process.Pid <= 0 {
+		return
+	}
+	if pgid, err := syscall.Getpgid(cmd.Process.Pid); err == nil && pgid > 0 {
+		if syscall.Kill(-pgid, sig) == nil {
+			return
+		}
+	}
+	cmd.Process.Signal(sig)
+}
+
+func term(cmd *exec.Cmd) { signalGroup(cmd, syscall.SIGTERM) }
+func kill(cmd *exec.Cmd) { signalGroup(cmd, syscall.SIGKILL) }

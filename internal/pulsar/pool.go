@@ -1,0 +1,147 @@
+package pulsar
+
+import (
+	"sync"
+)
+
+// Pool is a persistent set of worker threads that outlives any single VSA
+// run. Where a plain Run spawns its workers at start and joins them at the
+// end, a Pool's workers are created once and host the VDPs of every VSA
+// attached to them — concurrently, when several Runs overlap. This is the
+// execution substrate of a long-running factorization service: per-worker
+// state (kernel workspaces) stays warm across jobs, and many small arrays
+// share one set of OS threads instead of each paying goroutine churn.
+//
+// A Pool serves one process — in distributed mode, one rank. Attach a VSA
+// by setting Config.Pool; Run then places only the local rank's VDPs onto
+// the pool's workers and returns when they have all been destroyed (or the
+// run is aborted), leaving the workers running for the next job.
+type Pool struct {
+	threads int
+	workers []*worker
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewPool starts threads persistent workers. state, when non-nil, is called
+// once per worker to create its private state (e.g. a reusable kernel
+// workspace) — the pooled equivalent of Config.WorkerState, which is
+// ignored for pooled runs.
+func NewPool(threads int, state func(thread int) any) *Pool {
+	if threads <= 0 {
+		threads = 1
+	}
+	p := &Pool{threads: threads}
+	for t := 0; t < threads; t++ {
+		w := &worker{id: t, pooled: true}
+		w.cond = sync.NewCond(&w.mu)
+		if state != nil {
+			w.state = state(t)
+		}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go func(w *worker) {
+			defer p.wg.Done()
+			w.runPool()
+		}(w)
+	}
+	return p
+}
+
+// Threads returns the number of worker threads in the pool.
+func (p *Pool) Threads() int { return p.threads }
+
+// Close stops the workers and waits for them to exit. VSAs still attached
+// stop making progress; Close is meant for process shutdown.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		for _, w := range p.workers {
+			w.stop()
+		}
+		p.wg.Wait()
+	})
+}
+
+// attach hands a VSA's local VDPs to the pool's workers, lists[t] being the
+// VDPs mapped to thread t.
+func (p *Pool) attach(lists [][]*VDP) {
+	for t, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		w := p.workers[t]
+		w.mu.Lock()
+		w.vdps = append(w.vdps, l...)
+		w.kick = true
+		w.mu.Unlock()
+		w.cond.Signal()
+	}
+}
+
+// detach removes every VDP of s from the pool's workers. Run calls it after
+// the VSA completed or aborted; the filtered copy leaves concurrently taken
+// snapshots of the old slice intact.
+func (p *Pool) detach(s *VSA) {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		var keep []*VDP
+		for _, v := range w.vdps {
+			if v.vsa != s {
+				keep = append(keep, v)
+			}
+		}
+		w.vdps = keep
+		w.mu.Unlock()
+	}
+}
+
+// runPool is the scheduling loop of a pooled worker: the same ready-sweep
+// as the per-run loop, but over VDPs of any number of VSAs and without a
+// termination condition — the worker parks when nothing is ready and lives
+// until the pool closes.
+func (w *worker) runPool() {
+	for {
+		w.mu.Lock()
+		vdps := w.vdps
+		stopped := w.stopped
+		w.mu.Unlock()
+		if stopped {
+			return
+		}
+		progress := false
+		for _, v := range vdps {
+			s := v.vsa
+			// busy brackets the aborted check and the firings so that an
+			// aborting Run can wait for in-flight kernels to drain before it
+			// inspects VDP state (see Run's pooled shutdown path).
+			s.busy.Add(1)
+			if !v.dead && !s.aborted.Load() {
+				aggressive := s.cfg.Scheduling == Aggressive
+				for v.ready() {
+					w.fire(v)
+					progress = true
+					if v.dead || !aggressive {
+						break
+					}
+				}
+			}
+			s.busy.Add(-1)
+			if w.isStopped() {
+				return
+			}
+		}
+		if !progress {
+			w.mu.Lock()
+			for !w.kick && !w.stopped {
+				w.cond.Wait()
+			}
+			w.kick = false
+			stopped := w.stopped
+			w.mu.Unlock()
+			if stopped {
+				return
+			}
+		}
+	}
+}

@@ -25,10 +25,14 @@ func (s *VSA) Run() error {
 	if s.running.Load() {
 		return fmt.Errorf("pulsar: VSA already running")
 	}
+	if s.aborted.Load() {
+		return ErrAborted
+	}
 	if len(s.order) == 0 {
 		return nil
 	}
 	dist := s.cfg.Comm != nil
+	pooled := s.cfg.Pool != nil
 	local := -1
 	var msgs0, bytes0 int64
 	if dist {
@@ -37,6 +41,8 @@ func (s *VSA) Run() error {
 		}
 		local = s.cfg.Comm.Rank()
 		msgs0, bytes0 = s.cfg.Comm.Stats() // endpoint is caller-owned: report deltas
+	} else if pooled && s.cfg.Nodes != 1 {
+		return fmt.Errorf("pulsar: a pooled run without Comm must have Nodes=1, got %d", s.cfg.Nodes)
 	}
 	s.place()
 
@@ -50,14 +56,18 @@ func (s *VSA) Run() error {
 		if dist && n != local {
 			continue
 		}
-		s.workers[n] = make([]*worker, s.cfg.ThreadsPerNode)
-		for t := 0; t < s.cfg.ThreadsPerNode; t++ {
-			w := &worker{vsa: s, node: n, id: t}
-			w.cond = sync.NewCond(&w.mu)
-			if s.cfg.WorkerState != nil {
-				w.state = s.cfg.WorkerState(n, t)
+		if pooled {
+			s.workers[n] = s.cfg.Pool.workers
+		} else {
+			s.workers[n] = make([]*worker, s.cfg.ThreadsPerNode)
+			for t := 0; t < s.cfg.ThreadsPerNode; t++ {
+				w := &worker{vsa: s, node: n, id: t}
+				w.cond = sync.NewCond(&w.mu)
+				if s.cfg.WorkerState != nil {
+					w.state = s.cfg.WorkerState(n, t)
+				}
+				s.workers[n][t] = w
 			}
-			s.workers[n][t] = w
 		}
 		ep := s.cfg.Comm
 		if !dist {
@@ -67,13 +77,18 @@ func (s *VSA) Run() error {
 	}
 	s.resolveChannels()
 	alive := 0
+	attach := make([][]*VDP, s.cfg.ThreadsPerNode)
 	for _, v := range s.order {
 		if dist && v.node != local {
 			continue
 		}
-		w := s.workers[v.node][v.thread]
-		w.vdps = append(w.vdps, v)
-		w.aliveLocal++
+		if pooled {
+			attach[v.thread] = append(attach[v.thread], v)
+		} else {
+			w := s.workers[v.node][v.thread]
+			w.vdps = append(w.vdps, v)
+			w.aliveLocal++
+		}
 		alive++
 	}
 	s.alive.Store(int64(alive))
@@ -81,13 +96,20 @@ func (s *VSA) Run() error {
 	defer s.running.Store(false)
 
 	var wg sync.WaitGroup
-	for _, row := range s.workers {
-		for _, w := range row {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				w.run()
-			}(w)
+	if pooled {
+		s.cfg.Pool.attach(attach)
+		if alive == 0 {
+			s.markDone()
+		}
+	} else {
+		for _, row := range s.workers {
+			for _, w := range row {
+				wg.Add(1)
+				go func(w *worker) {
+					defer wg.Done()
+					w.run()
+				}(w)
+			}
 		}
 	}
 	var pwg sync.WaitGroup
@@ -127,7 +149,7 @@ func (s *VSA) Run() error {
 				cur := s.fired.Load() + s.delivered.Load()
 				if cur == last && s.alive.Load() > 0 {
 					deadlocked = true
-					s.stopAll()
+					s.stopRun(pooled)
 					return
 				}
 				last = cur
@@ -135,7 +157,18 @@ func (s *VSA) Run() error {
 		}
 	}()
 
-	wg.Wait()
+	if pooled {
+		<-s.done
+		// Drain in-flight firings so the shutdown path below (and a
+		// deadlock error's VDP inspection) reads settled state, then free
+		// the shared workers for the next job.
+		for s.busy.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		s.cfg.Pool.detach(s)
+	} else {
+		wg.Wait()
+	}
 	close(finished)
 	<-watchdogDone
 	for _, p := range s.proxies {
@@ -144,12 +177,18 @@ func (s *VSA) Run() error {
 		}
 	}
 	pwg.Wait()
+	aborted := s.aborted.Load() && !deadlocked
 	if dist {
 		m, b := s.cfg.Comm.Stats()
 		s.netMsgs, s.netBytes = m-msgs0, b-bytes0
 		s.cfg.Comm.OnArrival(nil) // the proxy is gone; stop waking it
-		if err := s.cfg.Comm.Barrier(); err != nil && !deadlocked {
-			return fmt.Errorf("pulsar: post-run barrier: %w", err)
+		// An aborted run skips the closing barrier: its peers abort on
+		// their own (a canceled job is canceled on every rank) and waiting
+		// for them here would hold a canceled job's resources hostage.
+		if !aborted {
+			if err := s.cfg.Comm.Barrier(); err != nil && !deadlocked {
+				return fmt.Errorf("pulsar: post-run barrier: %w", err)
+			}
 		}
 	} else {
 		s.netMsgs, s.netBytes = 0, 0
@@ -162,7 +201,22 @@ func (s *VSA) Run() error {
 	if deadlocked {
 		return s.deadlockError(dist, local)
 	}
+	if aborted {
+		return ErrAborted
+	}
 	return nil
+}
+
+// stopRun halts this VSA's execution for the deadlock watchdog: a pooled
+// run marks itself aborted (the shared workers skip its VDPs and must keep
+// serving other VSAs), a classic run stops its private workers.
+func (s *VSA) stopRun(pooled bool) {
+	if pooled {
+		s.aborted.Store(true)
+		s.markDone()
+	} else {
+		s.stopAll()
+	}
 }
 
 // place assigns every VDP to a (node, thread) pair using the configured
@@ -257,11 +311,15 @@ func (s *VSA) deadlockError(dist bool, local int) error {
 }
 
 // worker sweeps its list of VDPs for ready ones and fires them, mirroring
-// the per-thread scheduling loop of the PULSAR runtime.
+// the per-thread scheduling loop of the PULSAR runtime. A worker is either
+// private to one Run (vsa set, run loop) or part of a persistent Pool
+// (pooled set, runPool loop, VDPs possibly from several VSAs — then vdps is
+// guarded by mu because attach/detach happen from other goroutines).
 type worker struct {
-	vsa      *VSA
+	vsa      *VSA // owning VSA for private workers; nil when pooled
 	node, id int
-	state    any // per-worker private state from Config.WorkerState
+	pooled   bool
+	state    any // per-worker private state (Config.WorkerState or pool factory)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -331,18 +389,21 @@ func (w *worker) isStopped() bool {
 }
 
 func (w *worker) fire(v *VDP) {
-	hook := w.vsa.cfg.FireHook
+	s := v.vsa
+	hook := s.cfg.FireHook
 	var start time.Time
 	if hook != nil {
 		start = time.Now()
 	}
 	v.fn(v)
 	v.counter--
-	seq := w.vsa.fired.Add(1)
+	seq := s.fired.Add(1)
 	if v.counter <= 0 {
 		v.dead = true
 		w.aliveLocal--
-		w.vsa.alive.Add(-1)
+		if s.alive.Add(-1) == 0 {
+			s.markDone()
+		}
 	}
 	if hook != nil {
 		hook(FireEvent{

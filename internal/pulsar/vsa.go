@@ -1,6 +1,7 @@
 package pulsar
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,10 @@ import (
 	"pulsarqr/internal/transport"
 	"pulsarqr/internal/tuple"
 )
+
+// ErrAborted is returned by Run when the VSA was stopped by Abort before
+// every VDP was destroyed (e.g. a canceled job).
+var ErrAborted = errors.New("pulsar: run aborted")
 
 // Scheduling selects how a worker treats a ready VDP.
 type Scheduling int
@@ -81,6 +86,13 @@ type Config struct {
 	// When nil, all nodes run in this process over the in-process
 	// substrate, preserving the original single-process behavior.
 	Comm transport.Endpoint
+	// Pool, when non-nil, executes this process's VDPs on a persistent
+	// worker pool shared with other concurrently running VSAs, instead of
+	// spawning per-run worker goroutines. ThreadsPerNode is forced to the
+	// pool's thread count and WorkerState is ignored (pooled workers carry
+	// their own state). Without Comm, Nodes must be 1: a pool serves one
+	// process, and one process in pooled mode is one node.
+	Pool *Pool
 }
 
 // VSA is a Virtual Systolic Array: the set of VDPs and channels built by
@@ -100,6 +112,10 @@ type VSA struct {
 	fired     atomic.Int64
 	delivered atomic.Int64
 	alive     atomic.Int64
+	aborted   atomic.Bool
+	busy      atomic.Int64 // pooled workers currently firing this VSA's VDPs
+	done      chan struct{}
+	doneOnce  sync.Once
 	workers   [][]*worker // [node][thread]; only the local row in distributed mode
 	proxies   []*proxy    // per node; only the local entry in distributed mode
 	netMsgs   int64
@@ -114,6 +130,10 @@ func New(cfg Config) *VSA {
 	if cfg.ThreadsPerNode <= 0 {
 		cfg.ThreadsPerNode = 1
 	}
+	if cfg.Pool != nil {
+		cfg.ThreadsPerNode = cfg.Pool.Threads()
+		cfg.WorkerState = nil
+	}
 	if cfg.DeadlockTimeout == 0 {
 		cfg.DeadlockTimeout = 30 * time.Second
 	}
@@ -122,7 +142,24 @@ func New(cfg Config) *VSA {
 		params:    cfg.Params,
 		vdps:      map[string]*VDP{},
 		collected: map[string][]*Packet{},
+		done:      make(chan struct{}),
 	}
+}
+
+// Abort stops the run: no further VDP of this VSA fires, and Run returns
+// ErrAborted once in-flight firings have drained. It is safe to call from
+// any goroutine, more than once, and before or after Run — the mechanism
+// behind per-job cancellation in a long-running service.
+func (s *VSA) Abort() {
+	s.aborted.Store(true)
+	if s.running.Load() && s.cfg.Pool == nil {
+		s.stopAll()
+	}
+	s.markDone()
+}
+
+func (s *VSA) markDone() {
+	s.doneOnce.Do(func() { close(s.done) })
 }
 
 // NewVDP creates a VDP with the given tuple, firing counter, executable

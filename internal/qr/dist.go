@@ -1,6 +1,7 @@
 package qr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -72,17 +73,24 @@ func init() {
 // (nil, nil). The call is collective and ends with a barrier, so when it
 // returns on any rank the whole mesh has finished.
 func FactorizeVSADist(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig, ep transport.Endpoint) (*Factorization, error) {
+	return factorizeDist(context.Background(), a, b, opts, rc, ep, nil)
+}
+
+// factorizeDist is the collective implementation behind FactorizeVSADist,
+// FactorizeVSADistCtx and the distributed arm of FactorizeVSAServe: one
+// rank's share of a mesh-wide run, optionally on a persistent worker pool,
+// aborted when ctx fires. Thread counts are local to each rank (placement
+// depends only on the node count), so ranks may run pools of different
+// sizes.
+func factorizeDist(ctx context.Context, a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig, ep transport.Endpoint, pool *pulsar.Pool) (*Factorization, error) {
 	opts = opts.normalize()
 	rc = rc.normalize()
 	rc.Nodes = ep.Size()
-	if a.M < a.N {
-		return nil, fmt.Errorf("qr: matrix is %dx%d; tall-skinny factorization requires m >= n", a.M, a.N)
+	if pool != nil {
+		rc.Threads = pool.Threads()
 	}
-	if a.NB != opts.NB {
-		return nil, fmt.Errorf("qr: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
-	}
-	if b != nil && (b.M != a.M || b.NB != a.NB) {
-		return nil, fmt.Errorf("qr: rhs is %d rows tile %d; matrix is %d rows tile %d", b.M, b.NB, a.M, a.NB)
+	if err := checkShapes(a, b, opts); err != nil {
+		return nil, err
 	}
 
 	bd := &builder{a: a, b: b, opts: opts, rc: rc}
@@ -92,7 +100,7 @@ func FactorizeVSADist(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConf
 	for j := 0; j < a.NT && j < a.MT; j++ {
 		bd.plans = append(bd.plans, planPanel(j, a.MT, opts))
 	}
-	bd.s = pulsar.New(pulsar.Config{
+	cfg := pulsar.Config{
 		Nodes:           rc.Nodes,
 		ThreadsPerNode:  rc.Threads,
 		Scheduling:      rc.Scheduling,
@@ -100,13 +108,15 @@ func FactorizeVSADist(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConf
 		FireHook:        rc.FireHook,
 		DeadlockTimeout: rc.DeadlockTimeout,
 		Comm:            ep,
-	})
+		Pool:            pool,
+	}
+	bd.s = pulsar.New(cfg)
 	bd.build()
 	bd.injectLocal(ep.Rank())
-	if err := bd.s.Run(); err != nil {
+	if err := runCtx(ctx, bd.s); err != nil {
 		return nil, err
 	}
-	if err := bd.gather(ep); err != nil {
+	if err := bd.gather(ctx, ep); err != nil {
 		return nil, err
 	}
 	defer ep.Barrier()
@@ -187,7 +197,7 @@ func (bd *builder) collectorEndpoints() []endpoint {
 // sends it with a tag derived from the endpoint's enumeration index, and
 // rank 0 posts the matching specific receives — no wildcard, so nothing
 // can be misattributed.
-func (bd *builder) gather(ep transport.Endpoint) error {
+func (bd *builder) gather(ctx context.Context, ep transport.Endpoint) error {
 	rank := ep.Rank()
 	mp := bd.mapping()
 	if rank != 0 {
@@ -221,8 +231,11 @@ func (bd *builder) gather(ep transport.Endpoint) error {
 		reqs = append(reqs, pending{e, ep.Irecv(owner, gatherTagBase+idx)})
 	}
 	for _, p := range reqs {
-		p.req.Wait()
+		waitCtx(ctx, p.req)
 		if p.req.Canceled() {
+			if ctx != nil && ctx.Err() != nil {
+				return fmt.Errorf("qr: factorization canceled during gather: %w", context.Cause(ctx))
+			}
 			return fmt.Errorf("qr: gather of collector %v[%d] canceled: peer gone", p.e.tup, p.e.slot)
 		}
 		pkt, err := pulsar.UnmarshalPacket(p.req.Data())

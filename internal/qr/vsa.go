@@ -167,14 +167,8 @@ type mergeLocal struct {
 func FactorizeVSA(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig) (*Factorization, error) {
 	opts = opts.normalize()
 	rc = rc.normalize()
-	if a.M < a.N {
-		return nil, fmt.Errorf("qr: matrix is %dx%d; tall-skinny factorization requires m >= n", a.M, a.N)
-	}
-	if a.NB != opts.NB {
-		return nil, fmt.Errorf("qr: matrix tiled with nb=%d but options say nb=%d", a.NB, opts.NB)
-	}
-	if b != nil && (b.M != a.M || b.NB != a.NB) {
-		return nil, fmt.Errorf("qr: rhs is %d rows tile %d; matrix is %d rows tile %d", b.M, b.NB, a.M, a.NB)
+	if err := checkShapes(a, b, opts); err != nil {
+		return nil, err
 	}
 
 	bd := &builder{a: a, b: b, opts: opts, rc: rc}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/transport"
+)
+
+// Agent is a fleet member: a non-root rank that keeps a warm pool and
+// persistent sessions and executes its share of every job the server
+// dispatches. It listens on the control-plane mux channel for open, cancel
+// and shutdown messages.
+type Agent struct {
+	ep   transport.Endpoint
+	mux  *transport.Mux
+	ctl  *transport.JobEndpoint
+	pool *pulsar.Pool
+	logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	jobs map[uint32]context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+// NewAgent wraps a dialed endpoint (any rank except 0) in an agent with a
+// pool of threads workers.
+func NewAgent(ep transport.Endpoint, threads int, logf func(string, ...any)) (*Agent, error) {
+	if ep.Rank() == 0 {
+		return nil, fmt.Errorf("service: rank 0 runs the server, not an agent")
+	}
+	if threads <= 0 {
+		threads = 2
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	mux := transport.NewMux(ep)
+	ctl, err := mux.Open(ctlJob)
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	return &Agent{
+		ep:   ep,
+		mux:  mux,
+		ctl:  ctl,
+		pool: pulsar.NewPool(threads, func(int) any { return kernels.NewWorkspace() }),
+		jobs: map[uint32]context.CancelFunc{},
+		logf: logf,
+	}, nil
+}
+
+// Run serves control messages until the server sends shutdown, ctx is
+// canceled, or the session dies. It returns after all in-flight jobs have
+// unwound.
+func (ag *Agent) Run(ctx context.Context) error {
+	defer ag.wg.Wait()
+	for {
+		req := ag.ctl.Irecv(0, ctlTag)
+		stop := context.AfterFunc(ctx, func() { req.Cancel() })
+		req.Wait()
+		stop()
+		if req.Canceled() {
+			ag.cancelAll()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("service: control session closed")
+		}
+		var msg ctlMsg
+		if err := json.Unmarshal(req.Data(), &msg); err != nil {
+			ag.logf("agent: bad control message: %v", err)
+			continue
+		}
+		switch msg.Op {
+		case "open":
+			if msg.Spec == nil {
+				ag.logf("agent: open without spec for job %d", msg.Job)
+				continue
+			}
+			jctx, cancel := context.WithCancel(ctx)
+			ag.mu.Lock()
+			ag.jobs[msg.Job] = cancel
+			ag.mu.Unlock()
+			ag.wg.Add(1)
+			go ag.runJob(jctx, msg.Job, *msg.Spec)
+		case "cancel":
+			ag.mu.Lock()
+			cancel := ag.jobs[msg.Job]
+			ag.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		case "shutdown":
+			ag.cancelAll()
+			return nil
+		default:
+			ag.logf("agent: unknown control op %q", msg.Op)
+		}
+	}
+}
+
+func (ag *Agent) cancelAll() {
+	ag.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(ag.jobs))
+	for _, c := range ag.jobs {
+		cancels = append(cancels, c)
+	}
+	ag.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// runJob executes this rank's share of one job.
+func (ag *Agent) runJob(ctx context.Context, id uint32, spec JobSpec) {
+	defer ag.wg.Done()
+	defer func() {
+		ag.mu.Lock()
+		if cancel := ag.jobs[id]; cancel != nil {
+			delete(ag.jobs, id)
+			cancel()
+		}
+		ag.mu.Unlock()
+	}()
+	jep, err := ag.mux.Open(id)
+	if err != nil {
+		ag.logf("agent: job %d: open channel: %v", id, err)
+		return
+	}
+	defer jep.Close()
+	a, _, err := spec.BuildInputs()
+	if err != nil {
+		ag.logf("agent: job %d: %v", id, err)
+		return
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		ag.logf("agent: job %d: %v", id, err)
+		return
+	}
+	if _, err := qr.FactorizeVSAServe(ctx, a, nil, opts, qr.RunConfig{}, jep, ag.pool); err != nil {
+		ag.logf("agent: job %d: %v", id, err)
+	}
+}
+
+// Close releases the agent's sessions and pool (the endpoint itself stays
+// the caller's).
+func (ag *Agent) Close() {
+	ag.ctl.Close()
+	ag.mux.Close()
+	ag.pool.Close()
+	ag.wg.Wait()
+}

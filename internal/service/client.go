@@ -1,0 +1,118 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a thin HTTP client for qrserve, used by the smoke tests and
+// available to callers embedding the service.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:7311"
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s", e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a factorization; with wait true the call blocks until the
+// job is terminal. A 429 surfaces as an error with ErrQueueFull's message.
+func (c *Client) Submit(spec JobSpec, wait bool) (JobView, int, error) {
+	var v JobView
+	code, err := c.do("POST", "/v1/factorize", submitRequest{JobSpec: spec, Wait: wait}, &v)
+	return v, code, err
+}
+
+// Job fetches a job's state; includeR adds the R factor to the view.
+func (c *Client) Job(id uint32, includeR bool) (JobView, error) {
+	path := fmt.Sprintf("/v1/jobs/%d", id)
+	if includeR {
+		path += "?include=r"
+	}
+	var v JobView
+	_, err := c.do("GET", path, nil, &v)
+	return v, err
+}
+
+// Cancel requests a job's cancellation.
+func (c *Client) Cancel(id uint32) (JobView, error) {
+	var v JobView
+	_, err := c.do("DELETE", fmt.Sprintf("/v1/jobs/%d", id), nil, &v)
+	return v, err
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if _, err := c.do("GET", "/healthz", nil, &out); err != nil {
+		return err
+	}
+	if !out.OK {
+		return fmt.Errorf("service unhealthy")
+	}
+	return nil
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest("GET", c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// JobView is the JSON shape of a job on the HTTP surface.
+type JobView struct {
+	ID        uint32      `json:"id"`
+	Status    string      `json:"status"`
+	Error     string      `json:"error,omitempty"`
+	M         int         `json:"m"`
+	N         int         `json:"n"`
+	Priority  int         `json:"priority,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms,omitempty"`
+	Gflops    float64     `json:"gflops,omitempty"`
+	Residual  float64     `json:"residual,omitempty"`
+	OK        bool        `json:"ok"`
+	Firings   int64       `json:"firings,omitempty"`
+	Messages  int64       `json:"messages,omitempty"`
+	Bytes     int64       `json:"bytes,omitempty"`
+	R         [][]float64 `json:"r,omitempty"`
+}
+
+func viewOf(j *Job, includeR bool) JobView {
+	state, errMsg := j.State()
+	v := JobView{
+		ID:       j.ID,
+		Status:   string(state),
+		Error:    errMsg,
+		M:        j.Spec.M,
+		N:        j.Spec.N,
+		Priority: j.Spec.Priority,
+	}
+	if r := j.Result(); r != nil {
+		v.ElapsedMS = float64(r.Elapsed) / float64(time.Millisecond)
+		v.Gflops = r.Gflops
+		v.Residual = r.Residual
+		v.OK = r.OK
+		v.Firings = r.Stats.Firings
+		v.Messages = r.Stats.Messages
+		v.Bytes = r.Stats.Bytes
+		if includeR {
+			v.R = r.R
+		}
+	}
+	return v
+}
+
+// submitRequest is the POST /v1/factorize body: a JobSpec plus the wait
+// flag, which blocks the response until the job is terminal.
+type submitRequest struct {
+	JobSpec
+	Wait bool `json:"wait,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/factorize", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req.JobSpec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Explicit backpressure: 429, nothing buffered. Clients retry with
+		// their own policy.
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if req.Wait {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			// Client went away while waiting; the job keeps running.
+			writeJSON(w, http.StatusAccepted, viewOf(j, false))
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(j, false))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(j, false))
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad job id"})
+		return nil
+	}
+	j, err := s.Get(uint32(id))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j, r.URL.Query().Get("include") == "r"))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, viewOf(j, false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"ranks":   s.Ranks(),
+		"threads": s.cfg.Threads,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteProm(w, s.mgr.Depth(), s.resident())
+}

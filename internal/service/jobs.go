@@ -1,0 +1,255 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"pulsarqr/internal/qr"
+)
+
+// Job lifecycle states. A job is terminal in done, failed, canceled or
+// expired; its done channel closes exactly once on the transition.
+type State string
+
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+	StateExpired  State = "expired"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateExpired
+}
+
+// Result is what a completed factorization leaves behind. The factor matrix
+// R is retained (until evicted) so clients can fetch it; Q lives only as
+// the implicit reflectors inside the run and is not kept.
+type Result struct {
+	Elapsed  time.Duration
+	Gflops   float64
+	Residual float64
+	OK       bool // residual passed the service's acceptance threshold
+	Stats    qr.RunStats
+	R        [][]float64 // row-major rows of R, nil on non-root ranks
+}
+
+// Job is one admitted factorization request.
+type Job struct {
+	ID   uint32
+	Spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	enqueued time.Time
+	deadline time.Time // zero: none
+	seq      int64     // admission order, FIFO tiebreak within a priority
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	result *Result
+
+	done chan struct{}
+}
+
+// State returns the job's current state and error message (empty unless
+// failed).
+func (j *Job) State() (State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Result returns the job's result, nil until it completed successfully.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done closes when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: queued jobs are dropped at dispatch,
+// running jobs abort.
+func (j *Job) Cancel() { j.cancel(context.Canceled) }
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(s State, errMsg string, r *Result) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = s
+	j.errMsg = errMsg
+	j.result = r
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel(nil) // release the context's resources
+	return true
+}
+
+// Admission errors.
+var (
+	ErrQueueFull = errors.New("service: admission queue full")
+	ErrClosed    = errors.New("service: manager closed")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// Manager is the admission queue and dispatcher: a bounded priority queue
+// in front of a fixed number of dispatcher goroutines. Backpressure is
+// explicit — when the queue is at capacity Submit returns ErrQueueFull and
+// nothing is buffered.
+type Manager struct {
+	run     func(*Job) // executes one job to a terminal state
+	metrics *Metrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobQueue
+	cap     int
+	nextSeq int64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts workers dispatcher goroutines in front of a queue
+// bounded at capacity. run is called once per dispatched job and must drive
+// it to a terminal state.
+func NewManager(capacity, workers int, metrics *Metrics, run func(*Job)) *Manager {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	m := &Manager{run: run, metrics: metrics, cap: capacity}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.dispatch()
+	}
+	return m
+}
+
+// Depth returns the number of queued (not yet dispatched) jobs.
+func (m *Manager) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queue.Len()
+}
+
+// Submit admits a job or rejects it with ErrQueueFull. The job must carry
+// its context and deadline already; Submit assigns the FIFO sequence.
+func (m *Manager) Submit(j *Job) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.queue.Len() >= m.cap {
+		m.mu.Unlock()
+		m.metrics.RejectedFull.Add(1)
+		return ErrQueueFull
+	}
+	j.seq = m.nextSeq
+	m.nextSeq++
+	heap.Push(&m.queue, j)
+	m.mu.Unlock()
+	m.metrics.Accepted.Add(1)
+	m.cond.Signal()
+	return nil
+}
+
+// Close stops admitting, drains the dispatchers, and cancels queued jobs.
+// Running jobs are not interrupted here — the server cancels their contexts
+// during shutdown.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	var rest []*Job
+	for m.queue.Len() > 0 {
+		rest = append(rest, heap.Pop(&m.queue).(*Job))
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	for _, j := range rest {
+		if j.finish(StateCanceled, "service shutting down", nil) {
+			m.metrics.Canceled.Add(1)
+		}
+	}
+	m.wg.Wait()
+}
+
+// dispatch pops jobs in priority order and runs them, enforcing deadlines
+// and cancellation at the dispatch point: an expired or canceled job is
+// dropped before any resources are committed to it.
+func (m *Manager) dispatch() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for m.queue.Len() == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.queue.Len() == 0 && m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.queue).(*Job)
+		m.mu.Unlock()
+
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			if j.finish(StateExpired, "deadline passed before dispatch", nil) {
+				m.metrics.Expired.Add(1)
+			}
+			continue
+		}
+		if j.ctx.Err() != nil {
+			if j.finish(StateCanceled, "", nil) {
+				m.metrics.Canceled.Add(1)
+			}
+			continue
+		}
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+		m.metrics.Running.Add(1)
+		m.run(j)
+		m.metrics.Running.Add(-1)
+	}
+}
+
+// jobQueue is a max-heap by priority, FIFO within equal priorities.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].Spec.Priority != q[b].Spec.Priority {
+		return q[a].Spec.Priority > q[b].Spec.Priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestJob(prio int, deadline time.Duration) *Job {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &Job{
+		Spec:     JobSpec{M: 8, N: 8, Priority: prio},
+		ctx:      ctx,
+		cancel:   cancel,
+		enqueued: time.Now(),
+		state:    StatePending,
+		done:     make(chan struct{}),
+	}
+	if deadline != 0 {
+		j.deadline = j.enqueued.Add(deadline)
+	}
+	return j
+}
+
+// blockingRunner holds every dispatched job until released, recording the
+// order in which jobs reached it.
+type blockingRunner struct {
+	mu      sync.Mutex
+	order   []*Job
+	started chan *Job
+	release chan struct{}
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{started: make(chan *Job, 64), release: make(chan struct{})}
+}
+
+func (r *blockingRunner) run(j *Job) {
+	r.mu.Lock()
+	r.order = append(r.order, j)
+	r.mu.Unlock()
+	r.started <- j
+	<-r.release
+	j.finish(StateDone, "", &Result{})
+}
+
+// Queue at capacity: the next submit is rejected with ErrQueueFull, nothing
+// is buffered, and the rejection counter agrees.
+func TestManagerBackpressure(t *testing.T) {
+	met := NewMetrics()
+	r := newBlockingRunner()
+	m := NewManager(2, 1, met, r.run)
+	defer func() { close(r.release); m.Close() }()
+
+	running := newTestJob(0, 0)
+	if err := m.Submit(running); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // the single worker is now occupied
+	q1, q2 := newTestJob(0, 0), newTestJob(0, 0)
+	if err := m.Submit(q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(q2); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Depth(); d != 2 {
+		t.Fatalf("queue depth = %d, want 2", d)
+	}
+	over := newTestJob(0, 0)
+	if err := m.Submit(over); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond capacity returned %v, want ErrQueueFull", err)
+	}
+	if got := met.RejectedFull.Load(); got != 1 {
+		t.Errorf("rejected_full = %d, want 1", got)
+	}
+	if got := met.Accepted.Load(); got != 3 {
+		t.Errorf("accepted = %d, want 3", got)
+	}
+	if d := m.Depth(); d != 2 {
+		t.Errorf("rejected submit changed queue depth to %d", d)
+	}
+}
+
+// A job whose deadline passed while queued is dropped at the dispatch
+// point: the runner never sees it and the expired counter increments.
+func TestManagerDeadlineExpiry(t *testing.T) {
+	met := NewMetrics()
+	r := newBlockingRunner()
+	m := NewManager(8, 1, met, r.run)
+
+	blocker := newTestJob(0, 0)
+	if err := m.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	doomed := newTestJob(0, time.Millisecond)
+	if err := m.Submit(doomed); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the deadline lapse while queued
+	close(r.release)
+	select {
+	case <-doomed.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired job never reached a terminal state")
+	}
+	if state, _ := doomed.State(); state != StateExpired {
+		t.Fatalf("doomed job state = %s, want expired", state)
+	}
+	m.Close()
+	if got := met.Expired.Load(); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.order {
+		if j == doomed {
+			t.Error("expired job was dispatched to the runner")
+		}
+	}
+}
+
+// A queued job canceled before dispatch never runs.
+func TestManagerCancelQueued(t *testing.T) {
+	met := NewMetrics()
+	r := newBlockingRunner()
+	m := NewManager(8, 1, met, r.run)
+
+	blocker := newTestJob(0, 0)
+	if err := m.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	victim := newTestJob(0, 0)
+	if err := m.Submit(victim); err != nil {
+		t.Fatal(err)
+	}
+	victim.Cancel()
+	close(r.release)
+	select {
+	case <-victim.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled job never reached a terminal state")
+	}
+	if state, _ := victim.State(); state != StateCanceled {
+		t.Fatalf("victim state = %s, want canceled", state)
+	}
+	m.Close()
+	if got := met.Canceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+}
+
+// Queued jobs dispatch by priority, FIFO within a priority class.
+func TestManagerPriorityOrder(t *testing.T) {
+	met := NewMetrics()
+	r := newBlockingRunner()
+	m := NewManager(8, 1, met, r.run)
+
+	blocker := newTestJob(0, 0)
+	if err := m.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	low := newTestJob(0, 0)
+	high := newTestJob(5, 0)
+	mid1 := newTestJob(1, 0)
+	mid2 := newTestJob(1, 0)
+	for _, j := range []*Job{low, high, mid1, mid2} {
+		if err := m.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(r.release)
+	for _, j := range []*Job{low, high, mid1, mid2} {
+		<-j.Done()
+	}
+	m.Close()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	want := []*Job{blocker, high, mid1, mid2, low}
+	if len(r.order) != len(want) {
+		t.Fatalf("ran %d jobs, want %d", len(r.order), len(want))
+	}
+	for i := range want {
+		if r.order[i] != want[i] {
+			t.Fatalf("dispatch order wrong at %d: got prio %d", i, r.order[i].Spec.Priority)
+		}
+	}
+}
+
+// Manager.Close cancels what is still queued.
+func TestManagerCloseCancelsQueued(t *testing.T) {
+	met := NewMetrics()
+	r := newBlockingRunner()
+	m := NewManager(8, 1, met, r.run)
+	blocker := newTestJob(0, 0)
+	if err := m.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	queued := newTestJob(0, 0)
+	if err := m.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(r.release)
+	}()
+	m.Close()
+	if state, _ := queued.State(); state != StateCanceled {
+		t.Fatalf("queued job state after Close = %s, want canceled", state)
+	}
+	if err := m.Submit(newTestJob(0, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close returned %v, want ErrClosed", err)
+	}
+}

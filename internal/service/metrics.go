@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pulsarqr/internal/pulsar"
+)
+
+// Metrics aggregates service counters and exposes them in the Prometheus
+// text format. Everything is hand-rolled on sync/atomic — the service takes
+// no dependencies beyond the standard library.
+type Metrics struct {
+	Accepted     atomic.Int64 // jobs admitted to the queue
+	RejectedFull atomic.Int64 // jobs refused with ErrQueueFull
+	RejectedBad  atomic.Int64 // jobs refused at validation
+	Completed    atomic.Int64 // jobs that finished successfully
+	Failed       atomic.Int64 // jobs whose factorization errored
+	Canceled     atomic.Int64 // jobs canceled by the client
+	Expired      atomic.Int64 // jobs dropped at dispatch: deadline passed
+	Running      atomic.Int64 // jobs currently executing
+
+	flopBits atomic.Uint64 // total useful flops, float64 bits
+	busyBits atomic.Uint64 // total seconds spent factorizing, float64 bits
+
+	latency histogram
+
+	mu      sync.Mutex
+	firings map[string]*atomic.Int64 // VDP firings by trace class
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning a tiny
+// tile job to a deliberately queued large one.
+var latencyBuckets = [nBuckets]float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+const nBuckets = 13 // len(latencyBuckets); +Inf bucket is counts[nBuckets]
+
+type histogram struct {
+	counts  [nBuckets + 1]atomic.Int64
+	sumBits atomic.Uint64
+	n       atomic.Int64
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// addFloat accumulates a float64 into an atomic bit pattern (CAS loop).
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func NewMetrics() *Metrics {
+	return &Metrics{firings: map[string]*atomic.Int64{}}
+}
+
+// ObserveJob records one finished factorization: end-to-end latency, time
+// spent computing, and the useful flop count.
+func (m *Metrics) ObserveJob(latencySec, busySec, flops float64) {
+	m.latency.observe(latencySec)
+	addFloat(&m.busyBits, busySec)
+	addFloat(&m.flopBits, flops)
+}
+
+// FireHook counts VDP firings by trace class; the server installs it as the
+// runtime's FireHook for every job.
+func (m *Metrics) FireHook(ev pulsar.FireEvent) {
+	m.mu.Lock()
+	c := m.firings[ev.Class]
+	if c == nil {
+		c = &atomic.Int64{}
+		m.firings[ev.Class] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// WriteProm renders the metrics in the Prometheus text exposition format.
+// queueDepth and resident are sampled gauges supplied by the caller.
+func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("qrserve_jobs_accepted_total", "Jobs admitted to the queue.", m.Accepted.Load())
+	fmt.Fprintf(w, "# HELP qrserve_jobs_rejected_total Jobs refused at admission.\n# TYPE qrserve_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "qrserve_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.RejectedFull.Load())
+	fmt.Fprintf(w, "qrserve_jobs_rejected_total{reason=\"invalid\"} %d\n", m.RejectedBad.Load())
+	counter("qrserve_jobs_completed_total", "Jobs that finished successfully.", m.Completed.Load())
+	counter("qrserve_jobs_failed_total", "Jobs whose factorization errored.", m.Failed.Load())
+	counter("qrserve_jobs_canceled_total", "Jobs canceled by the client.", m.Canceled.Load())
+	counter("qrserve_jobs_expired_total", "Jobs dropped before dispatch: deadline passed.", m.Expired.Load())
+	gauge("qrserve_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
+	gauge("qrserve_jobs_running", "Jobs currently executing.", m.Running.Load())
+	gauge("qrserve_jobs_resident", "Jobs resident in memory (queued, running or retained).", int64(resident))
+
+	fmt.Fprintf(w, "# HELP qrserve_vdp_firings_total VDP firings by trace class.\n# TYPE qrserve_vdp_firings_total counter\n")
+	m.mu.Lock()
+	classes := make([]string, 0, len(m.firings))
+	for c := range m.firings {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	counts := make([]int64, len(classes))
+	for i, c := range classes {
+		counts[i] = m.firings[c].Load()
+	}
+	m.mu.Unlock()
+	for i, c := range classes {
+		fmt.Fprintf(w, "qrserve_vdp_firings_total{class=%q} %d\n", c, counts[i])
+	}
+
+	flops := math.Float64frombits(m.flopBits.Load())
+	busy := math.Float64frombits(m.busyBits.Load())
+	fmt.Fprintf(w, "# HELP qrserve_flops_total Useful floating point operations factorized.\n# TYPE qrserve_flops_total counter\nqrserve_flops_total %g\n", flops)
+	fmt.Fprintf(w, "# HELP qrserve_busy_seconds_total Seconds spent factorizing.\n# TYPE qrserve_busy_seconds_total counter\nqrserve_busy_seconds_total %g\n", busy)
+	gflops := 0.0
+	if busy > 0 {
+		gflops = flops / busy / 1e9
+	}
+	fmt.Fprintf(w, "# HELP qrserve_gflops Achieved Gflop/s over all completed jobs.\n# TYPE qrserve_gflops gauge\nqrserve_gflops %g\n", gflops)
+
+	fmt.Fprintf(w, "# HELP qrserve_job_latency_seconds End-to-end job latency, admission to completion.\n# TYPE qrserve_job_latency_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(w, "qrserve_job_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "qrserve_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "qrserve_job_latency_seconds_sum %g\n", math.Float64frombits(m.latency.sumBits.Load()))
+	fmt.Fprintf(w, "qrserve_job_latency_seconds_count %d\n", m.latency.n.Load())
+}

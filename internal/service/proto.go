@@ -1,0 +1,131 @@
+// Package service implements qrserve: a long-running, multi-tenant
+// factorization service that multiplexes concurrent QR jobs onto a warm,
+// persistent VSA fleet. One Server owns a persistent worker pool (per-worker
+// kernel workspaces stay hot across jobs), persistent transport sessions to
+// its fleet (multiplexed per job by transport.Mux), a bounded admission
+// queue with priorities and deadlines, and an HTTP/JSON surface.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/qr"
+)
+
+// maxDim bounds accepted problem sizes: admission control should reject an
+// absurd request at the door, not after it has been allocated.
+const maxDim = 1 << 20
+
+// JobSpec is the wire description of one factorization request. The matrix
+// is either uploaded (Data, column-major, len M*N) or generated server-side
+// from Seed — the latter is what a fleet uses for benchmarking, and it lets
+// every rank derive an identical input without shipping the matrix.
+type JobSpec struct {
+	// M, N are the matrix dimensions; tall-skinny (M >= N) required.
+	M int `json:"m"`
+	N int `json:"n"`
+	// NB, IB, H and Tree select the algorithm configuration; zero values
+	// take the library defaults (NB=64, IB=16, hierarchical, H=4).
+	NB   int    `json:"nb,omitempty"`
+	IB   int    `json:"ib,omitempty"`
+	H    int    `json:"h,omitempty"`
+	Tree string `json:"tree,omitempty"` // "hierarchical", "flat", "binary"
+	// Seed generates the input server-side when Data is empty.
+	Seed int64 `json:"seed,omitempty"`
+	// Data is an optional column-major upload of the matrix entries.
+	Data []float64 `json:"data,omitempty"`
+	// Priority orders admission: higher runs first; equal priorities are
+	// FIFO.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS drops the job if it has not been dispatched within this
+	// many milliseconds of admission; zero means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Validate checks the spec without allocating the matrix.
+func (sp *JobSpec) Validate() error {
+	if sp.M <= 0 || sp.N <= 0 {
+		return fmt.Errorf("service: invalid shape %dx%d", sp.M, sp.N)
+	}
+	if sp.M < sp.N {
+		return fmt.Errorf("service: matrix is %dx%d; tall-skinny factorization requires m >= n", sp.M, sp.N)
+	}
+	if sp.M > maxDim || sp.N > maxDim {
+		return fmt.Errorf("service: shape %dx%d exceeds limit %d", sp.M, sp.N, maxDim)
+	}
+	if len(sp.Data) != 0 && len(sp.Data) != sp.M*sp.N {
+		return fmt.Errorf("service: data holds %d entries, want %d (column-major m*n)", len(sp.Data), sp.M*sp.N)
+	}
+	if _, err := sp.tree(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sp *JobSpec) tree() (qr.TreeKind, error) {
+	switch sp.Tree {
+	case "", "hierarchical":
+		return qr.HierarchicalTree, nil
+	case "flat":
+		return qr.FlatTree, nil
+	case "binary":
+		return qr.BinaryTree, nil
+	}
+	return 0, fmt.Errorf("service: unknown tree %q (want hierarchical, flat or binary)", sp.Tree)
+}
+
+// Options maps the spec to the qr layer's algorithm configuration.
+func (sp *JobSpec) Options() (qr.Options, error) {
+	tree, err := sp.tree()
+	if err != nil {
+		return qr.Options{}, err
+	}
+	opts := qr.DefaultOptions()
+	if sp.NB > 0 {
+		opts.NB = sp.NB
+	}
+	if sp.IB > 0 {
+		opts.IB = sp.IB
+	}
+	if sp.H > 0 {
+		opts.H = sp.H
+	}
+	opts.Tree = tree
+	return opts, nil
+}
+
+// BuildInputs materializes the input matrix: the dense form (for the
+// residual check) and its tiling. Deterministic in the spec, so every rank
+// of a fleet constructs the same matrix from the same ctlOpen message.
+func (sp *JobSpec) BuildInputs() (*matrix.Tiled, *matrix.Mat, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opts, err := sp.Options()
+	if err != nil {
+		return nil, nil, err
+	}
+	var d *matrix.Mat
+	if len(sp.Data) > 0 {
+		d = matrix.New(sp.M, sp.N)
+		copy(d.Data, sp.Data)
+	} else {
+		d = matrix.NewRand(sp.M, sp.N, rand.New(rand.NewSource(sp.Seed)))
+	}
+	return matrix.FromDense(d, opts.NB), d, nil
+}
+
+// Control-plane messages, exchanged as JSON on the reserved mux job 0
+// between the server (underlying rank 0) and its fleet agents.
+const (
+	ctlJob = 0 // reserved mux job id for the control plane
+	ctlTag = 0
+)
+
+type ctlMsg struct {
+	Op   string   `json:"op"` // "open", "cancel", "shutdown"
+	Job  uint32   `json:"job,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+}

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/transport"
+)
+
+// residualTol is the acceptance threshold on the relative backward error
+// ||QR - A|| / ||A||: anything above it marks the result not-OK.
+const residualTol = 1e-10
+
+// Config parameterizes a Server.
+type Config struct {
+	// Threads sizes the persistent worker pool. Default 2.
+	Threads int
+	// QueueCap bounds the admission queue; a submit beyond it returns
+	// ErrQueueFull. Default 32.
+	QueueCap int
+	// MaxConcurrent is the number of jobs factorizing at once. Default 4.
+	MaxConcurrent int
+	// ResultCap bounds the number of terminal jobs kept queryable; older
+	// ones are evicted. Default 64.
+	ResultCap int
+	// Ep, when non-nil, is the fleet communicator: this process must be
+	// rank 0, and the remaining ranks must run Agents. Jobs then execute
+	// across the whole fleet over mux-multiplexed sessions. When nil the
+	// server factorizes alone.
+	Ep transport.Endpoint
+	// DeadlockTimeout passes through to the runtime; zero = default.
+	DeadlockTimeout time.Duration
+	// Logf receives service logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the factorization service: persistent pool, persistent fleet
+// sessions, bounded admission queue, job registry, metrics.
+type Server struct {
+	cfg     Config
+	pool    *pulsar.Pool
+	mux     *transport.Mux
+	ctl     *transport.JobEndpoint
+	mgr     *Manager
+	metrics *Metrics
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	nextID atomic.Uint32
+
+	mu       sync.Mutex
+	jobs     map[uint32]*Job
+	terminal []uint32 // eviction order of terminal jobs
+
+	closeOnce sync.Once
+}
+
+// NewServer builds the service and warms its pool. With cfg.Ep set it also
+// claims the control-plane mux channel to the fleet.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 32
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.ResultCap <= 0 {
+		cfg.ResultCap = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		jobs:    map[uint32]*Job{},
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.Ep != nil && cfg.Ep.Size() > 1 {
+		if cfg.Ep.Rank() != 0 {
+			return nil, fmt.Errorf("service: server must run on rank 0, got rank %d", cfg.Ep.Rank())
+		}
+		s.mux = transport.NewMux(cfg.Ep)
+		ctl, err := s.mux.Open(ctlJob)
+		if err != nil {
+			s.mux.Close()
+			return nil, err
+		}
+		s.ctl = ctl
+	}
+	s.pool = pulsar.NewPool(cfg.Threads, func(int) any { return kernels.NewWorkspace() })
+	s.mgr = NewManager(cfg.QueueCap, cfg.MaxConcurrent, s.metrics, s.runJob)
+	return s, nil
+}
+
+// Metrics exposes the server's counters (shared with the HTTP surface).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Ranks returns the fleet size this server drives (1 when standalone).
+func (s *Server) Ranks() int {
+	if s.cfg.Ep == nil {
+		return 1
+	}
+	return s.cfg.Ep.Size()
+}
+
+// Submit validates and admits a job. The returned job is queryable via Get
+// until it is evicted; rejection with ErrQueueFull is the service's
+// backpressure signal and buffers nothing.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		s.metrics.RejectedBad.Add(1)
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	j := &Job{
+		ID:       s.nextID.Add(1), // ids start at 1; mux job 0 is the control plane
+		Spec:     spec,
+		ctx:      ctx,
+		cancel:   cancel,
+		enqueued: time.Now(),
+		state:    StatePending,
+		done:     make(chan struct{}),
+	}
+	if spec.DeadlineMS > 0 {
+		j.deadline = j.enqueued.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	if err := s.mgr.Submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		cancel(nil)
+		return nil, err
+	}
+	s.cfg.Logf("job %d admitted: %dx%d nb=%d tree=%s prio=%d", j.ID, spec.M, spec.N, spec.NB, spec.Tree, spec.Priority)
+	return j, nil
+}
+
+// Get returns an admitted job by id.
+func (s *Server) Get(id uint32) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// runJob executes one dispatched job to a terminal state. In fleet mode it
+// first broadcasts the spec so every agent opens the same mux channel and
+// builds the same array.
+func (s *Server) runJob(j *Job) {
+	var ep transport.Endpoint
+	if s.mux != nil {
+		jep, err := s.mux.Open(j.ID)
+		if err != nil {
+			s.fail(j, fmt.Sprintf("open job channel: %v", err))
+			return
+		}
+		defer jep.Close()
+		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Spec: &j.Spec})
+		// Cancellation must be collective: relay it to the agents. The
+		// AfterFunc is stopped before normal completion's cancel(nil), so
+		// only a real mid-run cancellation broadcasts.
+		stopRelay := context.AfterFunc(j.ctx, func() {
+			s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
+		})
+		defer stopRelay()
+		ep = jep
+	}
+
+	a, dense, err := j.Spec.BuildInputs()
+	if err != nil {
+		s.fail(j, err.Error())
+		return
+	}
+	opts, err := j.Spec.Options()
+	if err != nil {
+		s.fail(j, err.Error())
+		return
+	}
+	rc := qr.RunConfig{
+		FireHook:        s.metrics.FireHook,
+		DeadlockTimeout: s.cfg.DeadlockTimeout,
+	}
+	start := time.Now()
+	f, err := qr.FactorizeVSAServe(j.ctx, a, nil, opts, rc, ep, s.pool)
+	elapsed := time.Since(start)
+	if err != nil {
+		if j.ctx.Err() != nil {
+			if j.finish(StateCanceled, "", nil) {
+				s.metrics.Canceled.Add(1)
+				s.cfg.Logf("job %d canceled after %v", j.ID, elapsed)
+			}
+		} else {
+			s.fail(j, err.Error())
+		}
+		s.retire(j.ID)
+		return
+	}
+
+	res := &Result{Elapsed: elapsed, Stats: f.Stats}
+	flops := kernels.FlopsQR(j.Spec.M, j.Spec.N)
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Gflops = flops / sec / 1e9
+	}
+	norm := dense.MaxAbs()
+	if norm == 0 {
+		norm = 1
+	}
+	res.Residual = f.Residual(dense) / norm
+	res.OK = res.Residual <= residualTol
+	res.R = rRows(f.R())
+	if j.finish(StateDone, "", res) {
+		s.metrics.Completed.Add(1)
+		s.metrics.ObserveJob(time.Since(j.enqueued).Seconds(), elapsed.Seconds(), flops)
+		s.cfg.Logf("job %d done in %v: %.2f Gflop/s, residual %.2e", j.ID, elapsed, res.Gflops, res.Residual)
+	}
+	s.retire(j.ID)
+}
+
+func (s *Server) fail(j *Job, msg string) {
+	if j.finish(StateFailed, msg, nil) {
+		s.metrics.Failed.Add(1)
+		s.cfg.Logf("job %d failed: %s", j.ID, msg)
+	}
+	s.retire(j.ID)
+}
+
+// retire records a terminal job for eviction and drops the oldest ones
+// beyond ResultCap, bounding the service's memory across a long life.
+func (s *Server) retire(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.terminal = append(s.terminal, id)
+	for len(s.terminal) > s.cfg.ResultCap {
+		evict := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		delete(s.jobs, evict)
+	}
+}
+
+// resident returns the number of jobs currently held in the registry.
+func (s *Server) resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// broadcast sends a control message to every agent rank.
+func (s *Server) broadcast(msg ctlMsg) {
+	b, err := json.Marshal(msg)
+	if err != nil {
+		s.cfg.Logf("broadcast %s: %v", msg.Op, err)
+		return
+	}
+	for r := 1; r < s.cfg.Ep.Size(); r++ {
+		s.ctl.Isend(b, r, ctlTag)
+	}
+}
+
+// Close shuts the service down: stop admitting, cancel everything, tell the
+// agents to exit, release the fleet sessions and the pool. The underlying
+// endpoint stays open for the caller to close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.stop() // cancels every job context derived from baseCtx
+		s.mgr.Close()
+		if s.mux != nil {
+			s.broadcast(ctlMsg{Op: "shutdown"})
+			s.ctl.Close()
+			s.mux.Close()
+		}
+		s.pool.Close()
+	})
+}
+
+// rRows converts the R factor to row-major rows for the JSON surface.
+func rRows(r *matrix.Mat) [][]float64 {
+	if r == nil {
+		return nil
+	}
+	rows := make([][]float64, r.Rows)
+	for i := range rows {
+		row := make([]float64, r.Cols)
+		for c := 0; c < r.Cols; c++ {
+			row[c] = r.At(i, c)
+		}
+		rows[i] = row
+	}
+	return rows
+}

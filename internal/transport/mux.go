@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mux multiplexes independent jobs onto one underlying Endpoint. Every
+// process of a fleet dials its mesh once, wraps the endpoint in a Mux, and
+// opens one virtual JobEndpoint per concurrent factorization: sends carry a
+// job id in front of the payload, and a pump goroutine demultiplexes
+// arrivals into per-job mailboxes. Each JobEndpoint has the full Endpoint
+// semantics — matching receives, per-job barriers, per-job stats — so the
+// PULSAR runtime runs unchanged over it, and any number of jobs share the
+// persistent connections without dial-per-job cost or tag collisions.
+//
+// The muxed header is [u32 job id][u8 kind]; kind separates data from the
+// per-job barrier protocol (which mirrors the TCP transport's centralized
+// barrier, rank 0 coordinating). Messages that arrive for a job not yet
+// opened are buffered and flushed at Open — the natural race when one rank
+// starts a job before its peers heard about it. Messages for a closed job
+// are dropped (the dead letters of a canceled run).
+//
+// Limitation: a Mux cannot observe the departure of a single peer (the
+// underlying wildcard receive outlives it), so a fleet member dying mid-job
+// surfaces as the job's deadlock timeout, not an immediate error. Process
+// supervision handles fleet membership; the Mux handles job traffic.
+type Mux struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	jobs    map[uint32]*JobEndpoint
+	pending map[uint32][]muxMsg
+	closedJ map[uint32]bool
+	closed  bool
+	cur     Request // outstanding pump receive, canceled on Close
+
+	wg sync.WaitGroup
+}
+
+const muxHeaderLen = 5
+
+// Muxed message kinds (the byte after the job id).
+const (
+	muxData           byte = 0
+	muxBarrierEnter   byte = 1
+	muxBarrierRelease byte = 2
+)
+
+type muxMsg struct {
+	source, tag int
+	kind        byte
+	data        []byte
+}
+
+var errJobClosed = errors.New("transport: job endpoint closed")
+
+// NewMux wraps ep and starts the demultiplexing pump. The Mux owns the
+// endpoint's receive side: all traffic through ep must go through job
+// endpoints from here on. Closing the Mux stops the pump and fails every
+// open job; the underlying endpoint remains the caller's to close.
+func NewMux(ep Endpoint) *Mux {
+	m := &Mux{
+		ep:      ep,
+		jobs:    map[uint32]*JobEndpoint{},
+		pending: map[uint32][]muxMsg{},
+		closedJ: map[uint32]bool{},
+	}
+	m.wg.Add(1)
+	go m.pump()
+	return m
+}
+
+// Open creates the virtual endpoint for job. Opening an already-open or
+// already-closed job id is an error: ids identify one job's lifetime.
+func (m *Mux) Open(job uint32) (*JobEndpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	if _, ok := m.jobs[job]; ok {
+		return nil, fmt.Errorf("transport: job %d already open", job)
+	}
+	if m.closedJ[job] {
+		return nil, fmt.Errorf("transport: job %d already closed", job)
+	}
+	e := &JobEndpoint{
+		mux: m,
+		job: job,
+		mb:  newMailbox(m.ep.Size()),
+		bar: newBarrierState(m.ep.Size()),
+	}
+	m.jobs[job] = e
+	for _, msg := range m.pending[job] {
+		e.dispatch(msg)
+	}
+	delete(m.pending, job)
+	return e, nil
+}
+
+// Close stops the pump and fails every open job endpoint. Pending buffered
+// messages are dropped.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	jobs := make([]*JobEndpoint, 0, len(m.jobs))
+	for _, e := range m.jobs {
+		jobs = append(jobs, e)
+	}
+	cur := m.cur
+	m.mu.Unlock()
+
+	for _, e := range jobs {
+		e.Close()
+	}
+	if cur != nil {
+		cur.Cancel()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// pump is the demultiplexer: one wildcard receive at a time on the real
+// endpoint, routed by the job id in the muxed header.
+func (m *Mux) pump() {
+	defer m.wg.Done()
+	for {
+		req := m.ep.Irecv(Any, Any)
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			req.Cancel()
+			return
+		}
+		m.cur = req
+		m.mu.Unlock()
+		req.Wait()
+		if req.Canceled() {
+			m.failAll()
+			return
+		}
+		m.route(req.Source(), req.Tag(), req.Data())
+	}
+}
+
+// failAll marks every open job's communicator failed — the pump is gone
+// (mux closed or the underlying endpoint died), so no receive or barrier
+// can ever complete again.
+func (m *Mux) failAll() {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*JobEndpoint, 0, len(m.jobs))
+	for _, e := range m.jobs {
+		jobs = append(jobs, e)
+	}
+	m.mu.Unlock()
+	for _, e := range jobs {
+		e.fail()
+	}
+}
+
+func (m *Mux) route(source, tag int, data []byte) {
+	if len(data) < muxHeaderLen {
+		return // not a muxed frame; drop
+	}
+	job := binary.BigEndian.Uint32(data)
+	msg := muxMsg{source: source, tag: tag, kind: data[4], data: data[muxHeaderLen:]}
+	m.mu.Lock()
+	e, open := m.jobs[job]
+	if !open {
+		if !m.closedJ[job] && !m.closed {
+			m.pending[job] = append(m.pending[job], msg)
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	e.dispatch(msg)
+}
+
+// JobEndpoint is one job's virtual rank endpoint over a Mux. It implements
+// Endpoint; the runtime's proxy and the gather path use it exactly like a
+// dedicated communicator.
+type JobEndpoint struct {
+	mux *Mux
+	job uint32
+	mb  *mailbox
+	bar *barrierState
+
+	closed atomic.Bool
+	msgs   atomic.Int64
+	bytes  atomic.Int64
+}
+
+func (e *JobEndpoint) dispatch(msg muxMsg) {
+	switch msg.kind {
+	case muxData:
+		e.mb.push(envelope{source: msg.source, tag: msg.tag, data: msg.data})
+	case muxBarrierEnter:
+		e.bar.handle(msg.source, msg.tag, BarrierEnter)
+	case muxBarrierRelease:
+		e.bar.handle(msg.source, msg.tag, BarrierRelease)
+	}
+}
+
+func (e *JobEndpoint) fail() {
+	e.bar.fail(errClosed)
+	e.mb.fail()
+}
+
+// Job returns the job id this endpoint serves.
+func (e *JobEndpoint) Job() uint32 { return e.job }
+
+func (e *JobEndpoint) Rank() int { return e.mux.ep.Rank() }
+func (e *JobEndpoint) Size() int { return e.mux.ep.Size() }
+
+func (e *JobEndpoint) OnArrival(fn func()) { e.mb.setNotify(fn) }
+
+func (e *JobEndpoint) Stats() (messages, bytes int64) {
+	return e.msgs.Load(), e.bytes.Load()
+}
+
+// send wraps payload in the muxed header and ships it on the real endpoint.
+func (e *JobEndpoint) send(kind byte, data []byte, dest, tag int) {
+	buf := make([]byte, muxHeaderLen+len(data))
+	binary.BigEndian.PutUint32(buf, e.job)
+	buf[4] = kind
+	copy(buf[muxHeaderLen:], data)
+	e.mux.ep.Isend(buf, dest, tag)
+}
+
+// Isend sends data to dest with the given tag within this job. Payloads are
+// copied into the muxed frame before return, preserving the eager-send
+// contract. Sends on a closed job endpoint are dropped (a canceled job's
+// stragglers).
+func (e *JobEndpoint) Isend(data []byte, dest, tag int) Request {
+	if !e.closed.Load() {
+		e.msgs.Add(1)
+		e.bytes.Add(int64(len(data)))
+		e.send(muxData, data, dest, tag)
+	}
+	return &netRequest{done: true, source: dest, tag: tag}
+}
+
+// Irecv posts a receive for (source|Any, tag|Any) within this job.
+func (e *JobEndpoint) Irecv(source, tag int) Request {
+	req := &netRequest{isRecv: true, source: source, tag: tag, mb: e.mb}
+	e.mb.post(req)
+	return req
+}
+
+// Barrier blocks until every rank has entered this job's barrier, using the
+// same centralized generation protocol as the TCP transport but carried in
+// muxed control messages: every rank reports to rank 0, which releases all.
+// The per-job generation counters line up because Barrier is collective
+// within the job.
+func (e *JobEndpoint) Barrier() error {
+	b := e.bar
+	b.mu.Lock()
+	if b.err != nil {
+		defer b.mu.Unlock()
+		return b.err
+	}
+	gen := b.gen
+	b.gen++
+	b.mu.Unlock()
+	size := e.Size()
+	if size == 1 {
+		return nil
+	}
+
+	if e.Rank() == 0 {
+		b.mu.Lock()
+		for len(b.entered[gen]) < size-1 && b.err == nil {
+			b.cond.Wait()
+		}
+		var err error
+		if len(b.entered[gen]) < size-1 {
+			err = b.err
+		}
+		delete(b.entered, gen)
+		b.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		for j := 1; j < size; j++ {
+			e.send(muxBarrierRelease, nil, j, gen)
+		}
+		return nil
+	}
+
+	e.send(muxBarrierEnter, nil, 0, gen)
+	b.mu.Lock()
+	for !b.released[gen] && b.err == nil {
+		b.cond.Wait()
+	}
+	var err error
+	if !b.released[gen] {
+		err = b.err
+	}
+	delete(b.released, gen)
+	b.mu.Unlock()
+	return err
+}
+
+// Close retires the job id: posted receives and barrier waits are failed,
+// and later arrivals for this job are dropped by the pump. The underlying
+// endpoint is untouched.
+func (e *JobEndpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	m := e.mux
+	m.mu.Lock()
+	delete(m.jobs, e.job)
+	m.closedJ[e.job] = true
+	delete(m.pending, e.job)
+	m.mu.Unlock()
+	e.bar.fail(errJobClosed)
+	e.mb.fail()
+	return nil
+}

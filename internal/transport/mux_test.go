@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxPair wraps both ranks of a 2-rank local world in Muxes.
+func muxPair(t *testing.T) (*Mux, *Mux) {
+	t.Helper()
+	l := NewLocal(2)
+	m0 := NewMux(l.Endpoint(0))
+	m1 := NewMux(l.Endpoint(1))
+	t.Cleanup(func() {
+		m0.Close()
+		m1.Close()
+	})
+	return m0, m1
+}
+
+func recvBytes(t *testing.T, ep Endpoint, source, tag int) []byte {
+	t.Helper()
+	req := ep.Irecv(source, tag)
+	req.Wait()
+	if req.Canceled() {
+		t.Fatalf("receive (source %d, tag %d) canceled", source, tag)
+	}
+	return req.Data()
+}
+
+// Two jobs use identical tags concurrently; each job's traffic must reach
+// only its own endpoint.
+func TestMuxDemuxSameTags(t *testing.T) {
+	m0, m1 := muxPair(t)
+	jobs := []uint32{1, 2, 7}
+	var eps0, eps1 []*JobEndpoint
+	for _, j := range jobs {
+		e0, err := m0.Open(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, err := m1.Open(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps0 = append(eps0, e0)
+		eps1 = append(eps1, e1)
+	}
+	const tag = 42
+	for i, j := range jobs {
+		eps0[i].Isend([]byte(fmt.Sprintf("job-%d", j)), 1, tag)
+	}
+	// Receive in reverse open order to prove there is no cross-job matching.
+	for i := len(jobs) - 1; i >= 0; i-- {
+		got := string(recvBytes(t, eps1[i], 0, tag))
+		want := fmt.Sprintf("job-%d", jobs[i])
+		if got != want {
+			t.Errorf("job %d received %q, want %q", jobs[i], got, want)
+		}
+	}
+}
+
+// Messages sent before the receiving side opened the job are buffered and
+// delivered at Open.
+func TestMuxBuffersBeforeOpen(t *testing.T) {
+	m0, m1 := muxPair(t)
+	e0, err := m0.Open(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0.Isend([]byte("early-a"), 1, 1)
+	e0.Isend([]byte("early-b"), 1, 2)
+	time.Sleep(20 * time.Millisecond) // let the pump route into pending
+	e1, err := m1.Open(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvBytes(t, e1, 0, 1)); got != "early-a" {
+		t.Errorf("tag 1: got %q", got)
+	}
+	if got := string(recvBytes(t, e1, 0, 2)); got != "early-b" {
+		t.Errorf("tag 2: got %q", got)
+	}
+}
+
+// Wildcard receives and FIFO order within a job survive the muxing.
+func TestMuxWildcardAndOrder(t *testing.T) {
+	m0, m1 := muxPair(t)
+	e0, _ := m0.Open(3)
+	e1, _ := m1.Open(3)
+	for i := 0; i < 5; i++ {
+		e0.Isend([]byte{byte(i)}, 1, 10+i)
+	}
+	for i := 0; i < 5; i++ {
+		req := e1.Irecv(Any, Any)
+		req.Wait()
+		if req.Canceled() {
+			t.Fatal("wildcard receive canceled")
+		}
+		if got := req.Data()[0]; int(got) != i {
+			t.Fatalf("message %d arrived out of order (payload %d)", i, got)
+		}
+		if req.Source() != 0 || req.Tag() != 10+i {
+			t.Fatalf("message %d: source/tag = %d/%d", i, req.Source(), req.Tag())
+		}
+	}
+}
+
+// Per-job barriers are independent: job A's barrier completes while job B's
+// is still waiting, and repeated generations work.
+func TestMuxPerJobBarriers(t *testing.T) {
+	m0, m1 := muxPair(t)
+	ea0, _ := m0.Open(1)
+	ea1, _ := m1.Open(1)
+	eb0, _ := m0.Open(2)
+	eb1, _ := m1.Open(2)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for gen := 0; gen < 2; gen++ {
+		for _, ep := range []*JobEndpoint{ea0, ea1, eb0, eb1} {
+			wg.Add(1)
+			go func(ep *JobEndpoint) {
+				defer wg.Done()
+				if err := ep.Barrier(); err != nil {
+					errs <- err
+				}
+			}(ep)
+		}
+		wg.Wait()
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("barrier: %v", err)
+	}
+}
+
+// Job A's barrier must not be held hostage by job B never entering its own.
+func TestMuxBarrierNotBlockedByOtherJob(t *testing.T) {
+	m0, m1 := muxPair(t)
+	ea0, _ := m0.Open(1)
+	ea1, _ := m1.Open(1)
+	m0.Open(2) // job 2 opened but idle forever
+	m1.Open(2)
+
+	done := make(chan error, 2)
+	go func() { done <- ea0.Barrier() }()
+	go func() { done <- ea1.Barrier() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("job 1 barrier: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("job 1 barrier stuck behind idle job 2")
+		}
+	}
+}
+
+func TestMuxStatsPerJob(t *testing.T) {
+	m0, m1 := muxPair(t)
+	ea, _ := m0.Open(1)
+	eb, _ := m0.Open(2)
+	m1.Open(1)
+	m1.Open(2)
+	ea.Isend(make([]byte, 100), 1, 0)
+	eb.Isend(make([]byte, 7), 1, 0)
+	eb.Isend(make([]byte, 8), 1, 1)
+	if n, b := ea.Stats(); n != 1 || b != 100 {
+		t.Errorf("job 1 stats = %d msgs/%d bytes, want 1/100", n, b)
+	}
+	if n, b := eb.Stats(); n != 2 || b != 15 {
+		t.Errorf("job 2 stats = %d msgs/%d bytes, want 2/15", n, b)
+	}
+}
+
+// Closing a job endpoint cancels posted receives, drops later arrivals, and
+// forbids reopening the id; other jobs are unaffected.
+func TestMuxCloseJob(t *testing.T) {
+	m0, m1 := muxPair(t)
+	e0, _ := m0.Open(5)
+	e1, _ := m1.Open(5)
+	keep0, _ := m0.Open(6)
+	keep1, _ := m1.Open(6)
+
+	req := e1.Irecv(0, 0)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req.Wait()
+	if !req.Canceled() {
+		t.Error("posted receive survived Close")
+	}
+	if _, err := m1.Open(5); err == nil {
+		t.Error("reopening a closed job id succeeded")
+	}
+	// Stragglers to the closed job are dropped without disturbing job 6.
+	e0.Isend([]byte("straggler"), 1, 0)
+	keep0.Isend([]byte("alive"), 1, 0)
+	if got := string(recvBytes(t, keep1, 0, 0)); got != "alive" {
+		t.Errorf("job 6 received %q, want %q", got, "alive")
+	}
+	// A barrier on the closed endpoint fails instead of hanging.
+	if err := e1.Barrier(); err == nil {
+		t.Error("barrier on closed job endpoint returned nil")
+	}
+}
+
+// Closing the mux fails all open jobs' pending operations.
+func TestMuxCloseFailsJobs(t *testing.T) {
+	l := NewLocal(2)
+	m0 := NewMux(l.Endpoint(0))
+	m1 := NewMux(l.Endpoint(1))
+	defer m1.Close()
+	e0, _ := m0.Open(1)
+	req := e0.Irecv(Any, Any)
+	barErr := make(chan error, 1)
+	go func() { barErr <- e0.Barrier() }()
+	time.Sleep(10 * time.Millisecond)
+	if err := m0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req.Wait()
+	if !req.Canceled() {
+		t.Error("pending receive survived mux Close")
+	}
+	select {
+	case err := <-barErr:
+		if err == nil {
+			t.Error("barrier survived mux Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier stuck after mux Close")
+	}
+	if _, err := m0.Open(2); err == nil {
+		t.Error("Open after mux Close succeeded")
+	}
+}

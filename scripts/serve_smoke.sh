@@ -1,0 +1,104 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end check of the factorization service.
+#
+# Starts qrserve with two launched agent processes, submits three
+# concurrent jobs over HTTP, verifies each completes with a passing
+# residual, checks the metrics counters agree, and shuts down cleanly.
+#
+# Usage: scripts/serve_smoke.sh [path-to-bin-dir]   (default: ./bin)
+set -eu
+
+BIN=${1:-bin}
+WORK=$(mktemp -d)
+SERVE_PID=
+
+cleanup() {
+    status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- qrserve log ---"
+        cat "$WORK/serve.log" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+[ -x "$BIN/qrserve" ] && [ -x "$BIN/qrservenode" ] || {
+    echo "serve-smoke: $BIN/qrserve or $BIN/qrservenode missing (run: make build)" >&2
+    exit 1
+}
+
+"$BIN/qrserve" -listen 127.0.0.1:0 -portfile "$WORK/port" \
+    -launch 2 -threads 2 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the HTTP listener (the portfile appears once it is bound).
+i=0
+until [ -s "$WORK/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ] || ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "serve-smoke: qrserve did not come up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/port")
+echo "serve-smoke: qrserve up at $ADDR"
+
+curl -sf "http://$ADDR/healthz" | grep -q '"ranks":3' || {
+    echo "serve-smoke: expected a 3-rank fleet" >&2
+    exit 1
+}
+
+# Three concurrent jobs, distinct shapes and reduction trees.
+curl -sf "http://$ADDR/v1/factorize" \
+    -d '{"m":1024,"n":256,"seed":11,"wait":true}' >"$WORK/job1" &
+P1=$!
+curl -sf "http://$ADDR/v1/factorize" \
+    -d '{"m":768,"n":192,"seed":12,"tree":"flat","wait":true}' >"$WORK/job2" &
+P2=$!
+curl -sf "http://$ADDR/v1/factorize" \
+    -d '{"m":512,"n":128,"seed":13,"tree":"binary","wait":true}' >"$WORK/job3" &
+P3=$!
+wait "$P1" && wait "$P2" && wait "$P3" || {
+    echo "serve-smoke: a submit request failed" >&2
+    exit 1
+}
+
+for j in 1 2 3; do
+    grep -q '"status":"done"' "$WORK/job$j" && grep -q '"ok":true' "$WORK/job$j" || {
+        echo "serve-smoke: job $j did not complete cleanly:" >&2
+        cat "$WORK/job$j" >&2
+        exit 1
+    }
+done
+echo "serve-smoke: 3 concurrent jobs done, residuals within tolerance"
+
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics"
+grep -q '^qrserve_jobs_completed_total 3$' "$WORK/metrics" || {
+    echo "serve-smoke: metrics disagree (want 3 completed):" >&2
+    grep '^qrserve_jobs' "$WORK/metrics" >&2 || true
+    exit 1
+}
+grep -q '^qrserve_job_latency_seconds_count 3$' "$WORK/metrics" || {
+    echo "serve-smoke: latency histogram count != 3" >&2
+    exit 1
+}
+echo "serve-smoke: metrics agree (3 completed, histogram count 3)"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "serve-smoke: qrserve exited non-zero on SIGTERM" >&2
+    exit 1
+}
+SERVE_PID=
+if pgrep -f "$BIN/qrservenode" >/dev/null 2>&1; then
+    echo "serve-smoke: orphaned qrservenode agents left behind" >&2
+    pkill -f "$BIN/qrservenode" || true
+    exit 1
+fi
+echo "serve-smoke: clean shutdown, no orphaned agents"
