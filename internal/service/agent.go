@@ -136,6 +136,13 @@ func (ag *Agent) runJob(ctx context.Context, id uint32, spec JobSpec) {
 		return
 	}
 	defer jep.Close()
+	// A cancel must fail this rank's job session, not just abort its VSA:
+	// if this rank's share finished before the cancel arrived, it is
+	// blocked in the collective post-run barrier that its aborting peers
+	// will never enter, and only failing the endpoint's barrier state lets
+	// it return (otherwise ag.wg never drains and Run/Close hang).
+	stop := context.AfterFunc(ctx, func() { jep.Close() })
+	defer stop()
 	a, _, err := spec.BuildInputs()
 	if err != nil {
 		ag.logf("agent: job %d: %v", id, err)

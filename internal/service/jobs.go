@@ -57,7 +57,8 @@ type Job struct {
 	errMsg string
 	result *Result
 
-	done chan struct{}
+	done       chan struct{}
+	onTerminal func() // runs once on the terminal transition, before done closes
 }
 
 // State returns the job's current state and error message (empty unless
@@ -93,6 +94,9 @@ func (j *Job) finish(s State, errMsg string, r *Result) bool {
 	j.errMsg = errMsg
 	j.result = r
 	j.mu.Unlock()
+	if j.onTerminal != nil {
+		j.onTerminal()
+	}
 	close(j.done)
 	j.cancel(nil) // release the context's resources
 	return true

@@ -134,6 +134,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		state:    StatePending,
 		done:     make(chan struct{}),
 	}
+	// Retirement rides the terminal transition itself, so every path that
+	// ends a job — runJob, the dispatcher's pre-dispatch deadline/cancel
+	// drops, Manager.Close — retires it exactly once, before Done observers
+	// wake, and eviction bounds the registry no matter how the job ended.
+	j.onTerminal = func() { s.retire(j.ID) }
 	if spec.DeadlineMS > 0 {
 		j.deadline = j.enqueued.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
 	}
@@ -167,6 +172,7 @@ func (s *Server) Get(id uint32) (*Job, error) {
 // builds the same array.
 func (s *Server) runJob(j *Job) {
 	var ep transport.Endpoint
+	stopRelay := func() bool { return false }
 	if s.mux != nil {
 		jep, err := s.mux.Open(j.ID)
 		if err != nil {
@@ -175,11 +181,17 @@ func (s *Server) runJob(j *Job) {
 		}
 		defer jep.Close()
 		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Spec: &j.Spec})
-		// Cancellation must be collective: relay it to the agents. The
-		// AfterFunc is stopped before normal completion's cancel(nil), so
-		// only a real mid-run cancellation broadcasts.
-		stopRelay := context.AfterFunc(j.ctx, func() {
+		// Cancellation must be collective: relay it to the agents AND fail
+		// this rank's job session. Closing jep fails its barrier state, so
+		// a rank whose local share finished before the cancel — already
+		// blocked in the collective post-run barrier its aborting peers
+		// will never enter — unwinds instead of wedging this dispatcher
+		// worker forever. The success path stops the relay before finish's
+		// cancel(nil) so a completed job broadcasts nothing; a failed job
+		// leaves it armed, releasing agents still running their share.
+		stopRelay = context.AfterFunc(j.ctx, func() {
 			s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
+			jep.Close()
 		})
 		defer stopRelay()
 		ep = jep
@@ -211,7 +223,6 @@ func (s *Server) runJob(j *Job) {
 		} else {
 			s.fail(j, err.Error())
 		}
-		s.retire(j.ID)
 		return
 	}
 
@@ -227,12 +238,12 @@ func (s *Server) runJob(j *Job) {
 	res.Residual = f.Residual(dense) / norm
 	res.OK = res.Residual <= residualTol
 	res.R = rRows(f.R())
+	stopRelay() // a completed job must not broadcast a cancel from finish's cancel(nil)
 	if j.finish(StateDone, "", res) {
 		s.metrics.Completed.Add(1)
 		s.metrics.ObserveJob(time.Since(j.enqueued).Seconds(), elapsed.Seconds(), flops)
 		s.cfg.Logf("job %d done in %v: %.2f Gflop/s, residual %.2e", j.ID, elapsed, res.Gflops, res.Residual)
 	}
-	s.retire(j.ID)
 }
 
 func (s *Server) fail(j *Job, msg string) {
@@ -240,7 +251,6 @@ func (s *Server) fail(j *Job, msg string) {
 		s.metrics.Failed.Add(1)
 		s.cfg.Logf("job %d failed: %s", j.ID, msg)
 	}
-	s.retire(j.ID)
 }
 
 // retire records a terminal job for eviction and drops the oldest ones

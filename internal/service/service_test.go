@@ -335,6 +335,81 @@ func TestServerFleet(t *testing.T) {
 	agent.Close()
 }
 
+// Canceling fleet jobs must not wedge dispatcher workers or the agent:
+// when ranks observe the cancel at different times, a rank whose share
+// already finished sits in the collective post-run barrier that its
+// aborting peers never enter, and only failing the job's session releases
+// it. Cancel as many running jobs as there are dispatcher workers, then
+// prove every worker is free again (a fresh job completes) and that the
+// agent still drains and shuts down. The deadlock watchdog is disabled so
+// a wedged barrier hangs the test instead of being silently rescued.
+func TestServerFleetCancelReleasesWorkers(t *testing.T) {
+	l := transport.NewLocal(2)
+	agent, err := NewAgent(l.Endpoint(1), 2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentDone := make(chan error, 1)
+	go func() { agentDone <- agent.Run(context.Background()) }()
+
+	const workers = 2
+	s, err := NewServer(Config{Threads: 2, QueueCap: 8, MaxConcurrent: workers,
+		Ep: l.Endpoint(0), DeadlockTimeout: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		j, err := s.Submit(JobSpec{M: 1024, N: 512, NB: 32, IB: 8, Seed: int64(70 + i)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		// Stagger the cancels so they land at different points of the run
+		// (including mid-flight, after dispatch).
+		time.Sleep(time.Duration(50+100*i) * time.Millisecond)
+		j.Cancel()
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("canceled fleet job %d did not reach a terminal state", i)
+		}
+		if state, msg := j.State(); state != StateCanceled {
+			t.Fatalf("fleet job %d state = %s (%s), want canceled", i, state, msg)
+		}
+	}
+	// Every dispatcher worker must be back: saturate them all with fresh
+	// work and require completion.
+	spec := JobSpec{M: 128, N: 64, NB: 32, IB: 8, Seed: 79}
+	var after []*Job
+	for i := 0; i < workers; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("post-cancel submit %d: %v", i, err)
+		}
+		after = append(after, j)
+	}
+	for i, j := range after {
+		select {
+		case <-j.Done():
+		case <-time.After(120 * time.Second):
+			t.Fatalf("post-cancel job %d did not finish: a dispatcher worker is wedged", i)
+		}
+		if state, msg := j.State(); state != StateDone {
+			t.Fatalf("post-cancel job %d state = %s (%s)", i, state, msg)
+		}
+		checkResultR(t, "post-cancel", j.Result().R, oracleR(t, spec))
+	}
+	s.Close()
+	select {
+	case err := <-agentDone:
+		if err != nil {
+			t.Errorf("agent exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not exit after shutdown: its job WaitGroup is wedged")
+	}
+	agent.Close()
+}
+
 // Result eviction bounds the registry: old terminal jobs disappear.
 func TestServerEviction(t *testing.T) {
 	s, err := NewServer(Config{Threads: 2, QueueCap: 8, MaxConcurrent: 2, ResultCap: 2})

@@ -31,12 +31,13 @@ import (
 type Mux struct {
 	ep Endpoint
 
-	mu      sync.Mutex
-	jobs    map[uint32]*JobEndpoint
-	pending map[uint32][]muxMsg
-	closedJ map[uint32]bool
-	closed  bool
-	cur     Request // outstanding pump receive, canceled on Close
+	mu       sync.Mutex
+	jobs     map[uint32]*JobEndpoint
+	pending  map[uint32][]muxMsg
+	closedJ  map[uint32]bool // closed ids at/above closedLo, compacted as the watermark advances
+	closedLo uint32          // every id below it is closed or currently open (in jobs)
+	closed   bool
+	cur      Request // outstanding pump receive, canceled on Close
 
 	wg sync.WaitGroup
 }
@@ -85,7 +86,7 @@ func (m *Mux) Open(job uint32) (*JobEndpoint, error) {
 	if _, ok := m.jobs[job]; ok {
 		return nil, fmt.Errorf("transport: job %d already open", job)
 	}
-	if m.closedJ[job] {
+	if m.closedJ[job] || job < m.closedLo {
 		return nil, fmt.Errorf("transport: job %d already closed", job)
 	}
 	e := &JobEndpoint{
@@ -176,7 +177,7 @@ func (m *Mux) route(source, tag int, data []byte) {
 	m.mu.Lock()
 	e, open := m.jobs[job]
 	if !open {
-		if !m.closedJ[job] && !m.closed {
+		if !m.closedJ[job] && job >= m.closedLo && !m.closed {
 			m.pending[job] = append(m.pending[job], msg)
 		}
 		m.mu.Unlock()
@@ -184,6 +185,25 @@ func (m *Mux) route(source, tag int, data []byte) {
 	}
 	m.mu.Unlock()
 	e.dispatch(msg)
+}
+
+// compact advances the closed-below watermark. Job ids are allocated
+// monotonically, so the ever-growing run of retired ids at the bottom can
+// be summarized by one bound instead of one closedJ entry per job for the
+// life of the mux; only the (small) set of ids closed out of order above
+// the watermark keeps an entry. Ids still open — the long-lived control
+// job — are stepped over: they live in m.jobs, which route and Open
+// consult before the watermark, and a later Close below the watermark
+// needs no entry at all. Callers hold m.mu.
+func (m *Mux) compact() {
+	for {
+		if m.closedJ[m.closedLo] {
+			delete(m.closedJ, m.closedLo)
+		} else if _, open := m.jobs[m.closedLo]; !open {
+			return
+		}
+		m.closedLo++
+	}
 }
 
 // JobEndpoint is one job's virtual rank endpoint over a Mux. It implements
@@ -321,8 +341,11 @@ func (e *JobEndpoint) Close() error {
 	m := e.mux
 	m.mu.Lock()
 	delete(m.jobs, e.job)
-	m.closedJ[e.job] = true
 	delete(m.pending, e.job)
+	if e.job >= m.closedLo {
+		m.closedJ[e.job] = true
+		m.compact()
+	}
 	m.mu.Unlock()
 	e.bar.fail(errJobClosed)
 	e.mb.fail()

@@ -209,6 +209,93 @@ func TestMuxCloseJob(t *testing.T) {
 	}
 }
 
+// A rank blocked inside Barrier must unwind when its job endpoint is
+// closed from another goroutine — this is how a canceled job releases a
+// rank whose share finished before the cancel arrived (its aborting peers
+// never enter the barrier, so nothing else can complete it). Both sides of
+// the centralized protocol are exercised: rank 0 waiting for enters, and a
+// non-root rank waiting for its release.
+func TestMuxCloseUnblocksBarrier(t *testing.T) {
+	m0, m1 := muxPair(t)
+	barErr := make(chan error, 1)
+
+	e0, _ := m0.Open(1)
+	m1.Open(1) // the "aborted peer": never enters
+	go func() { barErr <- e0.Barrier() }()
+	time.Sleep(20 * time.Millisecond) // let rank 0 block waiting for rank 1
+	e0.Close()
+	select {
+	case err := <-barErr:
+		if err == nil {
+			t.Error("rank 0 barrier returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 0 barrier still blocked after Close")
+	}
+
+	m0.Open(2) // rank 0 never enters, so rank 1 never gets a release
+	e1, _ := m1.Open(2)
+	go func() { barErr <- e1.Barrier() }()
+	time.Sleep(20 * time.Millisecond)
+	e1.Close()
+	select {
+	case err := <-barErr:
+		if err == nil {
+			t.Error("rank 1 barrier returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 1 barrier still blocked after Close")
+	}
+}
+
+// The closed-job set must not grow with the total number of jobs served:
+// with a long-lived control job pinning id 0 open, closing monotonically
+// allocated ids compacts into the watermark instead of one map entry per
+// job for the life of the mux — including ids closed out of order.
+func TestMuxClosedJobWatermark(t *testing.T) {
+	m0, m1 := muxPair(t)
+	if _, err := m0.Open(0); err != nil { // control job stays open throughout
+		t.Fatal(err)
+	}
+	open := func(id uint32) *JobEndpoint {
+		t.Helper()
+		e, err := m0.Open(id)
+		if err != nil {
+			t.Fatalf("open %d: %v", id, err)
+		}
+		return e
+	}
+	for id := uint32(1); id <= 100; id += 2 {
+		a, b := open(id), open(id+1)
+		b.Close() // out of order: the higher id retires first
+		a.Close()
+	}
+	m0.mu.Lock()
+	entries, lo := len(m0.closedJ), m0.closedLo
+	m0.mu.Unlock()
+	if entries != 0 {
+		t.Errorf("closedJ holds %d entries after full compaction, want 0", entries)
+	}
+	if lo != 101 {
+		t.Errorf("closedLo = %d, want 101", lo)
+	}
+	// Watermark-retired ids behave exactly like mapped closed ids: reopening
+	// is rejected, and stragglers are dropped rather than buffered.
+	if _, err := m0.Open(50); err == nil {
+		t.Error("reopening a watermark-retired job id succeeded")
+	}
+	frame := make([]byte, muxHeaderLen+1)
+	frame[3] = 50 // big-endian job id 50, kind muxData
+	m1.ep.Isend(frame, 0, 7)
+	time.Sleep(20 * time.Millisecond)
+	m0.mu.Lock()
+	_, buffered := m0.pending[50]
+	m0.mu.Unlock()
+	if buffered {
+		t.Error("straggler for a watermark-retired job was buffered")
+	}
+}
+
 // Closing the mux fails all open jobs' pending operations.
 func TestMuxCloseFailsJobs(t *testing.T) {
 	l := NewLocal(2)
