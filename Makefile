@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke serve-smoke vet clean
+.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke serve-smoke trace-smoke vet clean
 
 all: build
 
@@ -49,6 +49,11 @@ launch-smoke: build
 # agent processes, 3 concurrent HTTP jobs, metrics and clean shutdown.
 serve-smoke: build
 	sh scripts/serve_smoke.sh $(BIN)
+
+# End-to-end check of distributed tracing: a 2-process traced TCP run,
+# shard gather at rank 0, qrtrace -merge analysis, Chrome JSON export.
+trace-smoke: build
+	sh scripts/trace_smoke.sh $(BIN)
 
 clean:
 	rm -rf $(BIN)

@@ -14,13 +14,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"pulsarqr"
 	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/simulate"
+	"pulsarqr/internal/trace"
 )
 
 func main() {
@@ -29,6 +34,7 @@ func main() {
 	fig := flag.String("fig", "10", "which experiment: 10|11|baselines|ablation|real")
 	scale := flag.Float64("scale", 1, "shrink factor for quicker runs (divides m and cores)")
 	nodes := flag.Int("nodes", 1, "runtime nodes for -fig real (inter-node traffic is reported per run)")
+	trFile := flag.String("trace", "", "with -fig real: record each run's execution trace to <file>-<tree>.jsonl")
 	flag.Parse()
 
 	switch *fig {
@@ -43,7 +49,7 @@ func main() {
 	case "weak":
 		weak(*scale)
 	case "real":
-		real(*nodes)
+		real(*nodes, *trFile)
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
@@ -199,7 +205,7 @@ func kernelFlops(m, n, nb, ib int, tree qr.TreeKind, h int) float64 {
 // throughput). Each run also reports the traffic the transport layer moved
 // between the runtime's nodes (zero when nodes == 1: everything is
 // intra-node).
-func real(nodes int) {
+func real(nodes int, trFile string) {
 	if nodes < 1 {
 		nodes = 1
 	}
@@ -220,10 +226,17 @@ func real(nodes int) {
 		{"flat", pulsarqr.Flat, 1},
 	} {
 		a := pulsarqr.RandomMatrix(m, n, 7)
-		opts := pulsarqr.Options{NB: nb, IB: ib, Tree: tc.tree, H: tc.h,
-			Nodes: nodes, Threads: threads}
+		var f *pulsarqr.Factorization
+		var err error
 		start := time.Now()
-		f, err := pulsarqr.Factor(a, opts)
+		if trFile != "" {
+			f, err = factorTraced(a, qr.Options{NB: nb, IB: ib, Tree: tc.tree, H: tc.h},
+				qr.RunConfig{Nodes: nodes, Threads: threads}, traceName(trFile, tc.name))
+		} else {
+			opts := pulsarqr.Options{NB: nb, IB: ib, Tree: tc.tree, H: tc.h,
+				Nodes: nodes, Threads: threads}
+			f, err = pulsarqr.Factor(a, opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -233,4 +246,38 @@ func real(nodes int) {
 			kernelFlops(m, n, nb, ib, tc.tree, tc.h)/1e9/el.Seconds(), f.Residual(a),
 			f.Stats.Messages, f.Stats.Bytes)
 	}
+}
+
+// traceName derives one run's shard path from the -trace base name:
+// "out.jsonl" + "flat" -> "out-flat.jsonl".
+func traceName(base, tree string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + tree + ext
+}
+
+// factorTraced runs one factorization through the internal qr layer with a
+// trace recorder installed and writes its shard as JSONL.
+func factorTraced(a *pulsarqr.Matrix, o qr.Options, rc qr.RunConfig, path string) (*pulsarqr.Factorization, error) {
+	rec := trace.NewRecorder()
+	rc.FireHook = rec.Hook()
+	rc.WaitHook = rec.WaitHook()
+	rc.CommHook = rec.CommHook()
+	f, err := qr.FactorizeVSA(matrix.FromDense(a, o.NB), nil, o, rc)
+	if err != nil {
+		return nil, err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sh := rec.Shard(0)
+	if err := trace.WriteShards(fh, sh); err != nil {
+		fh.Close()
+		return nil, err
+	}
+	if err := fh.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("  %-13s trace: %d events -> %s (dropped %d)\n", "", len(sh.Events), path, sh.Drops)
+	return f, nil
 }

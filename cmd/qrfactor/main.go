@@ -30,6 +30,8 @@ import (
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/procgroup"
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
 )
 
 func main() {
@@ -54,11 +56,12 @@ func main() {
 		launch  = flag.Int("launch", 0, "spawn this many qrnode processes over local TCP instead of simulating nodes in-process")
 		nodeBin = flag.String("qrnode", "", "path to the qrnode binary (default: next to qrfactor, then $PATH)")
 		check   = flag.Bool("check", false, "with -launch: rank 0 verifies elementwise against the sequential reference")
+		trFile  = flag.String("trace", "", "record an execution trace to this JSONL file (systolic engine; with -launch, rank 0 gathers every rank's shard)")
 	)
 	flag.Parse()
 
 	if *launch > 0 {
-		os.Exit(launchNodes(*launch, *nodeBin, []string{
+		args := []string{
 			"-m", fmt.Sprint(*m), "-n", fmt.Sprint(*n),
 			"-nb", fmt.Sprint(*nb), "-ib", fmt.Sprint(*ib),
 			"-tree", *tree, "-h", fmt.Sprint(*h),
@@ -66,7 +69,11 @@ func main() {
 			"-lazy=" + fmt.Sprint(*lazy),
 			"-seed", fmt.Sprint(*seed), "-rhs", fmt.Sprint(*rhs),
 			"-check=" + fmt.Sprint(*check),
-		}))
+		}
+		if *trFile != "" {
+			args = append(args, "-trace", *trFile)
+		}
+		os.Exit(launchNodes(*launch, *nodeBin, args))
 	}
 
 	opts := pulsarqr.Options{
@@ -125,7 +132,12 @@ func main() {
 	start := time.Now()
 	var f *pulsarqr.Factorization
 	var err error
-	if b != nil {
+	if *trFile != "" {
+		if opts.Engine != pulsarqr.Systolic {
+			log.Fatalf("-trace requires -engine systolic, got %q", *engine)
+		}
+		f, err = factorTraced(a, b, opts, *trFile)
+	} else if b != nil {
 		f, err = pulsarqr.FactorWithRHS(a, b, opts)
 	} else {
 		f, err = pulsarqr.Factor(a, opts)
@@ -162,6 +174,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "WARNING: residual above tolerance")
 		os.Exit(1)
 	}
+}
+
+// factorTraced runs the systolic engine through the internal qr layer with
+// a trace recorder installed, then writes the single-process shard as JSONL
+// for qrtrace -merge.
+func factorTraced(a, b *pulsarqr.Matrix, opts pulsarqr.Options, path string) (*pulsarqr.Factorization, error) {
+	rec := trace.NewRecorder()
+	io := qr.Options{NB: opts.NB, IB: opts.IB, Tree: opts.Tree, H: opts.H, Boundary: opts.Boundary, Inter: opts.Inter}
+	rc := qr.RunConfig{
+		Nodes: opts.Nodes, Threads: opts.Threads, Scheduling: opts.Scheduling,
+		FireHook: rec.Hook(), WaitHook: rec.WaitHook(), CommHook: rec.CommHook(),
+	}
+	ta := matrix.FromDense(a, io.NB)
+	var tb *matrix.Tiled
+	if b != nil {
+		tb = matrix.FromDense(b, io.NB)
+	}
+	f, err := qr.FactorizeVSA(ta, tb, io, rc)
+	if err != nil {
+		return nil, err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sh := rec.Shard(0)
+	if err := trace.WriteShards(fh, sh); err != nil {
+		fh.Close()
+		return nil, err
+	}
+	if err := fh.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("trace     %d events written to %s (dropped %d)\n", len(sh.Events), path, sh.Drops)
+	return f, nil
 }
 
 // launchNodes runs an N-process factorization: it reserves N loopback

@@ -34,6 +34,7 @@ import (
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
 	"pulsarqr/internal/transport"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		rhs     = flag.Int("rhs", 0, "ride-along right-hand-side columns")
 		check   = flag.Bool("check", false, "rank 0: verify elementwise against the sequential reference")
 		rdv     = flag.Duration("rendezvous", 30*time.Second, "mesh setup timeout")
+		trFile  = flag.String("trace", "", "record an execution trace; rank 0 gathers every rank's shard into this JSONL file")
 	)
 	flag.Parse()
 
@@ -107,6 +109,13 @@ func main() {
 	if !*lazy {
 		rc.Scheduling = pulsarqr.Aggressive
 	}
+	var rec *trace.Recorder
+	if *trFile != "" {
+		rec = trace.NewRecorder()
+		rc.FireHook = rec.Hook()
+		rc.WaitHook = rec.WaitHook()
+		rc.CommHook = rec.CommHook()
+	}
 
 	ep, err := transport.DialTCP(transport.TCPConfig{
 		Rank:              *rank,
@@ -145,6 +154,11 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if rec != nil {
+		if err := gatherTrace(ctx, ep, rec, *trFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
 	msgs, bytes := ep.Stats()
 	if *rank != 0 {
 		log.Printf("done in %v (sent %d messages, %d payload bytes)", elapsed, msgs, bytes)
@@ -175,6 +189,39 @@ func main() {
 		}
 		fmt.Println("check     distributed result elementwise equal to sequential")
 	}
+}
+
+// gatherTrace collects every rank's trace shard at rank 0 and writes them as
+// JSONL, ready for qrtrace -merge.
+func gatherTrace(ctx context.Context, ep transport.Endpoint, rec *trace.Recorder, path string) error {
+	gctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	shards, err := trace.GatherShards(gctx, ep, rec.Shard(ep.Rank()))
+	if err != nil {
+		return err
+	}
+	if ep.Rank() != 0 {
+		return nil
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteShards(fh, shards...); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	var events int
+	var drops int64
+	for _, sh := range shards {
+		events += len(sh.Events)
+		drops += sh.Drops
+	}
+	log.Printf("trace: %d shards, %d events written to %s (dropped %d)", len(shards), events, path, drops)
+	return nil
 }
 
 func cloneTiled(b *pulsarqr.Matrix, nb int) *matrix.Tiled {

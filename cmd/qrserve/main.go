@@ -26,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
 	"os/exec"
 	"os/signal"
@@ -54,14 +55,31 @@ func main() {
 		peers    = flag.String("peers", "", "join an existing fleet: comma-separated host:port of every rank, this process first (rank 0)")
 		nodeBin  = flag.String("qrservenode", "", "path to the qrservenode binary (default: next to qrserve, then $PATH)")
 		rdv      = flag.Duration("rendezvous", 30*time.Second, "fleet mesh setup timeout")
+		tracecap = flag.Int("tracecap", 0, "per-traced-job event recorder capacity (0 = default; overflow drops oldest events)")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
-	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv))
+	startPprof(*pprof)
+	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *tracecap))
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener; the
+// profiling surface never rides the public job API and is off by default.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("pprof on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
 }
 
 // run is main minus os.Exit, so the deferred group kill and closes fire on
 // every path.
-func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv time.Duration) int {
+func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv time.Duration, tracecap int) int {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -101,6 +119,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 		MaxConcurrent: maxjobs,
 		ResultCap:     results,
 		Ep:            ep,
+		TraceCap:      tracecap,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,8 +39,17 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated host:port of every rank, server first (env QRSERVE_PEERS)")
 		threads = flag.Int("threads", 4, "worker threads in the persistent pool")
 		rdv     = flag.Duration("rendezvous", 30*time.Second, "mesh setup timeout")
+		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		go func(addr string) {
+			log.Printf("pprof on http://%s/debug/pprof/", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}(*pprof)
+	}
 
 	if *rank < 0 {
 		if v := os.Getenv("QRSERVE_RANK"); v != "" {

@@ -2,6 +2,7 @@ package pulsar
 
 import (
 	"sync"
+	"time"
 )
 
 // Pool is a persistent set of worker threads that outlives any single VSA
@@ -51,6 +52,18 @@ func NewPool(threads int, state func(thread int) any) *Pool {
 
 // Threads returns the number of worker threads in the pool.
 func (p *Pool) Threads() int { return p.threads }
+
+// OnWait installs a hook observing every interval a pooled worker spends
+// parked with nothing ready to fire. Pass nil to remove it. The hook sees
+// wait intervals across all VSAs sharing the pool — it measures the pool's
+// idleness, not any one job's.
+func (p *Pool) OnWait(fn func(WaitEvent)) {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		w.waitHook = fn
+		w.mu.Unlock()
+	}
+}
 
 // Close stops the workers and waits for them to exit. VSAs still attached
 // stop making progress; Close is meant for process shutdown.
@@ -133,12 +146,20 @@ func (w *worker) runPool() {
 		}
 		if !progress {
 			w.mu.Lock()
+			hook := w.waitHook
+			var t0 time.Time
+			if hook != nil {
+				t0 = time.Now()
+			}
 			for !w.kick && !w.stopped {
 				w.cond.Wait()
 			}
 			w.kick = false
 			stopped := w.stopped
 			w.mu.Unlock()
+			if hook != nil {
+				hook(WaitEvent{Node: w.node, Thread: w.id, Start: t0, End: time.Now()})
+			}
 			if stopped {
 				return
 			}

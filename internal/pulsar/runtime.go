@@ -61,7 +61,7 @@ func (s *VSA) Run() error {
 		} else {
 			s.workers[n] = make([]*worker, s.cfg.ThreadsPerNode)
 			for t := 0; t < s.cfg.ThreadsPerNode; t++ {
-				w := &worker{vsa: s, node: n, id: t}
+				w := &worker{vsa: s, node: n, id: t, waitHook: s.cfg.WaitHook}
 				w.cond = sync.NewCond(&w.mu)
 				if s.cfg.WorkerState != nil {
 					w.state = s.cfg.WorkerState(n, t)
@@ -186,8 +186,19 @@ func (s *VSA) Run() error {
 		// their own (a canceled job is canceled on every rank) and waiting
 		// for them here would hold a canceled job's resources hostage.
 		if !aborted {
+			ch := s.cfg.CommHook
+			var bt0 time.Time
+			if ch != nil {
+				bt0 = time.Now()
+			}
 			if err := s.cfg.Comm.Barrier(); err != nil && !deadlocked {
 				return fmt.Errorf("pulsar: post-run barrier: %w", err)
+			}
+			if ch != nil {
+				// This collective doubles as the trace clock anchor: every
+				// rank leaves it within one release broadcast of the others,
+				// so merged shards align on its End.
+				ch(CommEvent{Node: local, Kind: CommBarrier, Peer: -1, Start: bt0, End: time.Now()})
 			}
 		}
 	} else {
@@ -328,6 +339,11 @@ type worker struct {
 
 	vdps       []*VDP
 	aliveLocal int
+
+	// waitHook, when set, observes each parked interval. Private workers get
+	// it from Config.WaitHook before their goroutine starts; pooled workers
+	// get it from Pool.OnWait under mu (runPool reads it under mu too).
+	waitHook func(WaitEvent)
 }
 
 func (w *worker) wake() {
@@ -368,6 +384,11 @@ func (w *worker) run() {
 			return
 		}
 		if !progress {
+			hook := w.waitHook
+			var t0 time.Time
+			if hook != nil {
+				t0 = time.Now()
+			}
 			w.mu.Lock()
 			for !w.kick {
 				w.cond.Wait()
@@ -375,6 +396,9 @@ func (w *worker) run() {
 			w.kick = false
 			stopped := w.stopped
 			w.mu.Unlock()
+			if hook != nil {
+				hook(WaitEvent{Node: w.node, Thread: w.id, Start: t0, End: time.Now()})
+			}
 			if stopped {
 				return
 			}
@@ -494,9 +518,18 @@ func (p *proxy) run() {
 			// Sends are eager: the transport has copied or serialized the
 			// payload by the time Isend returns, so the marshal buffer can
 			// go back to the pool immediately.
+			hook := p.vsa.cfg.CommHook
+			var t0 time.Time
+			if hook != nil {
+				t0 = time.Now()
+			}
+			nb := len(*m.buf)
 			p.comm.Isend(*m.buf, m.dst, m.tag)
 			*m.buf = (*m.buf)[:0]
 			sendBufPool.Put(m.buf)
+			if hook != nil {
+				hook(CommEvent{Node: p.node, Kind: CommSend, Peer: m.dst, Tag: m.tag, Bytes: nb, Start: t0, End: time.Now()})
+			}
 			progress = true
 		}
 		// Exit once asked to stop with nothing left to send or deliver;
@@ -522,6 +555,11 @@ func (p *proxy) run() {
 }
 
 func (p *proxy) deliver(src, tag int, data []byte) {
+	hook := p.vsa.cfg.CommHook
+	var t0 time.Time
+	if hook != nil {
+		t0 = time.Now()
+	}
 	c, ok := p.inChans[int64(src)<<32|int64(tag)]
 	if !ok {
 		panic(fmt.Sprintf("pulsar: node %d received unroutable message src=%d tag=%d", p.node, src, tag))
@@ -533,4 +571,7 @@ func (p *proxy) deliver(src, tag int, data []byte) {
 	c.push(pkt)
 	p.vsa.delivered.Add(1)
 	p.vsa.wakeWorker(c.dstVDP.node, c.dstVDP.thread)
+	if hook != nil {
+		hook(CommEvent{Node: p.node, Kind: CommRecv, Peer: src, Tag: tag, Bytes: len(data), Start: t0, End: time.Now()})
+	}
 }

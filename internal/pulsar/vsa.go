@@ -49,6 +49,38 @@ type FireEvent struct {
 	Seq          int64
 }
 
+// WaitEvent describes one interval a worker spent parked with nothing ready
+// to fire — the time its VDPs were blocked on empty input FIFOs. Recorded
+// only when a WaitHook is installed.
+type WaitEvent struct {
+	Node, Thread int
+	Start, End   time.Time
+}
+
+// CommKind classifies proxy and communicator activity for CommEvent.
+type CommKind uint8
+
+const (
+	// CommSend is one eager Isend of a marshaled inter-node packet.
+	CommSend CommKind = iota
+	// CommRecv is one arrival delivered to a local channel (unmarshal + push).
+	CommRecv
+	// CommBarrier is the post-run collective barrier of a distributed Run.
+	CommBarrier
+)
+
+// CommEvent describes one inter-node communication action of a node's proxy
+// (or the closing barrier of a distributed run). Peer is the remote rank,
+// -1 for collectives; Bytes is the marshaled payload size.
+type CommEvent struct {
+	Node       int
+	Kind       CommKind
+	Peer       int
+	Tag        int
+	Bytes      int
+	Start, End time.Time
+}
+
 // Config parameterizes a VSA run.
 type Config struct {
 	// Nodes is the number of simulated distributed-memory nodes (MPI
@@ -68,6 +100,15 @@ type Config struct {
 	// FireHook, when non-nil, is called after every VDP firing. It may be
 	// called concurrently from different workers and must be safe for that.
 	FireHook func(FireEvent)
+	// WaitHook, when non-nil, observes every interval a worker spends
+	// parked with nothing ready to fire — channel-wait time. For pooled
+	// runs it is ignored; install Pool.OnWait instead. Same concurrency
+	// contract as FireHook.
+	WaitHook func(WaitEvent)
+	// CommHook, when non-nil, observes the proxy's inter-node sends and
+	// deliveries and the closing barrier of a distributed run. Same
+	// concurrency contract as FireHook.
+	CommHook func(CommEvent)
 	// WorkerState, when non-nil, is called once per worker thread at Run
 	// time to create that worker's private state (e.g. a reusable kernel
 	// workspace). A firing VDP reaches its worker's state through

@@ -106,6 +106,8 @@ func factorizeDist(ctx context.Context, a *matrix.Tiled, b *matrix.Tiled, opts O
 		Scheduling:      rc.Scheduling,
 		Map:             bd.mapping(),
 		FireHook:        rc.FireHook,
+		WaitHook:        rc.WaitHook,
+		CommHook:        rc.CommHook,
 		DeadlockTimeout: rc.DeadlockTimeout,
 		Comm:            ep,
 		Pool:            pool,

@@ -67,6 +67,8 @@ func factorizeLocal(ctx context.Context, a *matrix.Tiled, b *matrix.Tiled, opts 
 		Scheduling:      rc.Scheduling,
 		Map:             bd.mapping(),
 		FireHook:        rc.FireHook,
+		WaitHook:        rc.WaitHook,
+		CommHook:        rc.CommHook,
 		DeadlockTimeout: rc.DeadlockTimeout,
 		Pool:            pool,
 	}

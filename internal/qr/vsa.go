@@ -57,6 +57,12 @@ type RunConfig struct {
 	Scheduling pulsar.Scheduling
 	// FireHook receives one event per VDP firing (tracing); may be nil.
 	FireHook func(pulsar.FireEvent)
+	// WaitHook receives worker channel-wait intervals (tracing); may be
+	// nil. Ignored for pooled runs — install Pool.OnWait instead.
+	WaitHook func(pulsar.WaitEvent)
+	// CommHook receives proxy send/recv and barrier events (tracing); may
+	// be nil.
+	CommHook func(pulsar.CommEvent)
 	// DeadlockTimeout is passed through to the runtime; zero = default.
 	DeadlockTimeout time.Duration
 }
@@ -184,6 +190,8 @@ func FactorizeVSA(a *matrix.Tiled, b *matrix.Tiled, opts Options, rc RunConfig) 
 		Scheduling:      rc.Scheduling,
 		Map:             bd.mapping(),
 		FireHook:        rc.FireHook,
+		WaitHook:        rc.WaitHook,
+		CommHook:        rc.CommHook,
 		DeadlockTimeout: rc.DeadlockTimeout,
 		// One kernel workspace per worker thread: every VDP that fires on a
 		// thread reuses that thread's scratch instead of allocating per fire.

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
 	"pulsarqr/internal/transport"
 )
 
@@ -153,8 +155,25 @@ func (ag *Agent) runJob(ctx context.Context, id uint32, spec JobSpec) {
 		ag.logf("agent: job %d: %v", id, err)
 		return
 	}
-	if _, err := qr.FactorizeVSAServe(ctx, a, nil, opts, qr.RunConfig{}, jep, ag.pool); err != nil {
+	var rc qr.RunConfig
+	var rec *trace.Recorder
+	if spec.Trace {
+		rec = trace.NewRecorder()
+		rc.FireHook = rec.Hook()
+		rc.CommHook = rec.CommHook()
+	}
+	if _, err := qr.FactorizeVSAServe(ctx, a, nil, opts, rc, jep, ag.pool); err != nil {
 		ag.logf("agent: job %d: %v", id, err)
+		return
+	}
+	if rec != nil {
+		// Ship this rank's shard to the server, which is blocked gathering
+		// on the still-open job session.
+		gctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if _, err := trace.GatherShards(gctx, jep, rec.Shard(jep.Rank())); err != nil {
+			ag.logf("agent: job %d: trace gather: %v", id, err)
+		}
 	}
 }
 

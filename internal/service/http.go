@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"pulsarqr/internal/trace"
 )
 
 // JobView is the JSON shape of a job on the HTTP surface.
@@ -67,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/factorize", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -135,6 +138,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, viewOf(j, r.URL.Query().Get("include") == "r"))
 }
 
+// handleTrace streams the job's gathered per-rank trace shards as JSONL,
+// ready for qrtrace -merge. 404 until the job completed with Trace set.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	shards := j.TraceShards()
+	if shards == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no trace for this job (submit with \"trace\": true and wait for completion)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	trace.WriteShards(w, shards...)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.jobFromPath(w, r)
 	if j == nil {
@@ -155,4 +174,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.mgr.Depth(), s.resident())
+	s.writeTransportProm(w)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
 )
 
 // Job lifecycle states. A job is terminal in done, failed, canceled or
@@ -56,6 +57,7 @@ type Job struct {
 	state  State
 	errMsg string
 	result *Result
+	trace  []trace.Shard // per-rank shards, set before finish when Spec.Trace
 
 	done       chan struct{}
 	onTerminal func() // runs once on the terminal transition, before done closes
@@ -74,6 +76,20 @@ func (j *Job) Result() *Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// TraceShards returns the job's gathered per-rank trace shards, nil unless
+// the job requested tracing and completed.
+func (j *Job) TraceShards() []trace.Shard {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+func (j *Job) setTrace(shards []trace.Shard) {
+	j.mu.Lock()
+	j.trace = shards
+	j.mu.Unlock()
 }
 
 // Done closes when the job reaches a terminal state.

@@ -24,10 +24,14 @@ type Metrics struct {
 	Expired      atomic.Int64 // jobs dropped at dispatch: deadline passed
 	Running      atomic.Int64 // jobs currently executing
 
+	TraceEvents atomic.Int64 // events in gathered trace shards
+	TraceDrops  atomic.Int64 // events lost to recorder capacity bounds
+
 	flopBits atomic.Uint64 // total useful flops, float64 bits
 	busyBits atomic.Uint64 // total seconds spent factorizing, float64 bits
 
-	latency histogram
+	latency *histogram
+	wait    *histogram // pool worker park intervals
 
 	mu      sync.Mutex
 	firings map[string]*atomic.Int64 // VDP firings by trace class
@@ -35,20 +39,31 @@ type Metrics struct {
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning a tiny
 // tile job to a deliberately queued large one.
-var latencyBuckets = [nBuckets]float64{
+var latencyBuckets = []float64{
 	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-const nBuckets = 13 // len(latencyBuckets); +Inf bucket is counts[nBuckets]
+// waitBuckets span a worker's park intervals: sub-microsecond wakeups up to
+// the multi-second idling of a drained service.
+var waitBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10,
+}
 
+// histogram is a fixed-bucket Prometheus-style histogram on atomics; the
+// final counts entry is the +Inf bucket.
 type histogram struct {
-	counts  [nBuckets + 1]atomic.Int64
+	buckets []float64
+	counts  []atomic.Int64
 	sumBits atomic.Uint64
 	n       atomic.Int64
 }
 
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
 func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(latencyBuckets[:], v)
+	i := sort.SearchFloat64s(h.buckets, v)
 	h.counts[i].Add(1)
 	h.n.Add(1)
 	addFloat(&h.sumBits, v)
@@ -66,7 +81,11 @@ func addFloat(bits *atomic.Uint64, v float64) {
 }
 
 func NewMetrics() *Metrics {
-	return &Metrics{firings: map[string]*atomic.Int64{}}
+	return &Metrics{
+		firings: map[string]*atomic.Int64{},
+		latency: newHistogram(latencyBuckets),
+		wait:    newHistogram(waitBuckets),
+	}
 }
 
 // ObserveJob records one finished factorization: end-to-end latency, time
@@ -75,6 +94,12 @@ func (m *Metrics) ObserveJob(latencySec, busySec, flops float64) {
 	m.latency.observe(latencySec)
 	addFloat(&m.busyBits, busySec)
 	addFloat(&m.flopBits, flops)
+}
+
+// ObserveWait records one pool-worker park interval; the server installs it
+// via Pool.OnWait.
+func (m *Metrics) ObserveWait(ev pulsar.WaitEvent) {
+	m.wait.observe(ev.End.Sub(ev.Start).Seconds())
 }
 
 // FireHook counts VDP firings by trace class; the server installs it as the
@@ -137,14 +162,21 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
 	}
 	fmt.Fprintf(w, "# HELP qrserve_gflops Achieved Gflop/s over all completed jobs.\n# TYPE qrserve_gflops gauge\nqrserve_gflops %g\n", gflops)
 
-	fmt.Fprintf(w, "# HELP qrserve_job_latency_seconds End-to-end job latency, admission to completion.\n# TYPE qrserve_job_latency_seconds histogram\n")
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += m.latency.counts[i].Load()
-		fmt.Fprintf(w, "qrserve_job_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	hist := func(name, help string, h *histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var cum int64
+		for i, ub := range h.buckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+		}
+		cum += h.counts[len(h.buckets)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
 	}
-	cum += m.latency.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "qrserve_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "qrserve_job_latency_seconds_sum %g\n", math.Float64frombits(m.latency.sumBits.Load()))
-	fmt.Fprintf(w, "qrserve_job_latency_seconds_count %d\n", m.latency.n.Load())
+	hist("qrserve_job_latency_seconds", "End-to-end job latency, admission to completion.", m.latency)
+	hist("qrserve_worker_wait_seconds", "Pool worker park intervals (time spent idle between tasks).", m.wait)
+
+	counter("qrserve_trace_events_total", "Events in gathered trace shards.", m.TraceEvents.Load())
+	counter("qrserve_trace_dropped_total", "Trace events lost to recorder capacity bounds.", m.TraceDrops.Load())
 }

@@ -42,6 +42,11 @@ type JobSpec struct {
 	// DeadlineMS drops the job if it has not been dispatched within this
 	// many milliseconds of admission; zero means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace records a full execution trace of this job on every rank; the
+	// merged shards are fetched from GET /v1/jobs/{id}/trace once the job
+	// is done. The flag rides the control-plane open broadcast, so agents
+	// trace exactly the jobs the client asked to trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate checks the spec without allocating the matrix.

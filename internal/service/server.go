@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
+	"pulsarqr/internal/trace"
 	"pulsarqr/internal/transport"
 )
 
@@ -38,6 +40,10 @@ type Config struct {
 	Ep transport.Endpoint
 	// DeadlockTimeout passes through to the runtime; zero = default.
 	DeadlockTimeout time.Duration
+	// TraceCap bounds each traced job's event recorder; zero takes
+	// trace.DefaultCapacity. Overflow drops the oldest events and is
+	// reported in the shard and the qrserve_trace_dropped_total counter.
+	TraceCap int
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +107,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.ctl = ctl
 	}
 	s.pool = pulsar.NewPool(cfg.Threads, func(int) any { return kernels.NewWorkspace() })
+	s.pool.OnWait(s.metrics.ObserveWait) // park intervals feed the worker-wait histogram
 	s.mgr = NewManager(cfg.QueueCap, cfg.MaxConcurrent, s.metrics, s.runJob)
 	return s, nil
 }
@@ -211,6 +218,16 @@ func (s *Server) runJob(j *Job) {
 		FireHook:        s.metrics.FireHook,
 		DeadlockTimeout: s.cfg.DeadlockTimeout,
 	}
+	var rec *trace.Recorder
+	if j.Spec.Trace {
+		rec = trace.NewRecorderCap(s.cfg.TraceCap)
+		hook := rec.Hook()
+		rc.FireHook = func(ev pulsar.FireEvent) {
+			s.metrics.FireHook(ev)
+			hook(ev)
+		}
+		rc.CommHook = rec.CommHook()
+	}
 	start := time.Now()
 	f, err := qr.FactorizeVSAServe(j.ctx, a, nil, opts, rc, ep, s.pool)
 	elapsed := time.Since(start)
@@ -238,12 +255,38 @@ func (s *Server) runJob(j *Job) {
 	res.Residual = f.Residual(dense) / norm
 	res.OK = res.Residual <= residualTol
 	res.R = rRows(f.R())
+	if rec != nil {
+		// The gather must precede stopRelay: the job session is still live
+		// and agents are blocked sending their shards toward rank 0.
+		s.storeTrace(j, ep, rec)
+	}
 	stopRelay() // a completed job must not broadcast a cancel from finish's cancel(nil)
 	if j.finish(StateDone, "", res) {
 		s.metrics.Completed.Add(1)
 		s.metrics.ObserveJob(time.Since(j.enqueued).Seconds(), elapsed.Seconds(), flops)
 		s.cfg.Logf("job %d done in %v: %.2f Gflop/s, residual %.2e", j.ID, elapsed, res.Gflops, res.Residual)
 	}
+}
+
+// storeTrace gathers the fleet's per-rank trace shards onto the job. On the
+// fleet path the agents are symmetric senders (see Agent.runJob), so the
+// collective completes as soon as every rank's share has finished; a rank
+// that never delivers its shard times the gather out and the job keeps the
+// local shard rather than failing.
+func (s *Server) storeTrace(j *Job, ep transport.Endpoint, rec *trace.Recorder) {
+	local := rec.Shard(0)
+	ctx, cancel := context.WithTimeout(j.ctx, 10*time.Second)
+	defer cancel()
+	shards, err := trace.GatherShards(ctx, ep, local)
+	if err != nil {
+		s.cfg.Logf("job %d: trace gather: %v (keeping local shard)", j.ID, err)
+		shards = []trace.Shard{local}
+	}
+	for _, sh := range shards {
+		s.metrics.TraceEvents.Add(int64(len(sh.Events)))
+		s.metrics.TraceDrops.Add(sh.Drops)
+	}
+	j.setTrace(shards)
 }
 
 func (s *Server) fail(j *Job, msg string) {
@@ -282,6 +325,46 @@ func (s *Server) broadcast(msg ctlMsg) {
 	}
 	for r := 1; r < s.cfg.Ep.Size(); r++ {
 		s.ctl.Isend(b, r, ctlTag)
+	}
+}
+
+// writeTransportProm renders the transport-layer telemetry — per-link wire
+// counters, barrier timing, mux channel occupancy — after the job metrics on
+// the /metrics page. Standalone servers (no fleet endpoint) emit nothing.
+func (s *Server) writeTransportProm(w io.Writer) {
+	if lr, ok := s.cfg.Ep.(transport.LinkReporter); ok {
+		fmt.Fprintf(w, "# HELP qrserve_link_sent_bytes_total Bytes sent to each peer rank.\n# TYPE qrserve_link_sent_bytes_total counter\n")
+		links := lr.Links()
+		for _, l := range links {
+			fmt.Fprintf(w, "qrserve_link_sent_bytes_total{peer=\"%d\"} %d\n", l.Peer, l.SentBytes)
+		}
+		fmt.Fprintf(w, "# HELP qrserve_link_sent_frames_total Frames sent to each peer rank.\n# TYPE qrserve_link_sent_frames_total counter\n")
+		for _, l := range links {
+			fmt.Fprintf(w, "qrserve_link_sent_frames_total{peer=\"%d\"} %d\n", l.Peer, l.SentFrames)
+		}
+		fmt.Fprintf(w, "# HELP qrserve_link_recv_bytes_total Bytes received from each peer rank.\n# TYPE qrserve_link_recv_bytes_total counter\n")
+		for _, l := range links {
+			fmt.Fprintf(w, "qrserve_link_recv_bytes_total{peer=\"%d\"} %d\n", l.Peer, l.RecvBytes)
+		}
+		fmt.Fprintf(w, "# HELP qrserve_link_recv_frames_total Frames received from each peer rank.\n# TYPE qrserve_link_recv_frames_total counter\n")
+		for _, l := range links {
+			fmt.Fprintf(w, "qrserve_link_recv_frames_total{peer=\"%d\"} %d\n", l.Peer, l.RecvFrames)
+		}
+		fmt.Fprintf(w, "# HELP qrserve_link_queue_depth Outbound frames queued toward each peer rank.\n# TYPE qrserve_link_queue_depth gauge\n")
+		for _, l := range links {
+			fmt.Fprintf(w, "qrserve_link_queue_depth{peer=\"%d\"} %d\n", l.Peer, l.QueueDepth)
+		}
+	}
+	if br, ok := s.cfg.Ep.(transport.BarrierReporter); ok {
+		bs := br.BarrierStats()
+		fmt.Fprintf(w, "# HELP qrserve_transport_barriers_total Collective barriers completed on the fleet endpoint.\n# TYPE qrserve_transport_barriers_total counter\nqrserve_transport_barriers_total %d\n", bs.Count)
+		fmt.Fprintf(w, "# HELP qrserve_transport_barrier_wait_seconds_total Seconds spent waiting in collective barriers.\n# TYPE qrserve_transport_barrier_wait_seconds_total counter\nqrserve_transport_barrier_wait_seconds_total %g\n", bs.Wait.Seconds())
+	}
+	if s.mux != nil {
+		open, pending, backlog := s.mux.Depths()
+		fmt.Fprintf(w, "# HELP qrserve_mux_jobs_open Mux job channels currently open.\n# TYPE qrserve_mux_jobs_open gauge\nqrserve_mux_jobs_open %d\n", open)
+		fmt.Fprintf(w, "# HELP qrserve_mux_pending_messages Messages parked for not-yet-open mux channels.\n# TYPE qrserve_mux_pending_messages gauge\nqrserve_mux_pending_messages %d\n", pending)
+		fmt.Fprintf(w, "# HELP qrserve_mux_backlog_messages Messages buffered in open job mailboxes awaiting receivers.\n# TYPE qrserve_mux_backlog_messages gauge\nqrserve_mux_backlog_messages %d\n", backlog)
 	}
 }
 

@@ -1,0 +1,177 @@
+package service
+
+// Job tracing through the service: the HTTP trace endpoint serves gathered
+// shards for traced jobs only, and concurrent traced jobs on a shared
+// fleet keep their shards isolated — each job sees exactly its own run.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pulsarqr/internal/trace"
+	"pulsarqr/internal/transport"
+)
+
+// waitDone blocks until the job reaches StateDone or the test times out.
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("job %d did not finish", j.ID)
+	}
+	if state, msg := j.State(); state != StateDone {
+		t.Fatalf("job %d state = %s (%s)", j.ID, state, msg)
+	}
+}
+
+// fireCounts tallies per-rank fire events across a job's shards.
+func fireCounts(shards []trace.Shard) map[int]int {
+	counts := map[int]int{}
+	for _, s := range shards {
+		for _, e := range s.Events {
+			if e.Kind == trace.KindFire {
+				counts[s.Rank]++
+			}
+		}
+	}
+	return counts
+}
+
+// A traced job's shards are served over HTTP as JSONL; an untraced job
+// answers 404 on the same route.
+func TestServerTraceHTTP(t *testing.T) {
+	s, err := NewServer(Config{Threads: 2, QueueCap: 8, MaxConcurrent: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	traced, code, err := c.Submit(JobSpec{M: 128, N: 64, NB: 32, IB: 8, Seed: 91, Trace: true}, true)
+	if err != nil || code != http.StatusOK || traced.Status != string(StateDone) {
+		t.Fatalf("traced submit: code %d status %s err %v", code, traced.Status, err)
+	}
+	plain, code, err := c.Submit(JobSpec{M: 96, N: 64, NB: 32, IB: 8, Seed: 92}, true)
+	if err != nil || code != http.StatusOK || plain.Status != string(StateDone) {
+		t.Fatalf("plain submit: code %d status %s err %v", code, plain.Status, err)
+	}
+
+	get := func(id uint32) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	resp, body := get(traced.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced job: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	shards, err := trace.ReadShards(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0].Rank != 0 || len(shards[0].Events) == 0 {
+		t.Fatalf("standalone trace: %d shards, %+v", len(shards), shards)
+	}
+	if n := fireCounts(shards)[0]; n == 0 {
+		t.Fatal("traced job recorded no fire events")
+	}
+
+	if resp, body := get(plain.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced job trace: %d %s", resp.StatusCode, body)
+	}
+}
+
+// Two traced jobs running concurrently on a 2-rank fleet must each gather
+// a private trace: the per-rank fire counts of a job run concurrently
+// equal those of the same spec run alone (placement is deterministic), so
+// any cross-job bleed shows up as an inflated count.
+func TestFleetTraceIsolation(t *testing.T) {
+	l := transport.NewLocal(2)
+	agent, err := NewAgent(l.Endpoint(1), 2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentDone := make(chan error, 1)
+	go func() { agentDone <- agent.Run(context.Background()) }()
+
+	s, err := NewServer(Config{Threads: 2, QueueCap: 8, MaxConcurrent: 4, Ep: l.Endpoint(0), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := JobSpec{M: 160, N: 64, NB: 32, IB: 8, Tree: "hierarchical", H: 2, Seed: 95, Trace: true}
+	specB := JobSpec{M: 128, N: 96, NB: 32, IB: 8, Tree: "flat", Seed: 96, Trace: true}
+
+	ja, err := s.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := s.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ja)
+	waitDone(t, jb)
+
+	shardsA, shardsB := ja.TraceShards(), jb.TraceShards()
+	for name, shards := range map[string][]trace.Shard{"A": shardsA, "B": shardsB} {
+		if len(shards) != 2 {
+			t.Fatalf("job %s gathered %d shards, want 2", name, len(shards))
+		}
+		for r, sh := range shards {
+			if sh.Rank != r || len(sh.Events) == 0 {
+				t.Fatalf("job %s shard %d: rank %d, %d events", name, r, sh.Rank, len(sh.Events))
+			}
+		}
+	}
+
+	// Reference run: the same spec A alone on the now-idle fleet.
+	jref, err := s.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jref)
+	ref := jref.TraceShards()
+	if len(ref) != 2 {
+		t.Fatalf("reference gathered %d shards", len(ref))
+	}
+
+	got, want := fireCounts(shardsA), fireCounts(ref)
+	for r := 0; r < 2; r++ {
+		if got[r] != want[r] {
+			t.Fatalf("rank %d fire count: concurrent %d vs alone %d (trace bled across jobs?)",
+				r, got[r], want[r])
+		}
+	}
+
+	s.Close()
+	select {
+	case err := <-agentDone:
+		if err != nil {
+			t.Errorf("agent exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not exit after shutdown broadcast")
+	}
+	agent.Close()
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+)
+
+// CriticalPath is the heaviest dependency-respecting chain of compute
+// events through a timeline: the lower bound on makespan no amount of extra
+// parallelism removes.
+type CriticalPath struct {
+	Events  []Event // the chain, in start order
+	Work    time.Duration
+	ByClass map[string]time.Duration
+}
+
+// CriticalPath computes the heaviest chain over the fire events with a
+// panel index, under the precedence "f can feed e" iff f.End <= e.Start and
+// f.Panel <= e.Panel — the dataflow order of the tile-QR DAG, where work on
+// panel j only depends on earlier work of panels <= j. Wait and comm events
+// never appear on the path.
+func (t *Timeline) CriticalPath() CriticalPath {
+	var evs []Event
+	for _, e := range t.Events {
+		if e.Kind == KindFire && e.Panel >= 0 {
+			evs = append(evs, e)
+		}
+	}
+	cp := CriticalPath{ByClass: map[string]time.Duration{}}
+	if len(evs) == 0 {
+		return cp
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Start != evs[b].Start {
+			return evs[a].Start < evs[b].Start
+		}
+		return evs[a].End < evs[b].End
+	})
+	// Compress panel indices for the Fenwick tree.
+	panels := make([]int, 0, len(evs))
+	for _, e := range evs {
+		panels = append(panels, e.Panel)
+	}
+	sort.Ints(panels)
+	panels = dedupInts(panels)
+	pidx := func(p int) int { return sort.SearchInts(panels, p) + 1 } // 1-based
+
+	// Sweep events in start order; an event may chain after any already
+	// retired event (End <= current Start) with panel index <= its own. The
+	// Fenwick tree holds, per panel prefix, the best accumulated chain
+	// weight among retired events; the pending heap retires events by End
+	// as the sweep passes them.
+	chain := make([]time.Duration, len(evs))
+	pred := make([]int, len(evs))
+	fen := newPrefixMax(len(panels))
+	pending := &endHeap{evs: evs}
+	for i, e := range evs {
+		for pending.Len() > 0 && evs[(*pending).idx[0]].End <= e.Start {
+			j := heap.Pop(pending).(int)
+			fen.update(pidx(evs[j].Panel), chain[j], j)
+		}
+		best, bi := fen.query(pidx(e.Panel))
+		chain[i] = best + (e.End - e.Start)
+		pred[i] = bi
+		heap.Push(pending, i)
+	}
+	bestEnd := 0
+	for i := range evs {
+		if chain[i] > chain[bestEnd] {
+			bestEnd = i
+		}
+	}
+	var path []Event
+	for i := bestEnd; i >= 0; i = pred[i] {
+		path = append(path, evs[i])
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	cp.Events = path
+	for _, e := range path {
+		d := e.End - e.Start
+		cp.Work += d
+		cp.ByClass[e.Class] += d
+	}
+	return cp
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// prefixMax is a Fenwick tree over panel indices holding (weight, event)
+// maxima for prefix queries.
+type prefixMax struct {
+	w   []time.Duration
+	who []int
+}
+
+func newPrefixMax(n int) *prefixMax {
+	p := &prefixMax{w: make([]time.Duration, n+1), who: make([]int, n+1)}
+	for i := range p.who {
+		p.who[i] = -1
+	}
+	return p
+}
+
+func (p *prefixMax) update(i int, w time.Duration, who int) {
+	for ; i < len(p.w); i += i & (-i) {
+		if w > p.w[i] {
+			p.w[i], p.who[i] = w, who
+		}
+	}
+}
+
+func (p *prefixMax) query(i int) (time.Duration, int) {
+	var w time.Duration
+	who := -1
+	for ; i > 0; i -= i & (-i) {
+		if p.w[i] > w {
+			w, who = p.w[i], p.who[i]
+		}
+	}
+	return w, who
+}
+
+// endHeap orders pending event indices by End time.
+type endHeap struct {
+	evs []Event
+	idx []int
+}
+
+func (h *endHeap) Len() int           { return len(h.idx) }
+func (h *endHeap) Less(a, b int) bool { return h.evs[h.idx[a]].End < h.evs[h.idx[b]].End }
+func (h *endHeap) Swap(a, b int)      { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *endHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *endHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}

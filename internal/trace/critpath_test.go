@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func fireEv(panel, node, thread int, start, end time.Duration) Event {
+	return Event{Kind: KindFire, Class: "panel", Panel: panel, Node: node, Thread: thread,
+		Start: start, End: end}
+}
+
+// A simple dependent chain across lanes: the path must follow it end to end.
+func TestCriticalPathChain(t *testing.T) {
+	ms := time.Millisecond
+	tl := Build([]Event{
+		fireEv(0, 0, 0, 0, 10*ms),     // on path
+		fireEv(0, 0, 1, 2*ms, 5*ms),   // shadowed: shorter, same window
+		fireEv(1, 1, 0, 10*ms, 25*ms), // on path (starts when panel 0 ends)
+		fireEv(2, 0, 0, 25*ms, 30*ms), // on path
+		fireEv(2, 1, 1, 26*ms, 28*ms), // shadowed
+	})
+	cp := tl.CriticalPath()
+	if len(cp.Events) != 3 {
+		t.Fatalf("path has %d events: %+v", len(cp.Events), cp.Events)
+	}
+	if cp.Work != 30*ms {
+		t.Fatalf("work = %v, want 30ms", cp.Work)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if cp.Events[i].Panel != want {
+			t.Fatalf("path[%d].Panel = %d, want %d", i, cp.Events[i].Panel, want)
+		}
+	}
+	// Path events must be chained in time.
+	for i := 1; i < len(cp.Events); i++ {
+		if cp.Events[i-1].End > cp.Events[i].Start {
+			t.Fatalf("path not time-ordered: %+v", cp.Events)
+		}
+	}
+	if cp.ByClass["panel"] != 30*ms {
+		t.Fatalf("ByClass = %v", cp.ByClass)
+	}
+}
+
+// Precedence is (time, panel)-ordered: an earlier-finishing task of a LATER
+// panel must not feed a task of an earlier panel — dataflow in the tile QR
+// only runs toward higher panel indices.
+func TestCriticalPathRespectsPanelOrder(t *testing.T) {
+	ms := time.Millisecond
+	tl := Build([]Event{
+		fireEv(5, 0, 0, 0, 8*ms),     // later panel, finishes before e2 starts
+		fireEv(0, 1, 0, 9*ms, 12*ms), // earlier panel: must NOT chain onto panel 5
+	})
+	cp := tl.CriticalPath()
+	if len(cp.Events) != 1 {
+		t.Fatalf("chained across panel order: %+v", cp.Events)
+	}
+	if cp.Events[0].Panel != 5 || cp.Work != 8*ms {
+		t.Fatalf("wrong winner: %+v (work %v)", cp.Events[0], cp.Work)
+	}
+}
+
+// Non-fire events (waits, comm) never appear on the path.
+func TestCriticalPathIgnoresNonFire(t *testing.T) {
+	ms := time.Millisecond
+	tl := Build([]Event{
+		fireEv(0, 0, 0, 0, 5*ms),
+		{Kind: KindWait, Class: ClassWait, Panel: -1, Node: 0, Thread: 1, Start: 0, End: 50 * ms},
+		{Kind: KindBarrier, Class: ClassBarrier, Panel: -1, Node: 0, Thread: ProxyThread, Start: 5 * ms, End: 60 * ms},
+	})
+	cp := tl.CriticalPath()
+	if len(cp.Events) != 1 || cp.Events[0].Kind != KindFire {
+		t.Fatalf("non-fire events on the path: %+v", cp.Events)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := Build(nil).CriticalPath()
+	if len(cp.Events) != 0 || cp.Work != 0 {
+		t.Fatalf("empty timeline produced a path: %+v", cp)
+	}
+}

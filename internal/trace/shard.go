@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Shard is one rank's slice of a distributed trace: its events relative to
+// its own epoch, plus the epoch itself (wall clock, UnixNano) so shards
+// from different machines can be aligned, and the local drop count.
+type Shard struct {
+	Rank   int
+	Epoch  int64 // UnixNano of the rank's recorder epoch; 0 when no events
+	Drops  int64
+	Events []Event
+}
+
+// Shard snapshots the recorder as rank's shard.
+func (r *Recorder) Shard(rank int) Shard {
+	return Shard{Rank: rank, Epoch: r.Epoch(), Drops: r.Drops(), Events: r.Events()}
+}
+
+// JSONL wire/file format: one object per line. A "shard" header line opens
+// each shard; the "ev" lines that follow (until the next header) belong to
+// it. Shards may appear in any order.
+type shardHeader struct {
+	T      string `json:"t"` // "shard"
+	Rank   int    `json:"rank"`
+	Epoch  int64  `json:"epoch_ns"`
+	Drops  int64  `json:"drops"`
+	Events int    `json:"events"`
+}
+
+type eventRec struct {
+	T       string `json:"t"` // "ev"
+	Kind    string `json:"kind"`
+	Class   string `json:"class"`
+	Panel   int    `json:"panel"`
+	Node    int    `json:"node"`
+	Thread  int    `json:"thread"`
+	Peer    int    `json:"peer"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+var kindNames = map[string]EventKind{
+	"fire": KindFire, "wait": KindWait, "send": KindSend,
+	"recv": KindRecv, "barrier": KindBarrier,
+}
+
+// WriteShards encodes shards as JSONL.
+func WriteShards(w io.Writer, shards ...Shard) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range shards {
+		h := shardHeader{T: "shard", Rank: s.Rank, Epoch: s.Epoch, Drops: s.Drops, Events: len(s.Events)}
+		if err := enc.Encode(h); err != nil {
+			return err
+		}
+		for _, e := range s.Events {
+			rec := eventRec{
+				T: "ev", Kind: e.Kind.String(), Class: e.Class, Panel: e.Panel,
+				Node: e.Node, Thread: e.Thread, Peer: e.Peer, Bytes: e.Bytes,
+				StartNS: int64(e.Start), EndNS: int64(e.End),
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadShards decodes a JSONL stream of shards; unknown line types are
+// skipped so the format can grow.
+func ReadShards(r io.Reader) ([]Shard, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var shards []Shard
+	var cur *Shard
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch probe.T {
+		case "shard":
+			var h shardHeader
+			if err := json.Unmarshal(b, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			shards = append(shards, Shard{Rank: h.Rank, Epoch: h.Epoch, Drops: h.Drops})
+			cur = &shards[len(shards)-1]
+		case "ev":
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: event before any shard header", line)
+			}
+			var rec eventRec
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			kind, ok := kindNames[rec.Kind]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", line, rec.Kind)
+			}
+			cur.Events = append(cur.Events, Event{
+				Kind: kind, Class: rec.Class, Panel: rec.Panel,
+				Node: rec.Node, Thread: rec.Thread, Peer: rec.Peer, Bytes: rec.Bytes,
+				Start: time.Duration(rec.StartNS), End: time.Duration(rec.EndNS),
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// EncodeShard serializes one shard for the wire.
+func EncodeShard(s Shard) []byte {
+	var b bytes.Buffer
+	_ = WriteShards(&b, s) // bytes.Buffer writes cannot fail
+	return b.Bytes()
+}
+
+// DecodeShard parses one wire-encoded shard.
+func DecodeShard(b []byte) (Shard, error) {
+	shards, err := ReadShards(bytes.NewReader(b))
+	if err != nil {
+		return Shard{}, err
+	}
+	if len(shards) != 1 {
+		return Shard{}, fmt.Errorf("trace: expected 1 shard, got %d", len(shards))
+	}
+	return shards[0], nil
+}
+
+// Merge aligns the shards of one run onto a common clock and returns the
+// combined events (sorted, renormalized to start at zero) plus the total
+// drop count.
+//
+// Alignment: when every non-empty shard recorded the closing barrier of the
+// run, the barriers' End instants are used as the anchor — all ranks leave
+// that collective within one release broadcast of each other, which bounds
+// the residual skew far tighter than raw wall clocks across machines.
+// Otherwise raw epochs (UnixNano) are trusted as-is.
+func Merge(shards []Shard) ([]Event, int64) {
+	var drops int64
+	type offs struct {
+		s      *Shard
+		anchor int64 // absolute ns of the alignment point; 0 = none
+	}
+	var use []offs
+	aligned := true
+	for i := range shards {
+		s := &shards[i]
+		drops += s.Drops
+		if len(s.Events) == 0 {
+			continue
+		}
+		var anchor int64
+		for _, e := range s.Events { // last barrier wins
+			if e.Kind == KindBarrier {
+				anchor = s.Epoch + int64(e.End)
+			}
+		}
+		if anchor == 0 {
+			aligned = false
+		}
+		use = append(use, offs{s: s, anchor: anchor})
+	}
+	if len(use) == 0 {
+		return nil, drops
+	}
+	// Per-shard shift: with barrier anchors, move every shard so its anchor
+	// lands on the maximum anchor (the true collective exit is no earlier
+	// than any rank's observation of it); without, keep raw epochs.
+	var refAnchor int64
+	if aligned {
+		for _, u := range use {
+			if u.anchor > refAnchor {
+				refAnchor = u.anchor
+			}
+		}
+	}
+	var out []Event
+	for _, u := range use {
+		shift := u.s.Epoch
+		if aligned {
+			shift = u.s.Epoch + (refAnchor - u.anchor)
+		}
+		for _, e := range u.s.Events {
+			e.Start += time.Duration(shift)
+			e.End += time.Duration(shift)
+			out = append(out, e)
+		}
+	}
+	minStart := out[0].Start
+	for _, e := range out {
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+	}
+	for i := range out {
+		out[i].Start -= minStart
+		out[i].End -= minStart
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out, drops
+}

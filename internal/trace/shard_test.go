@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/tuple"
+)
+
+// A recorder over capacity must keep at most its bound, overwrite the
+// oldest events, and count every loss.
+func TestRecorderBounded(t *testing.T) {
+	const capacity = 32
+	r := NewRecorderCap(capacity)
+	h := r.Hook()
+	base := time.Now()
+	const total = 500
+	for i := 0; i < total; i++ {
+		// One lane only, so a single stripe absorbs everything and the
+		// per-stripe bound is what's exercised.
+		h(pulsar.FireEvent{Tuple: tuple.New(0, i), Class: "panel", Node: 0, Thread: 0,
+			Start: base.Add(time.Duration(i) * time.Microsecond),
+			End:   base.Add(time.Duration(i+1) * time.Microsecond)})
+	}
+	perStripe := (capacity + recShards - 1) / recShards
+	if got := r.Len(); got != perStripe {
+		t.Fatalf("Len() = %d, want the stripe bound %d", got, perStripe)
+	}
+	if got := r.Drops(); got != total-int64(perStripe) {
+		t.Fatalf("Drops() = %d, want %d", got, total-perStripe)
+	}
+	// Overwrite-oldest: the survivors are the most recent events.
+	for _, e := range r.Events() {
+		if e.Panel < total-perStripe {
+			t.Fatalf("old event survived: panel %d", e.Panel)
+		}
+	}
+	sh := r.Shard(3)
+	if sh.Rank != 3 || sh.Drops != r.Drops() || len(sh.Events) != perStripe {
+		t.Fatalf("shard mismatch: %+v", sh)
+	}
+}
+
+func TestShardRoundtrip(t *testing.T) {
+	shards := []Shard{
+		{Rank: 0, Epoch: 1_000_000, Drops: 2, Events: []Event{
+			{Kind: KindFire, Class: "panel", Panel: 4, Node: 0, Thread: 1, Start: 0, End: 5 * time.Millisecond},
+			{Kind: KindWait, Class: ClassWait, Panel: -1, Node: 0, Thread: 0, Peer: -1, Start: time.Millisecond, End: 2 * time.Millisecond},
+			{Kind: KindSend, Class: ClassSend, Panel: -1, Node: 0, Thread: ProxyThread, Peer: 1, Bytes: 4096, Start: 3 * time.Millisecond, End: 4 * time.Millisecond},
+			{Kind: KindBarrier, Class: ClassBarrier, Panel: -1, Node: 0, Thread: ProxyThread, Peer: -1, Start: 8 * time.Millisecond, End: 9 * time.Millisecond},
+		}},
+		{Rank: 1, Epoch: 1_200_000, Drops: 0, Events: []Event{
+			{Kind: KindRecv, Class: ClassRecv, Panel: -1, Node: 1, Thread: ProxyThread, Peer: 0, Bytes: 4096, Start: 0, End: time.Millisecond},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteShards(&buf, shards...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShards(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shards, got) {
+		t.Fatalf("roundtrip mismatch:\nwant %+v\ngot  %+v", shards, got)
+	}
+}
+
+func TestReadShardsSkipsUnknownLines(t *testing.T) {
+	in := `{"t":"shard","rank":0,"epoch_ns":5,"drops":0,"events":1}
+{"t":"future-extension","x":1}
+
+{"t":"ev","kind":"fire","class":"panel","panel":0,"node":0,"thread":0,"peer":0,"start_ns":0,"end_ns":10}
+`
+	shards, err := ReadShards(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || len(shards[0].Events) != 1 {
+		t.Fatalf("shards = %+v", shards)
+	}
+}
+
+func TestDecodeShardRejectsMultiple(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteShards(&buf, Shard{Rank: 0}, Shard{Rank: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeShard(buf.Bytes()); err == nil {
+		t.Fatal("DecodeShard accepted two shards")
+	}
+}
+
+// barrierShard is a shard whose events end in a closing barrier at barNS
+// (relative to its own epoch), mimicking one rank's view of a run.
+func barrierShard(rank int, epoch, barNS int64, fires ...Event) Shard {
+	evs := append([]Event(nil), fires...)
+	evs = append(evs, Event{Kind: KindBarrier, Class: ClassBarrier, Panel: -1,
+		Node: rank, Thread: ProxyThread, Peer: -1,
+		Start: time.Duration(barNS - 1000), End: time.Duration(barNS)})
+	return Shard{Rank: rank, Epoch: epoch, Events: evs}
+}
+
+// Merge must align skewed clocks on the closing barrier: two ranks whose
+// epochs disagree wildly still produce coinciding barrier ends.
+func TestMergeAlignsOnBarrier(t *testing.T) {
+	fire := func(node int, start, end int64) Event {
+		return Event{Kind: KindFire, Class: "panel", Panel: 0, Node: node,
+			Start: time.Duration(start), End: time.Duration(end)}
+	}
+	// Rank 1's wall clock is 5 seconds ahead; raw epochs would shear the
+	// timelines apart.
+	s0 := barrierShard(0, 1_000_000, 10_000, fire(0, 0, 4000))
+	s1 := barrierShard(1, 5_001_000_000, 9_000, fire(1, 0, 3000))
+	// Out-of-order arrival must not matter.
+	events, drops := Merge([]Shard{s1, s0})
+	if drops != 0 {
+		t.Fatalf("drops = %d", drops)
+	}
+	var barEnds []time.Duration
+	for _, e := range events {
+		if e.Kind == KindBarrier {
+			barEnds = append(barEnds, e.End)
+		}
+	}
+	if len(barEnds) != 2 {
+		t.Fatalf("%d barrier events", len(barEnds))
+	}
+	if barEnds[0] != barEnds[1] {
+		t.Fatalf("barrier ends not aligned: %v vs %v", barEnds[0], barEnds[1])
+	}
+	// Renormalized: earliest start is zero, everything non-negative.
+	if events[0].Start != 0 {
+		t.Fatalf("first event starts at %v", events[0].Start)
+	}
+	for _, e := range events {
+		if e.Start < 0 || e.End < e.Start {
+			t.Fatalf("bad interval %+v", e)
+		}
+	}
+}
+
+// Without a barrier on every shard, Merge falls back to raw epochs.
+func TestMergeFallsBackToEpochs(t *testing.T) {
+	fire := func(node int, start, end int64) Event {
+		return Event{Kind: KindFire, Class: "panel", Panel: 0, Node: node,
+			Start: time.Duration(start), End: time.Duration(end)}
+	}
+	s0 := Shard{Rank: 0, Epoch: 1000, Events: []Event{fire(0, 0, 500)}}
+	s1 := Shard{Rank: 1, Epoch: 3000, Events: []Event{fire(1, 0, 500)}}
+	events, _ := Merge([]Shard{s0, s1})
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	// Rank 1's event sits 2000ns (the epoch gap) after rank 0's.
+	if got := events[1].Start - events[0].Start; got != 2000 {
+		t.Fatalf("epoch gap = %v, want 2000ns", got)
+	}
+}
+
+func TestMergeCountsDropsAcrossShards(t *testing.T) {
+	s0 := Shard{Rank: 0, Drops: 3}
+	s1 := Shard{Rank: 1, Drops: 4}
+	events, drops := Merge([]Shard{s0, s1})
+	if events != nil || drops != 7 {
+		t.Fatalf("events=%v drops=%d", events, drops)
+	}
+}

@@ -3,6 +3,11 @@
 // panel work, orange is the corresponding trailing updates, and blue is
 // binary-tree work. It also computes the overlap statistics that quantify
 // why shifted domain boundaries pipeline better than fixed ones.
+//
+// Beyond firings, the recorder captures worker channel-wait intervals and
+// proxy communication (sends, deliveries, the closing barrier), and each
+// rank of a distributed run can snapshot its recorder into a Shard for
+// gathering and merging at rank 0 (see shard.go, gather.go).
 package trace
 
 import (
@@ -12,59 +17,217 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pulsarqr/internal/pulsar"
 )
 
-// Event is one recorded firing.
+// EventKind classifies a recorded event. The zero value is a VDP firing so
+// hand-built Event literals (tests, the simulator) keep their old meaning.
+type EventKind uint8
+
+const (
+	KindFire EventKind = iota
+	KindWait
+	KindSend
+	KindRecv
+	KindBarrier
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindFire:
+		return "fire"
+	case KindWait:
+		return "wait"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// Classes of the non-fire events the recorder emits. Fire classes come from
+// the VDPs themselves ("panel", "update", "binary", "binary-update").
+const (
+	ClassWait    = "wait"
+	ClassSend    = "send"
+	ClassRecv    = "recv"
+	ClassBarrier = "barrier"
+)
+
+// ProxyThread is the Thread value of communication events: each node's
+// proxy gets its own lane below the workers'.
+const ProxyThread = -1
+
+// Event is one recorded interval: a firing, a worker wait, or a proxy
+// communication action.
 type Event struct {
+	Kind         EventKind
 	Class        string
-	Panel        int // panel index j, extracted from the VDP tuple
+	Panel        int // panel index j from the VDP tuple; -1 for non-fire events
 	Node, Thread int
-	Start, End   time.Duration // relative to the first recorded start
+	Peer         int           // comm events: remote rank (-1 for collectives); 0 otherwise
+	Bytes        int64         // comm events: payload size
+	Start, End   time.Duration // relative to the recorder's epoch
 }
 
-// Recorder collects fire events from the runtime. It is safe for
-// concurrent use by multiple workers.
+// DefaultCapacity is the recorder's default event bound.
+const DefaultCapacity = 1 << 18
+
+// recShards is the number of independent ring buffers a Recorder stripes
+// events over to keep workers from serializing on one lock.
+const recShards = 16
+
+// Recorder collects runtime events into a bounded, sharded ring buffer. It
+// is safe for concurrent use by multiple workers; when the buffer is full
+// the oldest events are overwritten and counted as drops.
 type Recorder struct {
-	mu     sync.Mutex
-	t0     time.Time
-	events []Event
+	capPerShard int
+	t0ns        atomic.Int64 // UnixNano of the first recorded start (the epoch)
+	drops       atomic.Int64
+	shards      [recShards]recShard
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+type recShard struct {
+	mu   sync.Mutex
+	ev   []Event
+	next int // overwrite cursor once len(ev) == capPerShard
+}
+
+// NewRecorder returns an empty recorder bounded at DefaultCapacity.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultCapacity) }
+
+// NewRecorderCap returns an empty recorder holding at most capacity events
+// (rounded up to a multiple of the stripe count); non-positive selects the
+// default. Once full, new events overwrite the oldest and Drops counts the
+// losses.
+func NewRecorderCap(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	cps := (capacity + recShards - 1) / recShards
+	if cps < 1 {
+		cps = 1
+	}
+	return &Recorder{capPerShard: cps}
+}
+
+// Epoch returns the wall-clock origin (UnixNano) event times are relative
+// to; zero until the first event is recorded.
+func (r *Recorder) Epoch() int64 { return r.t0ns.Load() }
+
+// Drops returns the number of events lost to the capacity bound.
+func (r *Recorder) Drops() int64 { return r.drops.Load() }
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.ev)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// epoch pins the recorder's time origin to the first observed start and
+// returns it.
+func (r *Recorder) epoch(start time.Time) int64 {
+	t0 := r.t0ns.Load()
+	if t0 == 0 {
+		r.t0ns.CompareAndSwap(0, start.UnixNano())
+		t0 = r.t0ns.Load()
+	}
+	return t0
+}
+
+func (r *Recorder) record(lane int, e Event) {
+	s := &r.shards[uint(lane)%recShards]
+	s.mu.Lock()
+	if len(s.ev) < r.capPerShard {
+		s.ev = append(s.ev, e)
+		s.mu.Unlock()
+		return
+	}
+	s.ev[s.next] = e
+	s.next = (s.next + 1) % r.capPerShard
+	s.mu.Unlock()
+	r.drops.Add(1)
+}
+
+// lane stripes (node, thread) pairs over the ring buffers; +2 keeps the
+// proxy lane (thread -1) non-negative.
+func lane(node, thread int) int { return node*31 + thread + 2 }
 
 // Hook adapts the recorder to the runtime's FireHook.
 func (r *Recorder) Hook() func(pulsar.FireEvent) {
 	return func(e pulsar.FireEvent) {
-		r.mu.Lock()
-		if r.t0.IsZero() || e.Start.Before(r.t0) {
-			r.t0 = e.Start
-		}
+		t0 := r.epoch(e.Start)
 		panel := -1
 		if e.Tuple.Len() > 1 {
 			panel = e.Tuple.At(1)
 		}
-		r.events = append(r.events, Event{
-			Class: e.Class, Panel: panel,
+		r.record(lane(e.Node, e.Thread), Event{
+			Kind: KindFire, Class: e.Class, Panel: panel,
 			Node: e.Node, Thread: e.Thread,
-			Start: e.Start.Sub(r.t0), End: e.End.Sub(r.t0),
+			Start: time.Duration(e.Start.UnixNano() - t0),
+			End:   time.Duration(e.End.UnixNano() - t0),
 		})
-		r.mu.Unlock()
+	}
+}
+
+// WaitHook adapts the recorder to the runtime's WaitHook (and Pool.OnWait).
+func (r *Recorder) WaitHook() func(pulsar.WaitEvent) {
+	return func(e pulsar.WaitEvent) {
+		t0 := r.epoch(e.Start)
+		r.record(lane(e.Node, e.Thread), Event{
+			Kind: KindWait, Class: ClassWait, Panel: -1,
+			Node: e.Node, Thread: e.Thread, Peer: -1,
+			Start: time.Duration(e.Start.UnixNano() - t0),
+			End:   time.Duration(e.End.UnixNano() - t0),
+		})
+	}
+}
+
+// CommHook adapts the recorder to the runtime's CommHook.
+func (r *Recorder) CommHook() func(pulsar.CommEvent) {
+	return func(e pulsar.CommEvent) {
+		t0 := r.epoch(e.Start)
+		kind, class := KindSend, ClassSend
+		switch e.Kind {
+		case pulsar.CommRecv:
+			kind, class = KindRecv, ClassRecv
+		case pulsar.CommBarrier:
+			kind, class = KindBarrier, ClassBarrier
+		}
+		r.record(lane(e.Node, ProxyThread), Event{
+			Kind: kind, Class: class, Panel: -1,
+			Node: e.Node, Thread: ProxyThread,
+			Peer: e.Peer, Bytes: int64(e.Bytes),
+			Start: time.Duration(e.Start.UnixNano() - t0),
+			End:   time.Duration(e.End.UnixNano() - t0),
+		})
 	}
 }
 
 // Events returns the recorded events, normalized so the earliest start is
 // zero and sorted by start time.
 func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	// Recorder t0 may have moved backwards after early events were
-	// captured; renormalize.
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.ev...)
+		s.mu.Unlock()
+	}
+	// The epoch is the first start the racing CAS happened to pin, so a few
+	// events may sit slightly before it; renormalize.
 	var minStart time.Duration
 	for _, e := range out {
 		if e.Start < minStart {
@@ -83,9 +246,10 @@ func (r *Recorder) Events() []Event {
 type Timeline struct {
 	Events   []Event
 	Makespan time.Duration
-	// BusyByClass is total busy time per class.
+	// BusyByClass is total busy time per fire class.
 	BusyByClass map[string]time.Duration
-	// Lanes maps (node, thread) pairs to lane indices, sorted.
+	// Lanes maps (node, thread) pairs to lane indices, sorted. Thread -1 is
+	// a node's proxy lane.
 	Lanes map[[2]int]int
 }
 
@@ -98,7 +262,9 @@ func Build(events []Event) *Timeline {
 		if e.End > t.Makespan {
 			t.Makespan = e.End
 		}
-		t.BusyByClass[e.Class] += e.End - e.Start
+		if e.Kind == KindFire {
+			t.BusyByClass[e.Class] += e.End - e.Start
+		}
 		k := [2]int{e.Node, e.Thread}
 		if !seen[k] {
 			seen[k] = true
@@ -164,16 +330,70 @@ func (t *Timeline) PanelOverlap(classes map[string]bool) float64 {
 	return float64(overlapped) / float64(t.Makespan)
 }
 
-// Utilization returns total busy time divided by lanes × makespan.
+// Utilization returns total fire-busy time divided by worker lanes ×
+// makespan. Proxy lanes (thread -1) are not counted as capacity.
 func (t *Timeline) Utilization() float64 {
-	if t.Makespan == 0 || len(t.Lanes) == 0 {
+	if t.Makespan == 0 {
+		return 0
+	}
+	lanes := 0
+	for k := range t.Lanes {
+		if k[1] >= 0 {
+			lanes++
+		}
+	}
+	if lanes == 0 {
 		return 0
 	}
 	var busy time.Duration
 	for _, d := range t.BusyByClass {
 		busy += d
 	}
-	return float64(busy) / (float64(t.Makespan) * float64(len(t.Lanes)))
+	return float64(busy) / (float64(t.Makespan) * float64(lanes))
+}
+
+// RankStats is one rank's share of a merged timeline: fire-busy and wait
+// time over its workers, and its proxy's traffic.
+type RankStats struct {
+	Node                 int
+	Busy, Wait, Barrier  time.Duration
+	SentBytes, RecvBytes int64
+	Sends, Recvs         int
+}
+
+// ByRank breaks the timeline down per node, for the per-rank idle/comm
+// report of a merged multi-rank trace.
+func (t *Timeline) ByRank() []RankStats {
+	idx := map[int]int{}
+	var out []RankStats
+	get := func(node int) *RankStats {
+		i, ok := idx[node]
+		if !ok {
+			i = len(out)
+			idx[node] = i
+			out = append(out, RankStats{Node: node})
+		}
+		return &out[i]
+	}
+	for _, e := range t.Events {
+		r := get(e.Node)
+		switch e.Kind {
+		case KindFire:
+			r.Busy += e.End - e.Start
+		case KindWait:
+			r.Wait += e.End - e.Start
+		case KindBarrier:
+			r.Barrier += e.End - e.Start
+		case KindSend:
+			r.SentBytes += e.Bytes
+			r.Sends++
+		case KindRecv:
+			r.RecvBytes += e.Bytes
+			r.Recvs++
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
 }
 
 // classGlyph maps trace classes to single characters for ASCII rendering.
@@ -187,6 +407,14 @@ func classGlyph(class string) byte {
 		return 'B'
 	case "binary-update":
 		return 'b'
+	case ClassWait:
+		return '~'
+	case ClassSend:
+		return '>'
+	case ClassRecv:
+		return '<'
+	case ClassBarrier:
+		return '='
 	default:
 		if class == "" {
 			return '#'
@@ -197,7 +425,7 @@ func classGlyph(class string) byte {
 
 // ASCII renders the timeline as one row per (node, thread) lane and width
 // columns; each cell shows the class that occupied most of that time
-// bucket, or '.' when idle.
+// bucket, or '.' when idle. Proxy lanes are labeled "nXXcomm".
 func (t *Timeline) ASCII(width int) string {
 	if width < 1 || t.Makespan == 0 || len(t.Lanes) == 0 {
 		return ""
@@ -240,7 +468,11 @@ func (t *Timeline) ASCII(width int) string {
 		laneKeys[i] = k
 	}
 	for i, row := range rows {
-		fmt.Fprintf(&sb, "n%02dt%02d |", laneKeys[i][0], laneKeys[i][1])
+		if laneKeys[i][1] < 0 {
+			fmt.Fprintf(&sb, "n%02dcomm|", laneKeys[i][0])
+		} else {
+			fmt.Fprintf(&sb, "n%02dt%02d |", laneKeys[i][0], laneKeys[i][1])
+		}
 		for b, busy := range row {
 			if busy < bucket/4 {
 				sb.WriteByte('.')
@@ -269,6 +501,14 @@ func classColor(class string) string {
 		return "#ff9a3c" // orange
 	case "binary", "binary-update":
 		return "#1f77b4" // blue
+	case ClassWait:
+		return "#dddddd" // idle gray
+	case ClassSend:
+		return "#2ca02c" // green
+	case ClassRecv:
+		return "#98df8a" // light green
+	case ClassBarrier:
+		return "#9467bd" // purple
 	default:
 		return "#777777"
 	}
@@ -276,8 +516,8 @@ func classColor(class string) string {
 
 // ChromeTrace renders the timeline in the Chrome trace-event JSON format
 // (chrome://tracing, Perfetto): one process per node, one thread lane per
-// worker, complete events with microsecond timestamps, colored by class
-// through the event name.
+// worker (tid -1 is the proxy), complete events with microsecond
+// timestamps, categorized by kind.
 func (t *Timeline) ChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("[\n"); err != nil {
@@ -289,11 +529,11 @@ func (t *Timeline) ChromeTrace(w io.Writer) error {
 			sep = ""
 		}
 		_, err := fmt.Fprintf(bw,
-			`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"panel":%d}}%s`+"\n",
-			e.Class, e.Class,
+			`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"panel":%d,"bytes":%d,"peer":%d}}%s`+"\n",
+			e.Class, e.Kind.String(),
 			float64(e.Start)/float64(time.Microsecond),
 			float64(e.End-e.Start)/float64(time.Microsecond),
-			e.Node, e.Thread, e.Panel, sep)
+			e.Node, e.Thread, e.Panel, e.Bytes, e.Peer, sep)
 		if err != nil {
 			return err
 		}

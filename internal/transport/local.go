@@ -2,6 +2,7 @@ package transport
 
 import (
 	"sync/atomic"
+	"time"
 
 	"pulsarqr/internal/mpi"
 )
@@ -20,7 +21,7 @@ type Local struct {
 func NewLocal(size int) *Local {
 	l := &Local{world: mpi.NewWorld(size), eps: make([]*localEndpoint, size)}
 	for i := range l.eps {
-		l.eps[i] = &localEndpoint{comm: l.world.Comm(i)}
+		l.eps[i] = &localEndpoint{owner: l, comm: l.world.Comm(i), links: make([]linkCtrs, size)}
 	}
 	return l
 }
@@ -32,9 +33,12 @@ func (l *Local) Size() int { return l.world.Size() }
 func (l *Local) Endpoint(rank int) Endpoint { return l.eps[rank] }
 
 type localEndpoint struct {
+	owner *Local
 	comm  *mpi.Comm
 	msgs  atomic.Int64
 	bytes atomic.Int64
+	links []linkCtrs
+	barT  barrierCtrs
 }
 
 func (e *localEndpoint) Rank() int { return e.comm.Rank() }
@@ -43,6 +47,13 @@ func (e *localEndpoint) Size() int { return e.comm.Size() }
 func (e *localEndpoint) Isend(data []byte, dest, tag int) Request {
 	e.msgs.Add(1)
 	e.bytes.Add(int64(len(data)))
+	e.links[dest].sentFrames.Add(1)
+	e.links[dest].sentBytes.Add(int64(len(data)))
+	// In-process delivery is immediate, so the receive side of the link is
+	// credited here, on the destination endpoint's counters.
+	d := e.owner.eps[dest]
+	d.links[e.comm.Rank()].recvFrames.Add(1)
+	d.links[e.comm.Rank()].recvBytes.Add(int64(len(data)))
 	return e.comm.Isend(data, dest, tag)
 }
 
@@ -51,7 +62,9 @@ func (e *localEndpoint) Irecv(source, tag int) Request {
 }
 
 func (e *localEndpoint) Barrier() error {
+	start := time.Now()
 	e.comm.Barrier()
+	e.barT.observe(start)
 	return nil
 }
 
@@ -64,5 +77,18 @@ func (e *localEndpoint) OnArrival(fn func()) { e.comm.OnArrival(fn) }
 func (e *localEndpoint) Stats() (messages, bytes int64) {
 	return e.msgs.Load(), e.bytes.Load()
 }
+
+// Links reports per-peer traffic. In-process sends complete synchronously,
+// so queue depths are always zero.
+func (e *localEndpoint) Links() []LinkStats {
+	out := make([]LinkStats, len(e.links))
+	for j := range out {
+		out[j] = e.links[j].snapshot(j, 0)
+	}
+	return out
+}
+
+// BarrierStats reports how many barriers completed and the total wait.
+func (e *localEndpoint) BarrierStats() BarrierStats { return e.barT.stats() }
 
 func (e *localEndpoint) Close() error { return nil }

@@ -30,6 +30,13 @@ func newMailbox(size int) *mailbox {
 	return mb
 }
 
+// depth returns the number of delivered messages no receive has matched yet.
+func (mb *mailbox) depth() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.inbox)
+}
+
 func (mb *mailbox) setNotify(fn func()) {
 	mb.mu.Lock()
 	mb.notify = fn

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Mux multiplexes independent jobs onto one underlying Endpoint. Every
@@ -187,6 +188,26 @@ func (m *Mux) route(source, tag int, data []byte) {
 	e.dispatch(msg)
 }
 
+// Depths reports the mux's occupancy: open job sessions, messages buffered
+// for jobs not yet opened, and the total unmatched backlog across the open
+// sessions' mailboxes.
+func (m *Mux) Depths() (open, pending, backlog int) {
+	m.mu.Lock()
+	open = len(m.jobs)
+	for _, msgs := range m.pending {
+		pending += len(msgs)
+	}
+	jobs := make([]*JobEndpoint, 0, len(m.jobs))
+	for _, e := range m.jobs {
+		jobs = append(jobs, e)
+	}
+	m.mu.Unlock()
+	for _, e := range jobs {
+		backlog += e.mb.depth()
+	}
+	return open, pending, backlog
+}
+
 // compact advances the closed-below watermark. Job ids are allocated
 // monotonically, so the ever-growing run of retired ids at the bottom can
 // be summarized by one bound instead of one closedJ entry per job for the
@@ -215,14 +236,19 @@ type JobEndpoint struct {
 	mb  *mailbox
 	bar *barrierState
 
-	closed atomic.Bool
-	msgs   atomic.Int64
-	bytes  atomic.Int64
+	closed    atomic.Bool
+	msgs      atomic.Int64
+	bytes     atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+	barT      barrierCtrs
 }
 
 func (e *JobEndpoint) dispatch(msg muxMsg) {
 	switch msg.kind {
 	case muxData:
+		e.recvMsgs.Add(1)
+		e.recvBytes.Add(int64(len(msg.data)))
 		e.mb.push(envelope{source: msg.source, tag: msg.tag, data: msg.data})
 	case muxBarrierEnter:
 		e.bar.handle(msg.source, msg.tag, BarrierEnter)
@@ -247,6 +273,19 @@ func (e *JobEndpoint) OnArrival(fn func()) { e.mb.setNotify(fn) }
 func (e *JobEndpoint) Stats() (messages, bytes int64) {
 	return e.msgs.Load(), e.bytes.Load()
 }
+
+// IOStats returns this job session's traffic in both directions.
+func (e *JobEndpoint) IOStats() (sentMsgs, sentBytes, recvMsgs, recvBytes int64) {
+	return e.msgs.Load(), e.bytes.Load(), e.recvMsgs.Load(), e.recvBytes.Load()
+}
+
+// Backlog returns the number of delivered-but-unmatched messages sitting in
+// this job's mailbox — the channel occupancy of the session.
+func (e *JobEndpoint) Backlog() int { return e.mb.depth() }
+
+// BarrierStats reports how many of this job's barriers completed and the
+// total wait.
+func (e *JobEndpoint) BarrierStats() BarrierStats { return e.barT.stats() }
 
 // send wraps payload in the muxed header and ships it on the real endpoint.
 func (e *JobEndpoint) send(kind byte, data []byte, dest, tag int) {
@@ -283,6 +322,13 @@ func (e *JobEndpoint) Irecv(source, tag int) Request {
 // The per-job generation counters line up because Barrier is collective
 // within the job.
 func (e *JobEndpoint) Barrier() error {
+	start := time.Now()
+	err := e.barrier()
+	e.barT.observe(start)
+	return err
+}
+
+func (e *JobEndpoint) barrier() error {
 	b := e.bar
 	b.mu.Lock()
 	if b.err != nil {

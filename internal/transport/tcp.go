@@ -90,6 +90,7 @@ func DialTCP(cfg TCPConfig) (Endpoint, error) {
 		mb:           newMailbox(size),
 		bar:          newBarrierState(size),
 		peers:        make([]*peerLink, size),
+		links:        make([]linkCtrs, size),
 		helloSeen:    make([]bool, size),
 	}
 	ep.helloCond = sync.NewCond(&ep.connMu)
@@ -223,6 +224,8 @@ type tcpEndpoint struct {
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
+	links []linkCtrs // per-peer traffic counters, indexed by rank
+	barT  barrierCtrs
 }
 
 func (ep *tcpEndpoint) Rank() int { return ep.rank }
@@ -246,7 +249,12 @@ func (ep *tcpEndpoint) Isend(data []byte, dest, tag int) Request {
 	}
 	ep.msgs.Add(1)
 	ep.bytes.Add(int64(len(data)))
+	lc := &ep.links[dest]
+	lc.sentFrames.Add(1)
+	lc.sentBytes.Add(int64(len(data)))
 	if dest == ep.rank {
+		lc.recvFrames.Add(1)
+		lc.recvBytes.Add(int64(len(data)))
 		buf := make([]byte, len(data))
 		copy(buf, data)
 		ep.mb.push(envelope{source: ep.rank, tag: tag, data: buf})
@@ -352,6 +360,8 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 				ep.fail(fmt.Errorf("rank %d sent frame claiming rank %d", src, f.Rank))
 				return
 			}
+			ep.links[src].recvFrames.Add(1)
+			ep.links[src].recvBytes.Add(int64(len(f.Payload)))
 			ep.mb.push(envelope{source: src, tag: f.Tag, data: f.Payload})
 		case FrameBarrier:
 			if len(f.Payload) != 1 {
@@ -359,6 +369,8 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 				ep.fail(fmt.Errorf("rank %d sent malformed barrier frame", src))
 				return
 			}
+			ep.links[src].recvFrames.Add(1)
+			ep.links[src].recvBytes.Add(1)
 			ep.bar.handle(src, f.Tag, f.Payload[0])
 		default:
 			// Redundant hello: ignore.
@@ -412,6 +424,13 @@ func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
 // Barrier the same number of times, in the same order relative to its own
 // sends) makes the generation counters line up across ranks.
 func (ep *tcpEndpoint) Barrier() error {
+	start := time.Now()
+	err := ep.barrier()
+	ep.barT.observe(start)
+	return err
+}
+
+func (ep *tcpEndpoint) barrier() error {
 	b := ep.bar
 	b.mu.Lock()
 	if b.err != nil {
@@ -448,11 +467,15 @@ func (ep *tcpEndpoint) Barrier() error {
 		}
 		release := EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierRelease}})
 		for j := 1; j < ep.size; j++ {
+			ep.links[j].sentFrames.Add(1)
+			ep.links[j].sentBytes.Add(1)
 			ep.peers[j].enqueue(release, nil)
 		}
 		return nil
 	}
 
+	ep.links[0].sentFrames.Add(1)
+	ep.links[0].sentBytes.Add(1)
 	ep.peers[0].enqueue(EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierEnter}}), nil)
 	b.mu.Lock()
 	for !b.released[gen] && b.err == nil && !b.departed[0] {
@@ -472,6 +495,22 @@ func (ep *tcpEndpoint) Barrier() error {
 	b.mu.Unlock()
 	return err
 }
+
+// Links reports per-peer traffic and outbound queue depths.
+func (ep *tcpEndpoint) Links() []LinkStats {
+	out := make([]LinkStats, ep.size)
+	for j := range out {
+		depth := 0
+		if p := ep.peers[j]; p != nil {
+			depth = p.depth()
+		}
+		out[j] = ep.links[j].snapshot(j, depth)
+	}
+	return out
+}
+
+// BarrierStats reports how many barriers completed and the total wait.
+func (ep *tcpEndpoint) BarrierStats() BarrierStats { return ep.barT.stats() }
 
 // Close shuts the endpoint down gracefully: queued outbound frames are
 // flushed, connections and the listener are closed, and any still-posted
@@ -537,6 +576,13 @@ func (p *peerLink) enqueue(frame []byte, owner *[]byte) {
 	p.q = append(p.q, outFrame{frame, owner})
 	p.mu.Unlock()
 	p.cond.Signal()
+}
+
+// depth returns the number of frames queued behind the writer.
+func (p *peerLink) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q)
 }
 
 func (p *peerLink) stop() {

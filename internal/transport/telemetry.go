@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LinkStats is one peer link's traffic counters, as seen from this rank:
+// frames/bytes sent to and received from that peer, and the current depth
+// of the outbound queue (0 on substrates that send synchronously).
+type LinkStats struct {
+	Peer                  int
+	SentFrames, SentBytes int64
+	RecvFrames, RecvBytes int64
+	QueueDepth            int
+}
+
+// LinkReporter is implemented by endpoints that keep per-peer counters.
+type LinkReporter interface {
+	// Links returns one entry per rank, own rank included (its counters
+	// cover self-sends).
+	Links() []LinkStats
+}
+
+// BarrierStats aggregates an endpoint's collective barriers: how many
+// completed and the total time spent waiting in them.
+type BarrierStats struct {
+	Count int64
+	Wait  time.Duration
+}
+
+// BarrierReporter is implemented by endpoints that time their barriers.
+type BarrierReporter interface {
+	BarrierStats() BarrierStats
+}
+
+// linkCtrs is the atomic backing of one LinkStats entry.
+type linkCtrs struct {
+	sentFrames, sentBytes atomic.Int64
+	recvFrames, recvBytes atomic.Int64
+}
+
+func (c *linkCtrs) snapshot(peer, depth int) LinkStats {
+	return LinkStats{
+		Peer:       peer,
+		SentFrames: c.sentFrames.Load(), SentBytes: c.sentBytes.Load(),
+		RecvFrames: c.recvFrames.Load(), RecvBytes: c.recvBytes.Load(),
+		QueueDepth: depth,
+	}
+}
+
+// barrierCtrs times collective barriers for BarrierStats.
+type barrierCtrs struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+func (c *barrierCtrs) observe(start time.Time) {
+	c.count.Add(1)
+	c.nanos.Add(time.Since(start).Nanoseconds())
+}
+
+func (c *barrierCtrs) stats() BarrierStats {
+	return BarrierStats{Count: c.count.Load(), Wait: time.Duration(c.nanos.Load())}
+}

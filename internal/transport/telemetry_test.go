@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func linkFor(t *testing.T, stats []LinkStats, peer int) LinkStats {
+	t.Helper()
+	for _, l := range stats {
+		if l.Peer == peer {
+			return l
+		}
+	}
+	t.Fatalf("no stats for peer %d in %+v", peer, stats)
+	return LinkStats{}
+}
+
+// The TCP endpoint's per-link counters must account for every frame and
+// payload byte in both directions, self-sends included.
+func TestTCPLinkStats(t *testing.T) {
+	eps := newTCPMesh(t, 2)
+	lr0 := eps[0].(LinkReporter)
+	lr1 := eps[1].(LinkReporter)
+
+	payload := []byte("telemetry payload")
+	eps[0].Isend(payload, 1, 3)
+	r := eps[1].Irecv(0, 3)
+	r.Wait()
+	if r.Canceled() {
+		t.Fatal("recv canceled")
+	}
+
+	s01 := linkFor(t, lr0.Links(), 1)
+	if s01.SentFrames != 1 || s01.SentBytes != int64(len(payload)) {
+		t.Fatalf("rank 0 -> 1: %+v", s01)
+	}
+	// The receiver's counter is bumped in its read loop, which runs ahead of
+	// delivery; after a completed Irecv it must already account the frame.
+	s10 := linkFor(t, lr1.Links(), 0)
+	if s10.RecvFrames != 1 || s10.RecvBytes != int64(len(payload)) {
+		t.Fatalf("rank 1 <- 0: %+v", s10)
+	}
+
+	// Self-sends credit both directions of the own-rank link.
+	eps[0].Isend([]byte("self"), 0, 4)
+	rs := eps[0].Irecv(0, 4)
+	rs.Wait()
+	self := linkFor(t, lr0.Links(), 0)
+	if self.SentFrames != 1 || self.RecvFrames != 1 || self.SentBytes != 4 || self.RecvBytes != 4 {
+		t.Fatalf("self link: %+v", self)
+	}
+}
+
+// Barriers must be counted and timed on every rank.
+func TestTCPBarrierStats(t *testing.T) {
+	eps := newTCPMesh(t, 3)
+	done := make(chan error, len(eps))
+	for _, ep := range eps {
+		go func(ep Endpoint) { done <- ep.Barrier() }(ep)
+	}
+	for range eps {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ep := range eps {
+		bs := ep.(BarrierReporter).BarrierStats()
+		if bs.Count != 1 {
+			t.Fatalf("rank %d: %d barriers", i, bs.Count)
+		}
+		if bs.Wait <= 0 {
+			t.Fatalf("rank %d: barrier wait %v", i, bs.Wait)
+		}
+	}
+}
+
+// The in-process Local transport keeps the same counters; delivery is
+// immediate so the receive side is credited at send time.
+func TestLocalLinkStats(t *testing.T) {
+	l := NewLocal(2)
+	e0, e1 := l.Endpoint(0), l.Endpoint(1)
+	e0.Isend(make([]byte, 100), 1, 9)
+	r := e1.Irecv(0, 9)
+	r.Wait()
+
+	s01 := linkFor(t, e0.(LinkReporter).Links(), 1)
+	if s01.SentFrames != 1 || s01.SentBytes != 100 {
+		t.Fatalf("local 0 -> 1: %+v", s01)
+	}
+	s10 := linkFor(t, e1.(LinkReporter).Links(), 0)
+	if s10.RecvFrames != 1 || s10.RecvBytes != 100 {
+		t.Fatalf("local 1 <- 0: %+v", s10)
+	}
+
+	done := make(chan error, 2)
+	go func() { done <- e0.Barrier() }()
+	go func() { done <- e1.Barrier() }()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if bs := e0.(BarrierReporter).BarrierStats(); bs.Count != 1 {
+		t.Fatalf("local barrier stats: %+v", bs)
+	}
+}
+
+// Mux.Depths reflects open channels, pre-open pending buffers, and mailbox
+// backlog; JobEndpoint.IOStats and Backlog account per-job traffic.
+func TestMuxDepthsAndIOStats(t *testing.T) {
+	m0, m1 := muxPair(t)
+	e0, err := m0.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Send into a job rank 1 has not opened: parked in m1's pending map.
+	e0.Isend([]byte("early"), 1, 5)
+	waitFor(t, func() bool {
+		_, pending, _ := m1.Depths()
+		return pending == 1
+	}, "pending message never arrived")
+	if open, _, backlog := m1.Depths(); open != 0 || backlog != 0 {
+		t.Fatalf("before open: open=%d backlog=%d", open, backlog)
+	}
+
+	e1, err := m1.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening drains pending into the mailbox backlog.
+	waitFor(t, func() bool {
+		open, pending, backlog := m1.Depths()
+		return open == 1 && pending == 0 && backlog == 1
+	}, "pending did not drain into the mailbox")
+
+	r := e1.Irecv(0, 5)
+	r.Wait()
+	if _, _, backlog := m1.Depths(); backlog != 0 {
+		t.Fatalf("backlog after receive: %d", backlog)
+	}
+	if got := e1.Backlog(); got != 0 {
+		t.Fatalf("job backlog = %d", got)
+	}
+
+	sm, sb, rm, rb := e0.IOStats()
+	if sm != 1 || sb != 5 || rm != 0 || rb != 0 {
+		t.Fatalf("sender IOStats = %d %d %d %d", sm, sb, rm, rb)
+	}
+	sm, sb, rm, rb = e1.IOStats()
+	if sm != 0 || sb != 0 || rm != 1 || rb != 5 {
+		t.Fatalf("receiver IOStats = %d %d %d %d", sm, sb, rm, rb)
+	}
+
+	// Per-job barrier stats live on the JobEndpoint.
+	done := make(chan error, 2)
+	go func() { done <- e0.Barrier() }()
+	go func() { done <- e1.Barrier() }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bs := e0.BarrierStats(); bs.Count != 1 {
+		t.Fatalf("job barrier stats: %+v", bs)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -90,6 +90,26 @@ grep -q '^qrserve_job_latency_seconds_count 3$' "$WORK/metrics" || {
 }
 echo "serve-smoke: metrics agree (3 completed, histogram count 3)"
 
+# Transport telemetry: the fleet run must have moved bytes over both
+# agent links and counted post-run barriers.
+grep -q '^qrserve_link_sent_bytes_total{peer="1"} [1-9]' "$WORK/metrics" &&
+    grep -q '^qrserve_link_sent_bytes_total{peer="2"} [1-9]' "$WORK/metrics" || {
+    echo "serve-smoke: no link byte counters for the agents:" >&2
+    grep '^qrserve_link' "$WORK/metrics" >&2 || true
+    exit 1
+}
+# Per-job barriers run over the mux, not the root endpoint, so the root
+# counter may be 0 — but the series must be exported.
+grep -q '^qrserve_transport_barriers_total ' "$WORK/metrics" || {
+    echo "serve-smoke: barrier counter series missing" >&2
+    exit 1
+}
+grep -q '^qrserve_mux_jobs_open ' "$WORK/metrics" || {
+    echo "serve-smoke: mux depth series missing" >&2
+    exit 1
+}
+echo "serve-smoke: transport telemetry moving (link bytes, mux depths)"
+
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || {
     echo "serve-smoke: qrserve exited non-zero on SIGTERM" >&2
