@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz bench-smoke bench-kernels launch-smoke serve-smoke trace-smoke vet clean
+.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels launch-smoke serve-smoke trace-smoke vet clean
 
 all: build
 
@@ -24,9 +24,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Brief fuzz of the transport wire decoder (must never panic).
+# Brief fuzz of the transport wire decoder and stream reader (must
+# never panic; regression corpus under internal/transport/testdata).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/transport
+
+# Deterministic fault-injection proof: a factorization over real TCP
+# with seeded chaos (drops, delays, a mid-run link sever, a rank kill)
+# completes and matches the sequential oracle elementwise.
+chaos-smoke:
+	$(GO) test -run 'TestChaosTCP' -count=1 -v ./internal/transport
+
+# Coverage gate for the resilience-critical transport package: fails if
+# line coverage drops below the recorded floor.
+COVER_FLOOR_TRANSPORT = 89.3
+cover-transport:
+	@cov=$$($(GO) test -count=1 -cover ./internal/transport | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/transport coverage: $$cov% (floor $(COVER_FLOOR_TRANSPORT)%)"; \
+	awk -v c="$$cov" -v f="$(COVER_FLOOR_TRANSPORT)" 'BEGIN { exit !(c+0 >= f+0) }' || \
+	{ echo "coverage regression: $$cov% < $(COVER_FLOOR_TRANSPORT)%"; exit 1; }
 
 # Quick benchmark pass: the real-hardware tree comparison plus one
 # distributed run over local TCP processes.

@@ -57,6 +57,8 @@ func main() {
 		rhs     = flag.Int("rhs", 0, "ride-along right-hand-side columns")
 		check   = flag.Bool("check", false, "rank 0: verify elementwise against the sequential reference")
 		rdv     = flag.Duration("rendezvous", 30*time.Second, "mesh setup timeout")
+		recon   = flag.Duration("reconnect", 0, "survive transient link drops: redial dead connections for up to this long (0 = fail fast; must match on every rank)")
+		hbeat   = flag.Duration("heartbeat", 0, "probe idle links at this interval and declare silent peers dead (0 = off; requires -reconnect)")
 		trFile  = flag.String("trace", "", "record an execution trace; rank 0 gathers every rank's shard into this JSONL file")
 	)
 	flag.Parse()
@@ -121,6 +123,8 @@ func main() {
 		Rank:              *rank,
 		Peers:             peerList,
 		RendezvousTimeout: *rdv,
+		Reconnect:         *recon,
+		HeartbeatInterval: *hbeat,
 		Logf:              log.Printf,
 	})
 	if err != nil {

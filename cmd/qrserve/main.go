@@ -55,12 +55,14 @@ func main() {
 		peers    = flag.String("peers", "", "join an existing fleet: comma-separated host:port of every rank, this process first (rank 0)")
 		nodeBin  = flag.String("qrservenode", "", "path to the qrservenode binary (default: next to qrserve, then $PATH)")
 		rdv      = flag.Duration("rendezvous", 30*time.Second, "fleet mesh setup timeout")
+		recon    = flag.Duration("reconnect", 0, "survive transient fleet link drops: redial dead connections for up to this long (0 = fail fast; propagated to launched agents)")
+		hbeat    = flag.Duration("heartbeat", 0, "probe idle fleet links at this interval and declare silent agents dead (0 = off; requires -reconnect)")
 		tracecap = flag.Int("tracecap", 0, "per-traced-job event recorder capacity (0 = default; overflow drops oldest events)")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
 	startPprof(*pprof)
-	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *tracecap))
+	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat, *tracecap))
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener; the
@@ -79,7 +81,7 @@ func startPprof(addr string) {
 
 // run is main minus os.Exit, so the deferred group kill and closes fire on
 // every path.
-func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv time.Duration, tracecap int) int {
+func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap int) int {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -90,7 +92,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 	var ep transport.Endpoint
 	switch {
 	case launch > 0:
-		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv)
+		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv, recon, hbeat)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -101,6 +103,8 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 			Rank:              0,
 			Peers:             strings.Split(peers, ","),
 			RendezvousTimeout: rdv,
+			Reconnect:         recon,
+			HeartbeatInterval: hbeat,
 			Logf:              log.Printf,
 		})
 		if err != nil {
@@ -176,7 +180,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 // launchFleet reserves ports for a (1+agents)-rank mesh, keeps rank 0's
 // listener bound for itself, spawns the agent processes under group
 // supervision, and dials the mesh.
-func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, nodeBin string, threads int, rdv time.Duration) (transport.Endpoint, error) {
+func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, nodeBin string, threads int, rdv, recon, hbeat time.Duration) (transport.Endpoint, error) {
 	bin, err := findNode(nodeBin)
 	if err != nil {
 		return nil, err
@@ -205,11 +209,15 @@ func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, no
 	peerList := strings.Join(addrs, ",")
 	log.Printf("launching %d qrservenode agents (%s)", agents, bin)
 	for i := 1; i < total; i++ {
+		// Resilience settings must agree across the mesh, so the agents
+		// inherit the server's flags verbatim.
 		cmd := exec.Command(bin,
 			"-rank", fmt.Sprint(i),
 			"-peers", peerList,
 			"-threads", fmt.Sprint(threads),
 			"-rendezvous", rdv.String(),
+			"-reconnect", recon.String(),
+			"-heartbeat", hbeat.String(),
 		)
 		out, err := cmd.StdoutPipe()
 		if err != nil {
@@ -235,6 +243,8 @@ func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, no
 		Peers:             addrs,
 		Listener:          lns[0],
 		RendezvousTimeout: rdv,
+		Reconnect:         recon,
+		HeartbeatInterval: hbeat,
 		Logf:              log.Printf,
 	})
 }

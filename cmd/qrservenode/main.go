@@ -39,6 +39,8 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated host:port of every rank, server first (env QRSERVE_PEERS)")
 		threads = flag.Int("threads", 4, "worker threads in the persistent pool")
 		rdv     = flag.Duration("rendezvous", 30*time.Second, "mesh setup timeout")
+		recon   = flag.Duration("reconnect", 0, "survive transient link drops: redial dead connections for up to this long (0 = fail fast; must match the server's setting)")
+		hbeat   = flag.Duration("heartbeat", 0, "probe idle links at this interval and declare silent peers dead (0 = off; requires -reconnect)")
 		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
@@ -79,6 +81,8 @@ func main() {
 		Rank:              *rank,
 		Peers:             peerList,
 		RendezvousTimeout: *rdv,
+		Reconnect:         *recon,
+		HeartbeatInterval: *hbeat,
 		Logf:              log.Printf,
 	})
 	if err != nil {

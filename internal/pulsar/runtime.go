@@ -95,6 +95,25 @@ func (s *VSA) Run() error {
 	s.running.Store(true)
 	defer s.running.Store(false)
 
+	// When the communicator can report peer deaths, a dead peer aborts the
+	// run immediately — the deterministic alternative to waiting out the
+	// deadlock watchdog — and the cause is carried to the returned error.
+	var commMu sync.Mutex
+	var commErr error
+	if dist {
+		if fo, ok := s.cfg.Comm.(transport.FailureObserver); ok {
+			fo.OnPeerFailure(func(rank int, err error) {
+				commMu.Lock()
+				if commErr == nil {
+					commErr = err
+				}
+				commMu.Unlock()
+				s.Abort()
+			})
+			defer fo.OnPeerFailure(nil)
+		}
+	}
+
 	var wg sync.WaitGroup
 	if pooled {
 		s.cfg.Pool.attach(attach)
@@ -212,6 +231,12 @@ func (s *VSA) Run() error {
 	if deadlocked {
 		return s.deadlockError(dist, local)
 	}
+	commMu.Lock()
+	ce := commErr
+	commMu.Unlock()
+	if ce != nil {
+		return fmt.Errorf("pulsar: communicator failed: %w", ce)
+	}
 	if aborted {
 		return ErrAborted
 	}
@@ -317,8 +342,19 @@ func (s *VSA) deadlockError(dist bool, local int) error {
 		}
 	}
 	sort.Strings(stuck)
-	return fmt.Errorf("pulsar: deadlock: %d VDPs alive after %v without progress: %s",
+	err := fmt.Errorf("pulsar: deadlock: %d VDPs alive after %v without progress: %s",
 		s.alive.Load(), s.cfg.DeadlockTimeout, strings.Join(stuck, ", "))
+	// A stall with a known-dead peer is network death, not an algorithmic
+	// deadlock: surface the peer failure as the unwrappable cause so
+	// callers can tell the two apart.
+	if dist {
+		if fo, ok := s.cfg.Comm.(transport.FailureObserver); ok {
+			if pe := fo.PeerFailure(); pe != nil {
+				return fmt.Errorf("pulsar: run stalled after peer failure: %w (%v)", pe, err)
+			}
+		}
+	}
+	return err
 }
 
 // worker sweeps its list of VDPs for ready ones and fires them, mirroring

@@ -238,6 +238,14 @@ func (bd *builder) gather(ctx context.Context, ep transport.Endpoint) error {
 			if ctx != nil && ctx.Err() != nil {
 				return fmt.Errorf("qr: factorization canceled during gather: %w", context.Cause(ctx))
 			}
+			// A canceled gather receive means the owning rank departed; when
+			// the transport knows why, name the dead peer instead of the
+			// generic verdict.
+			if fo, ok := ep.(transport.FailureObserver); ok {
+				if pe := fo.PeerFailure(); pe != nil {
+					return fmt.Errorf("qr: gather of collector %v[%d]: %w", p.e.tup, p.e.slot, pe)
+				}
+			}
 			return fmt.Errorf("qr: gather of collector %v[%d] canceled: peer gone", p.e.tup, p.e.slot)
 		}
 		pkt, err := pulsar.UnmarshalPacket(p.req.Data())

@@ -1,0 +1,93 @@
+package qr
+
+// Fault propagation: when a peer dies mid-factorization, FactorizeVSADist
+// must surface the transport's dead-peer verdict as the cause — long before
+// the deadlock watchdog would fire, and identifiable with errors.As so the
+// service layer can decide to requeue.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/transport"
+)
+
+// faultTCPMesh dials a 2-rank in-process TCP mesh with fail-fast (zero
+// reconnect) config, so a crash yields an immediate verdict.
+func faultTCPMesh(t *testing.T, n int) []transport.Endpoint {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	eps := make([]transport.Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = transport.DialTCP(transport.TCPConfig{
+				Rank:              i,
+				Peers:             peers,
+				Listener:          lns[i],
+				RendezvousTimeout: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return eps
+}
+
+func TestFactorizeVSADistSurfacesPeerDeath(t *testing.T) {
+	eps := faultTCPMesh(t, 2)
+	d, b, o := distInputs()
+
+	// Rank 0 factorizes with a watchdog far beyond the test budget: if the
+	// peer-death cause were swallowed into a generic deadlock timeout, this
+	// test would hang for two minutes instead of returning promptly.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := FactorizeVSADist(
+			matrix.FromDense(d, o.NB), matrix.FromDense(b, o.NB),
+			o, RunConfig{Threads: 2, DeadlockTimeout: 2 * time.Minute}, eps[0])
+		errCh <- err
+	}()
+
+	// Rank 1 never joins the computation and crashes shortly after the
+	// mesh is up — a worker lost mid-job.
+	time.Sleep(50 * time.Millisecond)
+	eps[1].(transport.Crasher).Crash()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("factorization succeeded with a dead peer")
+		}
+		var pde *transport.PeerDeathError
+		if !errors.As(err, &pde) {
+			t.Fatalf("error %v does not carry the transport's PeerDeathError", err)
+		}
+		if pde.Rank != 1 {
+			t.Fatalf("dead peer reported as rank %d, want 1", pde.Rank)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("peer death not propagated; factorization still blocked (deadlock watchdog would mask the cause)")
+	}
+	eps[0].Close()
+}

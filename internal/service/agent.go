@@ -26,7 +26,7 @@ type Agent struct {
 	logf func(format string, args ...any)
 
 	mu   sync.Mutex
-	jobs map[uint32]context.CancelFunc
+	jobs map[uint32]agentAttempt
 
 	wg sync.WaitGroup
 }
@@ -54,7 +54,7 @@ func NewAgent(ep transport.Endpoint, threads int, logf func(string, ...any)) (*A
 		mux:  mux,
 		ctl:  ctl,
 		pool: pulsar.NewPool(threads, func(int) any { return kernels.NewWorkspace() }),
-		jobs: map[uint32]context.CancelFunc{},
+		jobs: map[uint32]agentAttempt{},
 		logf: logf,
 	}, nil
 }
@@ -87,18 +87,35 @@ func (ag *Agent) Run(ctx context.Context) error {
 				ag.logf("agent: open without spec for job %d", msg.Job)
 				continue
 			}
+			if msg.Ranks != nil && !contains(msg.Ranks, ag.ep.Rank()) {
+				// An attempt sessioned onto other ranks (a degraded-fleet
+				// rerun this rank is not part of).
+				continue
+			}
+			session := msg.Session
+			if session == 0 {
+				session = msg.Job
+			}
 			jctx, cancel := context.WithCancel(ctx)
 			ag.mu.Lock()
-			ag.jobs[msg.Job] = cancel
+			prev := ag.jobs[msg.Job]
+			ag.jobs[msg.Job] = agentAttempt{session: session, cancel: cancel}
 			ag.mu.Unlock()
+			if prev.cancel != nil {
+				// A fresh open for a job this rank is still running means
+				// the server gave up on that attempt (a degraded-fleet
+				// retry): reap the zombie so it cannot linger in a dead
+				// session, and so its exit cannot be mistaken for ours.
+				prev.cancel()
+			}
 			ag.wg.Add(1)
-			go ag.runJob(jctx, msg.Job, *msg.Spec)
+			go ag.runJob(jctx, msg.Job, session, msg.Ranks, *msg.Spec)
 		case "cancel":
 			ag.mu.Lock()
-			cancel := ag.jobs[msg.Job]
+			att := ag.jobs[msg.Job]
 			ag.mu.Unlock()
-			if cancel != nil {
-				cancel()
+			if att.cancel != nil {
+				att.cancel()
 			}
 		case "shutdown":
 			ag.cancelAll()
@@ -112,8 +129,8 @@ func (ag *Agent) Run(ctx context.Context) error {
 func (ag *Agent) cancelAll() {
 	ag.mu.Lock()
 	cancels := make([]context.CancelFunc, 0, len(ag.jobs))
-	for _, c := range ag.jobs {
-		cancels = append(cancels, c)
+	for _, att := range ag.jobs {
+		cancels = append(cancels, att.cancel)
 	}
 	ag.mu.Unlock()
 	for _, c := range cancels {
@@ -121,20 +138,47 @@ func (ag *Agent) cancelAll() {
 	}
 }
 
-// runJob executes this rank's share of one job.
-func (ag *Agent) runJob(ctx context.Context, id uint32, spec JobSpec) {
+// agentAttempt is one in-flight attempt of a job on this rank. The session
+// id distinguishes a live attempt from the zombie of a requeued one, so
+// cleanup and cancellation always hit the attempt they mean.
+type agentAttempt struct {
+	session uint32
+	cancel  context.CancelFunc
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// runJob executes this rank's share of one job attempt: the session id
+// (distinct per attempt) names the mux channel, and ranks — when set —
+// names the attempt's member set on a degraded fleet.
+func (ag *Agent) runJob(ctx context.Context, id, session uint32, ranks []int, spec JobSpec) {
 	defer ag.wg.Done()
 	defer func() {
 		ag.mu.Lock()
-		if cancel := ag.jobs[id]; cancel != nil {
+		// Deregister only our own attempt: a degraded-fleet retry may have
+		// replaced this entry with a newer session, which must keep running.
+		if att := ag.jobs[id]; att.session == session && att.cancel != nil {
 			delete(ag.jobs, id)
-			cancel()
+			att.cancel()
 		}
 		ag.mu.Unlock()
 	}()
-	jep, err := ag.mux.Open(id)
+	var jep *transport.JobEndpoint
+	var err error
+	if ranks != nil {
+		jep, err = ag.mux.OpenOn(session, ranks)
+	} else {
+		jep, err = ag.mux.Open(session)
+	}
 	if err != nil {
-		ag.logf("agent: job %d: open channel: %v", id, err)
+		ag.logf("agent: job %d: open channel %d: %v", id, session, err)
 		return
 	}
 	defer jep.Close()

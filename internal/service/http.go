@@ -15,6 +15,7 @@ type JobView struct {
 	ID        uint32      `json:"id"`
 	Status    string      `json:"status"`
 	Error     string      `json:"error,omitempty"`
+	Attempts  int         `json:"attempts,omitempty"` // requeues after fleet failures
 	M         int         `json:"m"`
 	N         int         `json:"n"`
 	Priority  int         `json:"priority,omitempty"`
@@ -34,6 +35,7 @@ func viewOf(j *Job, includeR bool) JobView {
 		ID:       j.ID,
 		Status:   string(state),
 		Error:    errMsg,
+		Attempts: j.Attempts(),
 		M:        j.Spec.M,
 		N:        j.Spec.N,
 		Priority: j.Spec.Priority,
@@ -165,9 +167,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":      true,
-		"ranks":   s.Ranks(),
-		"threads": s.cfg.Threads,
+		"ok":         true,
+		"ranks":      s.Ranks(),
+		"ranks_live": s.AgentsLive(),
+		"degraded":   s.Degraded(),
+		"threads":    s.cfg.Threads,
 	})
 }
 

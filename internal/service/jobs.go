@@ -53,11 +53,12 @@ type Job struct {
 	deadline time.Time // zero: none
 	seq      int64     // admission order, FIFO tiebreak within a priority
 
-	mu     sync.Mutex
-	state  State
-	errMsg string
-	result *Result
-	trace  []trace.Shard // per-rank shards, set before finish when Spec.Trace
+	mu      sync.Mutex
+	state   State
+	errMsg  string
+	result  *Result
+	attempt int           // completed dispatch attempts beyond the first
+	trace   []trace.Shard // per-rank shards, set before finish when Spec.Trace
 
 	done       chan struct{}
 	onTerminal func() // runs once on the terminal transition, before done closes
@@ -90,6 +91,28 @@ func (j *Job) setTrace(shards []trace.Shard) {
 	j.mu.Lock()
 	j.trace = shards
 	j.mu.Unlock()
+}
+
+// Attempts returns how many times the job has been requeued after a fleet
+// failure (0 on the first attempt).
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// requeue returns the job to the pending state for another attempt,
+// reporting false if it already reached a terminal state (a cancel racing
+// the retry wins).
+func (j *Job) requeue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = StatePending
+	j.attempt++
+	return true
 }
 
 // Done closes when the job reaches a terminal state.

@@ -23,6 +23,8 @@ type Metrics struct {
 	Canceled     atomic.Int64 // jobs canceled by the client
 	Expired      atomic.Int64 // jobs dropped at dispatch: deadline passed
 	Running      atomic.Int64 // jobs currently executing
+	Evicted      atomic.Int64 // fleet agent ranks declared dead
+	Requeued     atomic.Int64 // job attempts requeued after a fleet failure
 
 	TraceEvents atomic.Int64 // events in gathered trace shards
 	TraceDrops  atomic.Int64 // events lost to recorder capacity bounds
@@ -132,6 +134,8 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
 	counter("qrserve_jobs_failed_total", "Jobs whose factorization errored.", m.Failed.Load())
 	counter("qrserve_jobs_canceled_total", "Jobs canceled by the client.", m.Canceled.Load())
 	counter("qrserve_jobs_expired_total", "Jobs dropped before dispatch: deadline passed.", m.Expired.Load())
+	counter("qrserve_agent_evictions_total", "Fleet agent ranks declared dead and evicted.", m.Evicted.Load())
+	counter("qrserve_jobs_requeued_total", "Job attempts requeued onto the surviving fleet after a peer death.", m.Requeued.Load())
 	gauge("qrserve_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
 	gauge("qrserve_jobs_running", "Jobs currently executing.", m.Running.Load())
 	gauge("qrserve_jobs_resident", "Jobs resident in memory (queued, running or retained).", int64(resident))

@@ -47,6 +47,14 @@ type JobSpec struct {
 	// is done. The flag rides the control-plane open broadcast, so agents
 	// trace exactly the jobs the client asked to trace.
 	Trace bool `json:"trace,omitempty"`
+	// MaxRetries is the job's retry budget: when its run dies with a fleet
+	// member (not a cancellation or an algorithmic failure), the server
+	// requeues it onto the surviving ranks up to this many times. Capped
+	// at 8; zero means fail on the first peer death.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMS delays each requeue, doubling per attempt; zero takes
+	// the service default (100ms).
+	RetryBackoffMS int64 `json:"retry_backoff_ms,omitempty"`
 }
 
 // Validate checks the spec without allocating the matrix.
@@ -65,6 +73,12 @@ func (sp *JobSpec) Validate() error {
 	}
 	if _, err := sp.tree(); err != nil {
 		return err
+	}
+	if sp.MaxRetries < 0 || sp.MaxRetries > 8 {
+		return fmt.Errorf("service: max_retries %d out of range [0,8]", sp.MaxRetries)
+	}
+	if sp.RetryBackoffMS < 0 {
+		return fmt.Errorf("service: negative retry_backoff_ms %d", sp.RetryBackoffMS)
 	}
 	return nil
 }
@@ -133,4 +147,12 @@ type ctlMsg struct {
 	Op   string   `json:"op"` // "open", "cancel", "shutdown"
 	Job  uint32   `json:"job,omitempty"`
 	Spec *JobSpec `json:"spec,omitempty"`
+	// Session is the mux channel id of this attempt. A retried job keeps
+	// its Job id but runs each attempt on a fresh session id, so stragglers
+	// of a dead attempt can never leak into the rerun.
+	Session uint32 `json:"session,omitempty"`
+	// Ranks is the member set (real ranks) of the attempt's session; on a
+	// degraded fleet it names the survivors. Agents not listed ignore the
+	// open. Nil means the whole fleet.
+	Ranks []int `json:"ranks,omitempty"`
 }

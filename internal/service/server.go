@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -63,9 +64,10 @@ type Server struct {
 
 	nextID atomic.Uint32
 
-	mu       sync.Mutex
-	jobs     map[uint32]*Job
-	terminal []uint32 // eviction order of terminal jobs
+	mu        sync.Mutex
+	jobs      map[uint32]*Job
+	terminal  []uint32     // eviction order of terminal jobs
+	deadRanks map[int]bool // fleet ranks evicted after a peer-death verdict
 
 	closeOnce sync.Once
 }
@@ -89,9 +91,10 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: NewMetrics(),
-		jobs:    map[uint32]*Job{},
+		cfg:       cfg,
+		metrics:   NewMetrics(),
+		jobs:      map[uint32]*Job{},
+		deadRanks: map[int]bool{},
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	if cfg.Ep != nil && cfg.Ep.Size() > 1 {
@@ -105,6 +108,22 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.ctl = ctl
+		// Fleet degradation: when the transport declares an agent rank
+		// dead, evict it so new attempts session only the survivors. The
+		// departures of a deliberate shutdown are not evictions.
+		s.mux.OnPeerFailure(func(rank int, err error) {
+			if s.baseCtx.Err() != nil {
+				return
+			}
+			s.mu.Lock()
+			seen := s.deadRanks[rank]
+			s.deadRanks[rank] = true
+			s.mu.Unlock()
+			if !seen {
+				s.metrics.Evicted.Add(1)
+				s.cfg.Logf("fleet degraded: agent rank %d evicted: %v", rank, err)
+			}
+		})
 	}
 	s.pool = pulsar.NewPool(cfg.Threads, func(int) any { return kernels.NewWorkspace() })
 	s.pool.OnWait(s.metrics.ObserveWait) // park intervals feed the worker-wait histogram
@@ -121,6 +140,39 @@ func (s *Server) Ranks() int {
 		return 1
 	}
 	return s.cfg.Ep.Size()
+}
+
+// liveRanks returns the surviving fleet ranks (rank 0 plus every agent not
+// evicted), the member set of the next job session.
+func (s *Server) liveRanks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := []int{0}
+	for r := 1; r < s.cfg.Ep.Size(); r++ {
+		if !s.deadRanks[r] {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// AgentsLive returns the number of fleet ranks still alive (including the
+// server's own rank); 1 when standalone.
+func (s *Server) AgentsLive() int {
+	if s.mux == nil {
+		return 1
+	}
+	return len(s.liveRanks())
+}
+
+// Degraded reports whether any fleet agent has been evicted.
+func (s *Server) Degraded() bool {
+	if s.mux == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deadRanks) > 0
 }
 
 // Submit validates and admits a job. The returned job is queryable via Get
@@ -180,14 +232,20 @@ func (s *Server) Get(id uint32) (*Job, error) {
 func (s *Server) runJob(j *Job) {
 	var ep transport.Endpoint
 	stopRelay := func() bool { return false }
-	if s.mux != nil {
-		jep, err := s.mux.Open(j.ID)
+	if s.mux != nil && len(s.liveRanks()) > 1 {
+		members := s.liveRanks()
+		// Every attempt gets a fresh session id from the same monotonic
+		// space as job ids, so a retried job can never collide with the
+		// mux channel of its own dead attempt; on a degraded fleet the
+		// session spans only the survivors.
+		sid := s.nextID.Add(1)
+		jep, err := s.mux.OpenOn(sid, members)
 		if err != nil {
 			s.fail(j, fmt.Sprintf("open job channel: %v", err))
 			return
 		}
 		defer jep.Close()
-		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Spec: &j.Spec})
+		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Session: sid, Ranks: members, Spec: &j.Spec})
 		// Cancellation must be collective: relay it to the agents AND fail
 		// this rank's job session. Closing jep fails its barrier state, so
 		// a rank whose local share finished before the cancel — already
@@ -232,12 +290,37 @@ func (s *Server) runJob(j *Job) {
 	f, err := qr.FactorizeVSAServe(j.ctx, a, nil, opts, rc, ep, s.pool)
 	elapsed := time.Since(start)
 	if err != nil {
-		if j.ctx.Err() != nil {
+		switch {
+		case j.ctx.Err() != nil:
 			if j.finish(StateCanceled, "", nil) {
 				s.metrics.Canceled.Add(1)
 				s.cfg.Logf("job %d canceled after %v", j.ID, elapsed)
 			}
-		} else {
+		case peerDeath(err, ep) && j.Attempts() < j.Spec.MaxRetries && j.requeue():
+			// The attempt died with a fleet rank, not on its own merits:
+			// requeue onto whatever fleet survives, with backoff doubling
+			// per attempt. A cancel racing the retry wins (requeue false).
+			s.metrics.Requeued.Add(1)
+			// Reap the dead attempt's shares on the agents: the job is not
+			// canceled, but its old session is, and a rank whose share
+			// out-lived this one would otherwise idle in it until the
+			// retry's open arrived — or forever, if the retry never opens.
+			// Control sends are ordered, so this cannot overtake the
+			// retry's own open broadcast.
+			s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
+			attempt := j.Attempts()
+			backoff := time.Duration(j.Spec.RetryBackoffMS) * time.Millisecond
+			if backoff <= 0 {
+				backoff = 100 * time.Millisecond
+			}
+			backoff <<= attempt - 1
+			s.cfg.Logf("job %d attempt %d lost a fleet rank (%v); requeueing in %v", j.ID, attempt, err, backoff)
+			time.AfterFunc(backoff, func() {
+				if err := s.mgr.Submit(j); err != nil {
+					s.fail(j, fmt.Sprintf("requeue after fleet failure: %v", err))
+				}
+			})
+		default:
 			s.fail(j, err.Error())
 		}
 		return
@@ -287,6 +370,20 @@ func (s *Server) storeTrace(j *Job, ep transport.Endpoint, rec *trace.Recorder) 
 		s.metrics.TraceDrops.Add(sh.Drops)
 	}
 	j.setTrace(shards)
+}
+
+// peerDeath reports whether a run error traces back to a dead fleet rank —
+// either the error chain carries the transport's verdict, or the job's
+// session observed a member die while the run unwound with a broader error.
+func peerDeath(err error, ep transport.Endpoint) bool {
+	var pde *transport.PeerDeathError
+	if errors.As(err, &pde) {
+		return true
+	}
+	if fo, ok := ep.(transport.FailureObserver); ok && fo.PeerFailure() != nil {
+		return true
+	}
+	return false
 }
 
 func (s *Server) fail(j *Job, msg string) {
@@ -361,6 +458,12 @@ func (s *Server) writeTransportProm(w io.Writer) {
 		fmt.Fprintf(w, "# HELP qrserve_transport_barrier_wait_seconds_total Seconds spent waiting in collective barriers.\n# TYPE qrserve_transport_barrier_wait_seconds_total counter\nqrserve_transport_barrier_wait_seconds_total %g\n", bs.Wait.Seconds())
 	}
 	if s.mux != nil {
+		degraded := 0
+		if s.Degraded() {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# HELP qrserve_fleet_ranks_live Fleet ranks still alive (server included).\n# TYPE qrserve_fleet_ranks_live gauge\nqrserve_fleet_ranks_live %d\n", s.AgentsLive())
+		fmt.Fprintf(w, "# HELP qrserve_fleet_degraded Whether any fleet agent has been evicted (0/1).\n# TYPE qrserve_fleet_degraded gauge\nqrserve_fleet_degraded %d\n", degraded)
 		open, pending, backlog := s.mux.Depths()
 		fmt.Fprintf(w, "# HELP qrserve_mux_jobs_open Mux job channels currently open.\n# TYPE qrserve_mux_jobs_open gauge\nqrserve_mux_jobs_open %d\n", open)
 		fmt.Fprintf(w, "# HELP qrserve_mux_pending_messages Messages parked for not-yet-open mux channels.\n# TYPE qrserve_mux_pending_messages gauge\nqrserve_mux_pending_messages %d\n", pending)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,20 +26,28 @@ import (
 // starts a job before its peers heard about it. Messages for a closed job
 // are dropped (the dead letters of a canceled run).
 //
-// Limitation: a Mux cannot observe the departure of a single peer (the
-// underlying wildcard receive outlives it), so a fleet member dying mid-job
-// surfaces as the job's deadlock timeout, not an immediate error. Process
-// supervision handles fleet membership; the Mux handles job traffic.
+// A job need not span the whole fleet: OpenOn builds a session over any
+// subset of the real ranks, with its own dense virtual rank space — the
+// mechanism that lets a degraded fleet keep running jobs on the survivors.
+//
+// When the underlying endpoint reports peer deaths (FailureObserver, as
+// the TCP substrate does), the Mux fans each death out to every open job
+// session: the dead member's receives cancel, its barriers depart, and the
+// session's own FailureObserver surface carries the cause — so a fleet
+// member dying mid-job surfaces as an immediate, attributable error rather
+// than the job's deadlock timeout.
 type Mux struct {
 	ep Endpoint
 
-	mu       sync.Mutex
-	jobs     map[uint32]*JobEndpoint
-	pending  map[uint32][]muxMsg
-	closedJ  map[uint32]bool // closed ids at/above closedLo, compacted as the watermark advances
-	closedLo uint32          // every id below it is closed or currently open (in jobs)
-	closed   bool
-	cur      Request // outstanding pump receive, canceled on Close
+	mu        sync.Mutex
+	jobs      map[uint32]*JobEndpoint
+	pending   map[uint32][]muxMsg
+	closedJ   map[uint32]bool // closed ids at/above closedLo, compacted as the watermark advances
+	closedLo  uint32          // every id below it is closed or currently open (in jobs)
+	closed    bool
+	cur       Request       // outstanding pump receive, canceled on Close
+	deadPeers map[int]error // real ranks reported dead by the underlying endpoint
+	failFns   []func(rank int, err error)
 
 	wg sync.WaitGroup
 }
@@ -50,6 +59,7 @@ const (
 	muxData           byte = 0
 	muxBarrierEnter   byte = 1
 	muxBarrierRelease byte = 2
+	muxBarrierAbort   byte = 3
 )
 
 type muxMsg struct {
@@ -66,41 +76,161 @@ var errJobClosed = errors.New("transport: job endpoint closed")
 // open job; the underlying endpoint remains the caller's to close.
 func NewMux(ep Endpoint) *Mux {
 	m := &Mux{
-		ep:      ep,
-		jobs:    map[uint32]*JobEndpoint{},
-		pending: map[uint32][]muxMsg{},
-		closedJ: map[uint32]bool{},
+		ep:        ep,
+		jobs:      map[uint32]*JobEndpoint{},
+		pending:   map[uint32][]muxMsg{},
+		closedJ:   map[uint32]bool{},
+		deadPeers: map[int]error{},
+	}
+	if fo, ok := ep.(FailureObserver); ok {
+		fo.OnPeerFailure(m.peerFailed)
 	}
 	m.wg.Add(1)
 	go m.pump()
 	return m
 }
 
-// Open creates the virtual endpoint for job. Opening an already-open or
-// already-closed job id is an error: ids identify one job's lifetime.
-func (m *Mux) Open(job uint32) (*JobEndpoint, error) {
+// peerFailed is the underlying endpoint's death report: record it (so
+// sessions opened later start degraded), fan it out to every open job
+// session, and notify the Mux's own observers (the service's fleet
+// manager).
+func (m *Mux) peerFailed(rank int, err error) {
+	m.mu.Lock()
+	if _, seen := m.deadPeers[rank]; seen {
+		m.mu.Unlock()
+		return
+	}
+	m.deadPeers[rank] = err
+	jobs := make([]*JobEndpoint, 0, len(m.jobs))
+	for _, e := range m.jobs {
+		jobs = append(jobs, e)
+	}
+	fns := append([]func(rank int, err error){}, m.failFns...)
+	m.mu.Unlock()
+	for _, e := range jobs {
+		e.peerFailed(rank, err)
+	}
+	for _, fn := range fns {
+		fn(rank, err)
+	}
+}
+
+// OnPeerFailure registers a fleet-level observer for peer deaths reported
+// by the underlying endpoint; nil unregisters all.
+func (m *Mux) OnPeerFailure(fn func(rank int, err error)) {
+	m.mu.Lock()
+	if fn == nil {
+		m.failFns = nil
+	} else {
+		m.failFns = append(m.failFns, fn)
+	}
+	m.mu.Unlock()
+}
+
+// PeerFailure returns the first fleet-level peer death observed, or nil.
+func (m *Mux) PeerFailure() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for _, err := range m.deadPeers {
+		return err
+	}
+	return nil
+}
+
+// DeadPeers returns the real ranks the underlying endpoint has reported
+// dead, in ascending order.
+func (m *Mux) DeadPeers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.deadPeers))
+	for r := range m.deadPeers {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Open creates the virtual endpoint for job, spanning every rank of the
+// underlying endpoint. Opening an already-open or already-closed job id is
+// an error: ids identify one job's lifetime.
+func (m *Mux) Open(job uint32) (*JobEndpoint, error) {
+	all := make([]int, m.ep.Size())
+	for i := range all {
+		all[i] = i
+	}
+	return m.OpenOn(job, all)
+}
+
+// OpenOn creates the virtual endpoint for job over a subset of the real
+// ranks. The session has its own dense rank space: member ranks[i] is
+// virtual rank i (ranks are sorted first), Size() is len(ranks), and every
+// member must open the job with the same member set. The calling process's
+// real rank must be a member. Traffic from non-members is dropped.
+func (m *Mux) OpenOn(job uint32, ranks []int) (*JobEndpoint, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("transport: job %d: empty member set", job)
+	}
+	members := append([]int(nil), ranks...)
+	sort.Ints(members)
+	size := m.ep.Size()
+	vrank := make([]int, size)
+	for i := range vrank {
+		vrank[i] = -1
+	}
+	for v, r := range members {
+		if r < 0 || r >= size {
+			return nil, fmt.Errorf("transport: job %d: member rank %d out of world of %d", job, r, size)
+		}
+		if vrank[r] != -1 {
+			return nil, fmt.Errorf("transport: job %d: duplicate member rank %d", job, r)
+		}
+		vrank[r] = v
+	}
+	self := vrank[m.ep.Rank()]
+	if self < 0 {
+		return nil, fmt.Errorf("transport: job %d: own rank %d not in member set %v", job, m.ep.Rank(), ranks)
+	}
+
+	m.mu.Lock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, errClosed
 	}
 	if _, ok := m.jobs[job]; ok {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("transport: job %d already open", job)
 	}
 	if m.closedJ[job] || job < m.closedLo {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("transport: job %d already closed", job)
 	}
 	e := &JobEndpoint{
-		mux: m,
-		job: job,
-		mb:  newMailbox(m.ep.Size()),
-		bar: newBarrierState(m.ep.Size()),
+		mux:     m,
+		job:     job,
+		members: members,
+		vrank:   vrank,
+		self:    self,
+		dead:    map[int]error{},
+		mb:      newMailbox(len(members)),
+		bar:     newBarrierState(len(members)),
 	}
 	m.jobs[job] = e
-	for _, msg := range m.pending[job] {
+	buffered := m.pending[job]
+	delete(m.pending, job)
+	deadNow := make(map[int]error, len(m.deadPeers))
+	for r, err := range m.deadPeers {
+		deadNow[r] = err
+	}
+	m.mu.Unlock()
+
+	for _, msg := range buffered {
 		e.dispatch(msg)
 	}
-	delete(m.pending, job)
+	// A session opened on an already-degraded fleet starts with the dead
+	// members departed, exactly as if they died a moment later.
+	for r, err := range deadNow {
+		e.peerFailed(r, err)
+	}
 	return e, nil
 }
 
@@ -229,12 +359,22 @@ func (m *Mux) compact() {
 
 // JobEndpoint is one job's virtual rank endpoint over a Mux. It implements
 // Endpoint; the runtime's proxy and the gather path use it exactly like a
-// dedicated communicator.
+// dedicated communicator. Ranks are virtual: member i of the session's
+// (sorted) member set is rank i, whatever its real rank in the fleet.
 type JobEndpoint struct {
-	mux *Mux
-	job uint32
+	mux     *Mux
+	job     uint32
+	members []int // virtual rank → real rank
+	vrank   []int // real rank → virtual rank, -1 for non-members
+	self    int   // own virtual rank
+
 	mb  *mailbox
 	bar *barrierState
+
+	failMu    sync.Mutex
+	dead      map[int]error // virtual rank → death cause
+	firstFail error
+	failFns   []func(rank int, err error)
 
 	closed    atomic.Bool
 	msgs      atomic.Int64
@@ -245,16 +385,71 @@ type JobEndpoint struct {
 }
 
 func (e *JobEndpoint) dispatch(msg muxMsg) {
+	src := e.vrank[msg.source]
+	if src < 0 {
+		return // not a member of this session
+	}
 	switch msg.kind {
 	case muxData:
 		e.recvMsgs.Add(1)
 		e.recvBytes.Add(int64(len(msg.data)))
-		e.mb.push(envelope{source: msg.source, tag: msg.tag, data: msg.data})
+		e.mb.push(envelope{source: src, tag: msg.tag, data: msg.data})
 	case muxBarrierEnter:
-		e.bar.handle(msg.source, msg.tag, BarrierEnter)
+		e.bar.handle(src, msg.tag, BarrierEnter)
 	case muxBarrierRelease:
-		e.bar.handle(msg.source, msg.tag, BarrierRelease)
+		e.bar.handle(src, msg.tag, BarrierRelease)
+	case muxBarrierAbort:
+		e.bar.handle(src, msg.tag, BarrierAbort)
 	}
+}
+
+// peerFailed departs one real rank from this session: its receives cancel,
+// its barriers stop waiting for it, and the session's failure observers
+// hear about it (in virtual rank terms) exactly once.
+func (e *JobEndpoint) peerFailed(real int, err error) {
+	if real < 0 || real >= len(e.vrank) {
+		return
+	}
+	v := e.vrank[real]
+	if v < 0 || e.closed.Load() {
+		return
+	}
+	e.failMu.Lock()
+	if _, seen := e.dead[v]; seen {
+		e.failMu.Unlock()
+		return
+	}
+	e.dead[v] = err
+	if e.firstFail == nil {
+		e.firstFail = err
+	}
+	fns := append([]func(rank int, err error){}, e.failFns...)
+	e.failMu.Unlock()
+	e.bar.depart(v, fmt.Errorf("transport: job %d member %d (rank %d) is gone: %w", e.job, v, real, err))
+	e.mb.depart(v)
+	for _, fn := range fns {
+		fn(v, err)
+	}
+}
+
+// OnPeerFailure registers a callback for member deaths within this
+// session (virtual ranks); nil unregisters all. Part of FailureObserver.
+func (e *JobEndpoint) OnPeerFailure(fn func(rank int, err error)) {
+	e.failMu.Lock()
+	if fn == nil {
+		e.failFns = nil
+	} else {
+		e.failFns = append(e.failFns, fn)
+	}
+	e.failMu.Unlock()
+}
+
+// PeerFailure returns the first member death observed in this session, or
+// nil while every member is healthy.
+func (e *JobEndpoint) PeerFailure() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.firstFail
 }
 
 func (e *JobEndpoint) fail() {
@@ -265,8 +460,14 @@ func (e *JobEndpoint) fail() {
 // Job returns the job id this endpoint serves.
 func (e *JobEndpoint) Job() uint32 { return e.job }
 
-func (e *JobEndpoint) Rank() int { return e.mux.ep.Rank() }
-func (e *JobEndpoint) Size() int { return e.mux.ep.Size() }
+// Members returns the session's member set: real rank Members()[i] is
+// virtual rank i.
+func (e *JobEndpoint) Members() []int {
+	return append([]int(nil), e.members...)
+}
+
+func (e *JobEndpoint) Rank() int { return e.self }
+func (e *JobEndpoint) Size() int { return len(e.members) }
 
 func (e *JobEndpoint) OnArrival(fn func()) { e.mb.setNotify(fn) }
 
@@ -287,13 +488,14 @@ func (e *JobEndpoint) Backlog() int { return e.mb.depth() }
 // total wait.
 func (e *JobEndpoint) BarrierStats() BarrierStats { return e.barT.stats() }
 
-// send wraps payload in the muxed header and ships it on the real endpoint.
+// send wraps payload in the muxed header and ships it on the real endpoint,
+// translating the virtual destination to its real rank.
 func (e *JobEndpoint) send(kind byte, data []byte, dest, tag int) {
 	buf := make([]byte, muxHeaderLen+len(data))
 	binary.BigEndian.PutUint32(buf, e.job)
 	buf[4] = kind
 	copy(buf[muxHeaderLen:], data)
-	e.mux.ep.Isend(buf, dest, tag)
+	e.mux.ep.Isend(buf, e.members[dest], tag)
 }
 
 // Isend sends data to dest with the given tag within this job. Payloads are
@@ -301,6 +503,9 @@ func (e *JobEndpoint) send(kind byte, data []byte, dest, tag int) {
 // contract. Sends on a closed job endpoint are dropped (a canceled job's
 // stragglers).
 func (e *JobEndpoint) Isend(data []byte, dest, tag int) Request {
+	if dest < 0 || dest >= len(e.members) {
+		panic(fmt.Sprintf("transport: job %d Isend to rank %d out of session of %d", e.job, dest, len(e.members)))
+	}
 	if !e.closed.Load() {
 		e.msgs.Add(1)
 		e.bytes.Add(int64(len(data)))
@@ -320,7 +525,9 @@ func (e *JobEndpoint) Irecv(source, tag int) Request {
 // same centralized generation protocol as the TCP transport but carried in
 // muxed control messages: every rank reports to rank 0, which releases all.
 // The per-job generation counters line up because Barrier is collective
-// within the job.
+// within the job. Like the TCP barrier it is departure-aware: a member
+// reported dead fails the barriers it never entered, with the death as the
+// cause, instead of hanging until a timeout.
 func (e *JobEndpoint) Barrier() error {
 	start := time.Now()
 	err := e.barrier()
@@ -343,18 +550,30 @@ func (e *JobEndpoint) barrier() error {
 		return nil
 	}
 
-	if e.Rank() == 0 {
+	if e.self == 0 {
 		b.mu.Lock()
-		for len(b.entered[gen]) < size-1 && b.err == nil {
+		for len(b.entered[gen]) < size-1 && b.err == nil && b.missingLocked(gen) < 0 {
 			b.cond.Wait()
 		}
+		// A completed generation wins over a concurrent failure or
+		// departure (a member may have entered just before dying).
 		var err error
 		if len(b.entered[gen]) < size-1 {
-			err = b.err
+			if b.err != nil {
+				err = b.err
+			} else if j := b.missingLocked(gen); j >= 0 {
+				err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[j])
+			}
 		}
 		delete(b.entered, gen)
 		b.mu.Unlock()
 		if err != nil {
+			// The generation can never complete; tell the members already
+			// waiting in it so they fail alongside rank 0 instead of
+			// holding out for a release that will not come.
+			for j := 1; j < size; j++ {
+				e.send(muxBarrierAbort, nil, j, gen)
+			}
 			return err
 		}
 		for j := 1; j < size; j++ {
@@ -365,14 +584,25 @@ func (e *JobEndpoint) barrier() error {
 
 	e.send(muxBarrierEnter, nil, 0, gen)
 	b.mu.Lock()
-	for !b.released[gen] && b.err == nil {
+	for !b.released[gen] && !b.aborted[gen] && b.err == nil && !b.departed[0] {
 		b.cond.Wait()
 	}
+	// A release already received wins over a concurrent failure or abort.
 	var err error
 	if !b.released[gen] {
-		err = b.err
+		switch {
+		case b.err != nil:
+			err = b.err
+		case b.departed[0]:
+			err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[0])
+		case b.departedLocked() >= 0:
+			err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[b.departedLocked()])
+		default:
+			err = fmt.Errorf("transport: barrier aborted by rank 0: a member departed before entering")
+		}
 	}
 	delete(b.released, gen)
+	delete(b.aborted, gen)
 	b.mu.Unlock()
 	return err
 }

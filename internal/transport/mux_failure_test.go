@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMuxOpenOnSubsetSession: a session over ranks {0,2,3} of a 4-rank
+// world runs with contiguous virtual ranks 0..2 — sends, wildcard receives
+// and the per-job barrier all speak virtual ids, and the non-member rank
+// never sees a byte of it.
+func TestMuxOpenOnSubsetSession(t *testing.T) {
+	l := NewLocal(4)
+	members := []int{0, 2, 3}
+	muxes := make(map[int]*Mux)
+	jobs := make(map[int]*JobEndpoint)
+	for _, r := range members {
+		muxes[r] = NewMux(l.Endpoint(r))
+		jep, err := muxes[r].OpenOn(9, members)
+		if err != nil {
+			t.Fatalf("rank %d OpenOn: %v", r, err)
+		}
+		jobs[r] = jep
+	}
+	defer func() {
+		for _, r := range members {
+			jobs[r].Close()
+			muxes[r].Close()
+		}
+	}()
+
+	for v, r := range members {
+		if got := jobs[r].Rank(); got != v {
+			t.Fatalf("real rank %d got virtual rank %d, want %d", r, got, v)
+		}
+		if got := jobs[r].Size(); got != len(members) {
+			t.Fatalf("session size %d, want %d", got, len(members))
+		}
+		m := jobs[r].Members()
+		for i := range members {
+			if m[i] != members[i] {
+				t.Fatalf("rank %d Members() = %v, want %v", r, m, members)
+			}
+		}
+	}
+
+	// A ring over virtual ranks: v sends to (v+1)%3, receives from (v+2)%3.
+	var wg sync.WaitGroup
+	for v, r := range members {
+		wg.Add(1)
+		go func(v, r int) {
+			defer wg.Done()
+			jep := jobs[r]
+			jep.Isend([]byte{byte(10 + v)}, (v+1)%3, 5)
+			req := jep.Irecv(Any, 5)
+			req.Wait()
+			wantSrc := (v + 2) % 3
+			if req.Canceled() || req.Source() != wantSrc || req.Data()[0] != byte(10+wantSrc) {
+				t.Errorf("virtual rank %d: got %d from %d, want %d from %d",
+					v, req.Data()[0], req.Source(), 10+wantSrc, wantSrc)
+			}
+			if err := jep.Barrier(); err != nil {
+				t.Errorf("virtual rank %d barrier: %v", v, err)
+			}
+		}(v, r)
+	}
+	wg.Wait()
+}
+
+func TestMuxOpenOnValidation(t *testing.T) {
+	l := NewLocal(3)
+	m := NewMux(l.Endpoint(1))
+	defer m.Close()
+	cases := []struct {
+		name  string
+		ranks []int
+	}{
+		{"empty", nil},
+		{"duplicate", []int{0, 1, 1}},
+		{"out of range", []int{0, 1, 7}},
+		{"negative", []int{-1, 1}},
+		{"self not a member", []int{0, 2}},
+	}
+	for _, tc := range cases {
+		if _, err := m.OpenOn(3, tc.ranks); err == nil {
+			t.Errorf("OpenOn(%s: %v) accepted", tc.name, tc.ranks)
+		}
+	}
+	// A valid subset still opens after the rejections.
+	jep, err := m.OpenOn(3, []int{1, 2})
+	if err != nil {
+		t.Fatalf("valid OpenOn rejected: %v", err)
+	}
+	jep.Close()
+}
+
+// TestMuxFailureFanout: when the transport declares a peer dead, every open
+// job session observes the death — posted receives cancel, barriers error,
+// PeerFailure reports the cause in virtual coordinates — and the mux-level
+// observer fires for fleet bookkeeping.
+func TestMuxFailureFanout(t *testing.T) {
+	// Three ranks, one death: the survivors' link keeps the fleet (and the
+	// mux pump) alive, as in a real degraded service fleet.
+	eps := newTCPMesh(t, 3)
+	m0 := NewMux(eps[0])
+	defer m0.Close()
+	jep, err := m0.Open(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jep.Close()
+
+	fleetDeaths := make(chan int, 2)
+	m0.OnPeerFailure(func(rank int, err error) { fleetDeaths <- rank })
+	jobDeaths := make(chan error, 2)
+	jep.OnPeerFailure(func(rank int, err error) {
+		if rank != 1 {
+			t.Errorf("job observer got virtual rank %d, want 1", rank)
+		}
+		jobDeaths <- err
+	})
+	pending := jep.Irecv(1, 3)
+
+	eps[1].(Crasher).Crash()
+
+	select {
+	case err := <-jobDeaths:
+		var pde *PeerDeathError
+		if !errors.As(err, &pde) {
+			t.Fatalf("job death %v does not carry PeerDeathError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job session never observed the peer death")
+	}
+	select {
+	case rank := <-fleetDeaths:
+		if rank != 1 {
+			t.Fatalf("fleet observer reported rank %d, want 1", rank)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mux-level observer never fired")
+	}
+	pending.Wait()
+	if !pending.Canceled() {
+		t.Fatal("receive from the dead member did not cancel")
+	}
+	if jep.PeerFailure() == nil {
+		t.Fatal("JobEndpoint.PeerFailure still nil after the death")
+	}
+	if err := jep.Barrier(); err == nil {
+		t.Fatal("barrier with a dead member reported success")
+	}
+	if dead := m0.DeadPeers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadPeers() = %v, want [1]", dead)
+	}
+
+	// Sessions opened on the already-degraded fleet inherit the verdict
+	// instead of waiting for a death that already happened.
+	late, err := m0.Open(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for late.PeerFailure() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("session opened on a degraded fleet never saw the standing death")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

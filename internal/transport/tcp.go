@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,8 +30,35 @@ type TCPConfig struct {
 	// WriteTimeout bounds each frame write so a wedged peer cannot block a
 	// writer forever. Default 30s.
 	WriteTimeout time.Duration
+	// Reconnect, when positive, turns on transparent link repair: a
+	// connection that breaks without the clean-shutdown bye is redialed
+	// with capped exponential backoff plus jitter for up to this long, and
+	// unacknowledged frames are re-sent from a bounded window, so a
+	// transient link drop is invisible above the Endpoint surface. Only
+	// past the budget is the peer declared dead (a *PeerDeathError reaches
+	// the FailureObserver callbacks). Every rank of a mesh must agree on
+	// whether Reconnect is on: the acknowledgement stream that resend
+	// depends on is only produced by reconnect-enabled receivers. Zero
+	// (the default) keeps the original semantics — any connection loss is
+	// an immediate departure — and changes nothing on the wire.
+	Reconnect time.Duration
+	// ReconnectBackoff is the initial delay between redial attempts after
+	// an established link broke; it doubles, with jitter, up to 1s.
+	// Default 10ms.
+	ReconnectBackoff time.Duration
+	// HeartbeatInterval, when positive, sends a heartbeat frame on every
+	// link idle for that long, and drives the dead-peer monitor.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a peer dead when nothing — data, barrier
+	// or heartbeat traffic — arrived from it for this long. Zero takes
+	// 4×HeartbeatInterval; ignored when HeartbeatInterval is zero.
+	HeartbeatTimeout time.Duration
+	// UnackedWindow bounds the frames retained per link for re-send while
+	// Reconnect is on; overflowing it (acks not arriving for a whole
+	// window) fails the link as dead. Default 4096.
+	UnackedWindow int
 	// Logf, when non-nil, receives diagnostic messages (dropped stray
-	// connections, write failures).
+	// connections, write failures, link repairs).
 	Logf func(format string, args ...any)
 }
 
@@ -43,6 +72,15 @@ func (cfg TCPConfig) withDefaults() TCPConfig {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 30 * time.Second
 	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 4 * cfg.HeartbeatInterval
+	}
+	if cfg.UnackedWindow <= 0 {
+		cfg.UnackedWindow = 4096
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -51,10 +89,15 @@ func (cfg TCPConfig) withDefaults() TCPConfig {
 
 var errClosed = errors.New("transport: endpoint closed")
 
+// ackEvery is the acknowledgement cadence of a reconnect-enabled receiver:
+// one cumulative FrameAck per this many received frames.
+const ackEvery = 32
+
 // framePool recycles outbound data-frame buffers: Isend fills one per
 // message and the peer's writer goroutine returns it once the bytes are on
-// the wire. Frames dropped during shutdown or on a write error are simply
-// left to the garbage collector.
+// the wire (or, in reconnect mode, once the receiver acknowledged them).
+// Frames dropped during shutdown or on a write error are simply left to the
+// garbage collector.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
 
 // DialTCP joins the TCP communicator described by cfg: it listens on its
@@ -62,6 +105,9 @@ var framePool = sync.Pool{New: func() any { return new([]byte) }}
 // peer has dialed in, so the full mesh is up when it returns. Each ordered
 // rank pair (i → j) uses one dedicated connection carrying i's frames to j;
 // the dialing side writes, the accepting side reads — see docs/TRANSPORT.md.
+// With cfg.Reconnect set the accepting side also writes acknowledgement
+// frames back on the same connection, which is what lets a redialing peer
+// resume exactly where the broken connection left off.
 func DialTCP(cfg TCPConfig) (Endpoint, error) {
 	cfg = cfg.withDefaults()
 	size := len(cfg.Peers)
@@ -85,13 +131,26 @@ func DialTCP(cfg TCPConfig) (Endpoint, error) {
 		rank:         cfg.Rank,
 		size:         size,
 		ln:           ln,
+		peerAddrs:    append([]string(nil), cfg.Peers...),
 		writeTimeout: cfg.WriteTimeout,
+		reconnect:    cfg.Reconnect,
+		reconBackoff: cfg.ReconnectBackoff,
+		hbInterval:   cfg.HeartbeatInterval,
+		hbTimeout:    cfg.HeartbeatTimeout,
+		window:       cfg.UnackedWindow,
 		logf:         cfg.Logf,
 		mb:           newMailbox(size),
 		bar:          newBarrierState(size),
 		peers:        make([]*peerLink, size),
 		links:        make([]linkCtrs, size),
+		rxCnt:        make([]atomic.Int64, size),
+		lastRecv:     make([]atomic.Int64, size),
 		helloSeen:    make([]bool, size),
+		sawBye:       make([]atomic.Bool, size),
+		deadPeer:     make([]bool, size),
+		inStates:     make([]*inConnState, size),
+		deadTimers:   make(map[int]*time.Timer),
+		stopHB:       make(chan struct{}),
 	}
 	ep.helloCond = sync.NewCond(&ep.connMu)
 	ep.wg.Add(1)
@@ -149,12 +208,21 @@ func DialTCP(cfg TCPConfig) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: rank %d rendezvous timed out after %v waiting for ranks %v",
 			cfg.Rank, cfg.RendezvousTimeout, missing)
 	}
+	if ep.hbInterval > 0 {
+		now := time.Now().UnixNano()
+		for j := range ep.lastRecv {
+			ep.lastRecv[j].Store(now) // silence counts from mesh-up, not epoch
+		}
+		ep.wg.Add(1)
+		go ep.heartbeatLoop()
+	}
 	return ep, nil
 }
 
 // dialPeer establishes the outbound connection to one peer, retrying with
 // exponential backoff until the deadline, then sends the hello frame and
-// starts the peer's writer goroutine.
+// starts the peer's writer goroutine (and, in reconnect mode, the ack
+// reader for the connection's reverse direction).
 func (ep *tcpEndpoint) dialPeer(j int, addr string, backoff time.Duration, deadline time.Time) error {
 	const maxBackoff = time.Second
 	var lastErr error
@@ -183,6 +251,13 @@ func (ep *tcpEndpoint) dialPeer(j int, addr string, backoff time.Duration, deadl
 					defer ep.wg.Done()
 					ep.writeLoop(j, p)
 				}()
+				if ep.reconnect > 0 {
+					ep.wg.Add(1)
+					go func() {
+						defer ep.wg.Done()
+						ep.ackLoop(p, conn)
+					}()
+				}
 				return nil
 			}
 			conn.Close()
@@ -203,7 +278,13 @@ func (ep *tcpEndpoint) dialPeer(j int, addr string, backoff time.Duration, deadl
 type tcpEndpoint struct {
 	rank, size   int
 	ln           net.Listener
+	peerAddrs    []string
 	writeTimeout time.Duration
+	reconnect    time.Duration
+	reconBackoff time.Duration
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	window       int
 	logf         func(string, ...any)
 
 	mb  *mailbox
@@ -217,15 +298,38 @@ type tcpEndpoint struct {
 	helloSeen    []bool
 	helloCnt     int
 	helloExpired bool
+	inStates     []*inConnState      // per-src inbound connection ownership
+	deadTimers   map[int]*time.Timer // pending dead-peer verdicts awaiting a re-hello
+
+	failMu    sync.Mutex
+	failFns   []func(rank int, err error)
+	firstFail error
+	deadPeer  []bool
+
+	sawBye []atomic.Bool // peers that announced a clean shutdown
 
 	closed    atomic.Bool
 	closeOnce sync.Once
+	hbOnce    sync.Once
+	stopHB    chan struct{}
 	wg        sync.WaitGroup
 
-	msgs  atomic.Int64
-	bytes atomic.Int64
-	links []linkCtrs // per-peer traffic counters, indexed by rank
-	barT  barrierCtrs
+	msgs     atomic.Int64
+	bytes    atomic.Int64
+	links    []linkCtrs     // per-peer traffic counters, indexed by rank
+	rxCnt    []atomic.Int64 // per-peer cumulative received stream frames (ack protocol)
+	lastRecv []atomic.Int64 // per-peer unixnano of the last arrival (heartbeat monitor)
+	barT     barrierCtrs
+}
+
+// inConnState serializes ownership of the inbound connection from one
+// source rank: a re-hello closes the previous connection and waits for its
+// reader to drain before the new one reports a resume point, so the
+// cumulative receive count can never miss frames still buffered in a dying
+// connection.
+type inConnState struct {
+	conn net.Conn
+	done chan struct{}
 }
 
 func (ep *tcpEndpoint) Rank() int { return ep.rank }
@@ -235,6 +339,31 @@ func (ep *tcpEndpoint) OnArrival(fn func()) { ep.mb.setNotify(fn) }
 
 func (ep *tcpEndpoint) Stats() (messages, bytes int64) {
 	return ep.msgs.Load(), ep.bytes.Load()
+}
+
+// OnPeerFailure registers a callback invoked when a peer rank departs; nil
+// unregisters all callbacks. Part of the FailureObserver surface.
+func (ep *tcpEndpoint) OnPeerFailure(fn func(rank int, err error)) {
+	ep.failMu.Lock()
+	if fn == nil {
+		ep.failFns = nil
+	} else {
+		ep.failFns = append(ep.failFns, fn)
+	}
+	ep.failMu.Unlock()
+}
+
+// PeerFailure returns the first peer departure observed, or nil.
+func (ep *tcpEndpoint) PeerFailure() error {
+	ep.failMu.Lock()
+	defer ep.failMu.Unlock()
+	return ep.firstFail
+}
+
+func (ep *tcpEndpoint) peerDead(j int) bool {
+	ep.failMu.Lock()
+	defer ep.failMu.Unlock()
+	return ep.deadPeer[j]
 }
 
 // Isend sends data to dest with the given tag. The payload is serialized
@@ -288,17 +417,37 @@ func (ep *tcpEndpoint) fail(err error) {
 	ep.mb.fail()
 }
 
-// peerLost records that a peer's connection ended (clean shutdown or
-// crash — TCP cannot tell them apart). Only operations that can no longer
+// peerLost records that a peer is gone — a clean shutdown, a crash, or a
+// reconnect/heartbeat budget exhausted. Only operations that can no longer
 // complete are failed: posted receives naming that source, and barrier
 // waits still missing that peer's participation. Everything else — data
 // already in flight from other peers, barrier releases already on the
 // wire — proceeds, which is what lets ranks shut down in their natural
-// staggered order.
+// staggered order. Registered FailureObserver callbacks fire exactly once
+// per peer, outside the locks.
 func (ep *tcpEndpoint) peerLost(src int, err error) {
+	var pde *PeerDeathError
+	if !errors.As(err, &pde) {
+		pde = &PeerDeathError{Rank: src, Err: err}
+	}
+	ep.failMu.Lock()
+	if ep.deadPeer[src] {
+		ep.failMu.Unlock()
+		return
+	}
+	ep.deadPeer[src] = true
+	if ep.firstFail == nil {
+		ep.firstFail = pde
+	}
+	fns := append([]func(rank int, err error){}, ep.failFns...)
+	ep.failMu.Unlock()
+
 	ep.logf("transport: rank %d lost peer %d: %v", ep.rank, src, err)
 	ep.bar.depart(src, fmt.Errorf("transport: rank %d is gone: %w", src, err))
 	ep.mb.depart(src)
+	for _, fn := range fns {
+		fn(src, pde)
+	}
 }
 
 func (ep *tcpEndpoint) acceptLoop() {
@@ -319,10 +468,72 @@ func (ep *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// claimInbound takes ownership of the inbound direction from src: the
+// previous connection (a broken one being replaced after a redial) is
+// closed and fully drained first, and any pending dead-peer verdict for
+// src is disarmed. It returns the done channel the owning reader must
+// close on exit.
+func (ep *tcpEndpoint) claimInbound(src int, conn net.Conn) chan struct{} {
+	done := make(chan struct{})
+	ep.connMu.Lock()
+	st := ep.inStates[src]
+	var prevConn net.Conn
+	var prevDone chan struct{}
+	if st != nil {
+		prevConn, prevDone = st.conn, st.done
+	}
+	ep.inStates[src] = &inConnState{conn: conn, done: done}
+	if t := ep.deadTimers[src]; t != nil {
+		t.Stop()
+		delete(ep.deadTimers, src)
+	}
+	ep.connMu.Unlock()
+	if prevConn != nil {
+		prevConn.Close()
+		<-prevDone
+	}
+	return done
+}
+
+// ownsInbound reports whether conn is still the registered inbound
+// connection from src (false once a re-hello replaced it).
+func (ep *tcpEndpoint) ownsInbound(src int, conn net.Conn) bool {
+	ep.connMu.Lock()
+	defer ep.connMu.Unlock()
+	return ep.inStates[src] != nil && ep.inStates[src].conn == conn
+}
+
+// armDeadVerdict schedules the dead-peer verdict for src: unless a
+// re-hello arrives within the reconnect budget, the peer is declared dead.
+func (ep *tcpEndpoint) armDeadVerdict(src int, cause error) {
+	ep.connMu.Lock()
+	defer ep.connMu.Unlock()
+	if ep.deadTimers[src] != nil || ep.closed.Load() {
+		return
+	}
+	ep.deadTimers[src] = time.AfterFunc(ep.reconnect, func() {
+		ep.peerLost(src, &PeerDeathError{Rank: src,
+			Err: fmt.Errorf("no reconnect within %v: %w", ep.reconnect, cause)})
+	})
+}
+
+// sendAck writes one cumulative acknowledgement for src's stream on the
+// reverse direction of its inbound connection. Failures are ignored: a
+// broken connection surfaces through its read side.
+func (ep *tcpEndpoint) sendAck(src int, conn net.Conn) {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], uint64(ep.rxCnt[src].Load()))
+	conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+	WriteFrame(conn, Frame{Type: FrameAck, Rank: ep.rank, Payload: payload[:]})
+	conn.SetWriteDeadline(time.Time{})
+}
+
 // readLoop serves one inbound connection: a hello frame identifies the
 // sender, then data frames are demultiplexed into the mailbox (where the
 // runtime's tag/source matching picks them up) and barrier frames into the
-// barrier state.
+// barrier state. In reconnect mode it also acknowledges the stream back to
+// the sender, and a dropped connection is held open for a re-hello (for up
+// to the reconnect budget) instead of immediately departing the peer.
 func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	f, err := ReadFrame(conn)
 	if err != nil || f.Type != FrameHello || f.Rank < 0 || f.Rank >= ep.size || f.Rank == ep.rank {
@@ -333,6 +544,8 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 		return
 	}
 	src := f.Rank
+	done := ep.claimInbound(src, conn)
+	defer close(done)
 	ep.connMu.Lock()
 	if !ep.helloSeen[src] {
 		ep.helloSeen[src] = true
@@ -340,19 +553,34 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	}
 	ep.connMu.Unlock()
 	ep.helloCond.Broadcast()
+	if ep.reconnect > 0 {
+		// The resume point: everything before it arrived, everything after
+		// it the (re)dialing sender must (re)send.
+		ep.sendAck(src, conn)
+	}
 
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
-			// End of stream: the peer shut down or crashed. That is a
-			// departure, not a communicator failure — ranks finishing at
-			// different times is the normal course of a run.
+			// End of stream. A peer that said bye (or a mesh without
+			// reconnect) is departing — the normal staggered course of a
+			// run. Otherwise the connection broke: hold the verdict for
+			// the reconnect budget so a redial can resume invisibly.
 			conn.Close()
-			if !ep.closed.Load() {
-				ep.peerLost(src, err)
+			if ep.closed.Load() {
+				return
 			}
+			if ep.reconnect > 0 && !ep.sawBye[src].Load() {
+				if ep.ownsInbound(src, conn) {
+					ep.logf("transport: rank %d: link from %d broke (%v), awaiting reconnect", ep.rank, src, err)
+					ep.armDeadVerdict(src, err)
+				}
+				return
+			}
+			ep.peerLost(src, err)
 			return
 		}
+		ep.lastRecv[src].Store(time.Now().UnixNano())
 		switch f.Type {
 		case FrameData:
 			if f.Rank != src {
@@ -372,16 +600,42 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 			ep.links[src].recvFrames.Add(1)
 			ep.links[src].recvBytes.Add(1)
 			ep.bar.handle(src, f.Tag, f.Payload[0])
+		case FrameBye:
+			ep.sawBye[src].Store(true)
+		case FrameHeartbeat:
+			// Liveness only; lastRecv above is the whole point.
 		default:
-			// Redundant hello: ignore.
+			// Redundant hello: ignore, and keep it out of the stream count.
+			continue
+		}
+		if n := ep.rxCnt[src].Add(1); ep.reconnect > 0 && n%ackEvery == 0 {
+			ep.sendAck(src, conn)
+		}
+	}
+}
+
+// ackLoop consumes the reverse direction of one outbound connection:
+// cumulative acknowledgement frames from the accepting side, pruning the
+// re-send window as they arrive. It exits when the connection dies; the
+// redial path reads its resume acknowledgement synchronously and then
+// starts a fresh ackLoop on the repaired connection.
+func (ep *tcpEndpoint) ackLoop(p *peerLink, conn net.Conn) {
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.Type == FrameAck && len(f.Payload) == 8 {
+			p.ackTo(int64(binary.BigEndian.Uint64(f.Payload)))
 		}
 	}
 }
 
 // writeLoop drains one peer's outbound queue onto its connection. On close
 // it flushes everything already queued before shutting the connection down
-// (graceful shutdown); on a write error it drops the queue and marks the
-// peer departed.
+// (graceful shutdown); on a write error it either repairs the link (redial
+// plus re-send of the unacknowledged window, when Reconnect is on) or
+// drops the queue and marks the peer departed.
 func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
 	for {
 		p.mu.Lock()
@@ -389,29 +643,166 @@ func (ep *tcpEndpoint) writeLoop(dst int, p *peerLink) {
 			p.cond.Wait()
 		}
 		if p.err != nil || (p.stopped && len(p.q) == 0) {
+			conn := p.conn
 			p.mu.Unlock()
-			p.conn.Close()
+			conn.Close()
 			return
 		}
 		batch := p.q
 		p.q = nil
+		conn := p.conn
 		p.mu.Unlock()
-		for _, b := range batch {
-			p.conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
-			if _, err := p.conn.Write(b.data); err != nil {
-				p.mu.Lock()
-				p.err = err
-				p.q = nil
-				p.mu.Unlock()
-				p.conn.Close()
-				if !ep.closed.Load() {
-					ep.peerLost(dst, fmt.Errorf("write: %w", err))
+		for i := 0; i < len(batch); i++ {
+			b := batch[i]
+			conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+			if _, err := conn.Write(b.data); err != nil {
+				if ep.reconnect > 0 && !ep.closed.Load() && !p.isStopped() {
+					if c, ok := ep.redial(dst, p, conn); ok {
+						conn = c
+						i-- // the failed frame rides the repaired link
+						continue
+					}
+					err = fmt.Errorf("reconnect budget %v exhausted: %w", ep.reconnect, err)
 				}
+				ep.dropLink(dst, p, err)
 				return
 			}
-			if b.owner != nil {
-				*b.owner = (*b.owner)[:0]
-				framePool.Put(b.owner)
+			if !p.recordWrite(b, ep.reconnect > 0, ep.window) {
+				ep.dropLink(dst, p, fmt.Errorf("unacked window overflow (%d frames, no acks)", ep.window))
+				return
+			}
+		}
+	}
+}
+
+// dropLink abandons the outbound link: the queue is dropped, the
+// connection closed, and the peer departed (unless the endpoint itself is
+// closing).
+func (ep *tcpEndpoint) dropLink(dst int, p *peerLink, err error) {
+	p.mu.Lock()
+	p.err = err
+	p.q = nil
+	conn := p.conn
+	p.mu.Unlock()
+	conn.Close()
+	if !ep.closed.Load() {
+		ep.peerLost(dst, fmt.Errorf("write: %w", err))
+	}
+}
+
+// redial repairs a broken outbound link: dial with capped exponential
+// backoff plus jitter until the reconnect budget runs out, re-hello, read
+// the receiver's resume acknowledgement, prune the window to it and
+// re-send the remainder. On success the repaired connection is installed
+// on the link (with a fresh ackLoop) and returned.
+func (ep *tcpEndpoint) redial(dst int, p *peerLink, old net.Conn) (net.Conn, bool) {
+	old.Close()
+	deadline := time.Now().Add(ep.reconnect)
+	backoff := ep.reconBackoff
+	const maxBackoff = time.Second
+	rng := rand.New(rand.NewSource(int64(ep.rank)<<20 ^ int64(dst) ^ time.Now().UnixNano()))
+	for attempt := 1; ; attempt++ {
+		if ep.closed.Load() || p.isStopped() || ep.peerDead(dst) {
+			return nil, false
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false
+		}
+		dialT := 2 * time.Second
+		if remaining < dialT {
+			dialT = remaining
+		}
+		conn, err := net.DialTimeout("tcp", ep.peerAddrs[dst], dialT)
+		if err == nil {
+			err = ep.resume(dst, p, conn)
+			if err == nil {
+				ep.logf("transport: rank %d repaired link to %d after %d attempt(s)", ep.rank, dst, attempt)
+				p.mu.Lock()
+				p.conn = conn
+				p.mu.Unlock()
+				ep.wg.Add(1)
+				go func() {
+					defer ep.wg.Done()
+					ep.ackLoop(p, conn)
+				}()
+				return conn, true
+			}
+			conn.Close()
+		}
+		// Capped exponential backoff with jitter so a whole fleet
+		// redialing one recovered rank does not stampede in lockstep.
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		if remaining := time.Until(deadline); sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// resume performs the re-hello handshake on a fresh connection: hello, then
+// the receiver's cumulative acknowledgement tells this side exactly which
+// suffix of the unacked window it never received; that suffix is re-sent
+// before regular queue traffic continues.
+func (ep *tcpEndpoint) resume(dst int, p *peerLink, conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+	if err := WriteFrame(conn, Frame{Type: FrameHello, Rank: ep.rank}); err != nil {
+		return fmt.Errorf("re-hello: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	f, err := ReadFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return fmt.Errorf("resume ack: %w", err)
+	}
+	if f.Type != FrameAck || len(f.Payload) != 8 {
+		return fmt.Errorf("resume handshake got frame type %d, want ack", f.Type)
+	}
+	p.ackTo(int64(binary.BigEndian.Uint64(f.Payload)))
+	for _, b := range p.unacked() {
+		conn.SetWriteDeadline(time.Now().Add(ep.writeTimeout))
+		if _, err := conn.Write(b.data); err != nil {
+			return fmt.Errorf("window re-send: %w", err)
+		}
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// heartbeatLoop keeps idle links warm and renders the dead-peer verdict on
+// silence: a peer from which nothing arrived for HeartbeatTimeout — not
+// even the heartbeats its own monitor should be sending — is departed with
+// a PeerDeathError.
+func (ep *tcpEndpoint) heartbeatLoop() {
+	defer ep.wg.Done()
+	tick := time.NewTicker(ep.hbInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ep.stopHB:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for j := 0; j < ep.size; j++ {
+			if j == ep.rank || ep.peerDead(j) || ep.sawBye[j].Load() {
+				continue
+			}
+			if p := ep.peers[j]; p != nil && now.Sub(p.lastWrite()) >= ep.hbInterval {
+				hb := EncodeFrame(Frame{Type: FrameHeartbeat, Rank: ep.rank})
+				p.enqueue(hb, nil)
+			}
+			if ep.hbTimeout > 0 {
+				last := time.Unix(0, ep.lastRecv[j].Load())
+				if now.Sub(last) > ep.hbTimeout {
+					ep.peerLost(j, &PeerDeathError{Rank: j,
+						Err: fmt.Errorf("silent for %v (heartbeat timeout %v)", now.Sub(last).Round(time.Millisecond), ep.hbTimeout)})
+				}
 			}
 		}
 	}
@@ -463,6 +854,16 @@ func (ep *tcpEndpoint) barrier() error {
 		delete(b.entered, gen)
 		b.mu.Unlock()
 		if err != nil {
+			// The generation can never complete. Tell the ranks already
+			// waiting in it, or they hold out forever for a release that
+			// will not come: a non-root rank cannot distinguish a slow
+			// collective from a doomed one on its own.
+			abort := EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierAbort}})
+			for j := 1; j < ep.size; j++ {
+				ep.links[j].sentFrames.Add(1)
+				ep.links[j].sentBytes.Add(1)
+				ep.peers[j].enqueue(abort, nil)
+			}
 			return err
 		}
 		release := EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierRelease}})
@@ -478,20 +879,26 @@ func (ep *tcpEndpoint) barrier() error {
 	ep.links[0].sentBytes.Add(1)
 	ep.peers[0].enqueue(EncodeFrame(Frame{Type: FrameBarrier, Rank: ep.rank, Tag: gen, Payload: []byte{BarrierEnter}}), nil)
 	b.mu.Lock()
-	for !b.released[gen] && b.err == nil && !b.departed[0] {
+	for !b.released[gen] && !b.aborted[gen] && b.err == nil && !b.departed[0] {
 		b.cond.Wait()
 	}
 	// A release already received wins over a concurrent failure: rank 0
 	// may exit immediately after releasing the last generation.
 	var err error
 	if !b.released[gen] {
-		if b.err != nil {
+		switch {
+		case b.err != nil:
 			err = b.err
-		} else {
+		case b.departed[0]:
 			err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[0])
+		case b.departedLocked() >= 0:
+			err = fmt.Errorf("transport: barrier cannot complete: %w", b.departErr[b.departedLocked()])
+		default:
+			err = fmt.Errorf("transport: barrier aborted by rank 0: a member departed before entering")
 		}
 	}
 	delete(b.released, gen)
+	delete(b.aborted, gen)
 	b.mu.Unlock()
 	return err
 }
@@ -512,12 +919,80 @@ func (ep *tcpEndpoint) Links() []LinkStats {
 // BarrierStats reports how many barriers completed and the total wait.
 func (ep *tcpEndpoint) BarrierStats() BarrierStats { return ep.barT.stats() }
 
-// Close shuts the endpoint down gracefully: queued outbound frames are
-// flushed, connections and the listener are closed, and any still-posted
-// receive is canceled so no caller blocks on a closed communicator.
+// SeverLink cuts both directions of the connection pair to one peer, as a
+// network fault would: nothing is flushed or announced, queues and windows
+// stay intact, and the reconnect machinery must repair the damage. Part of
+// the LinkSeverer fault-injection surface; meaningless (an instant
+// departure) unless Reconnect is enabled mesh-wide.
+func (ep *tcpEndpoint) SeverLink(peer int) {
+	if peer < 0 || peer >= ep.size || peer == ep.rank {
+		return
+	}
+	ep.logf("transport: rank %d severing link to %d", ep.rank, peer)
+	if p := ep.peers[peer]; p != nil {
+		p.mu.Lock()
+		conn := p.conn
+		p.mu.Unlock()
+		conn.Close()
+	}
+	ep.connMu.Lock()
+	var in net.Conn
+	if st := ep.inStates[peer]; st != nil {
+		in = st.conn
+	}
+	ep.connMu.Unlock()
+	if in != nil {
+		in.Close()
+	}
+}
+
+// Crash simulates the abrupt death of this rank for fault-injection tests:
+// every connection and the listener are torn down with no bye and no
+// flush, exactly as a killed process would leave them. Peers discover the
+// death through their own failure detection (reconnect budget, heartbeat
+// timeout, or immediate departure without reconnect). Part of the Crasher
+// surface.
+func (ep *tcpEndpoint) Crash() {
+	ep.closed.Store(true)
+	ep.hbOnce.Do(func() { close(ep.stopHB) })
+	ep.ln.Close()
+	for _, p := range ep.peers {
+		if p != nil {
+			p.abort()
+		}
+	}
+	ep.connMu.Lock()
+	conns := append([]net.Conn(nil), ep.inConns...)
+	for src, t := range ep.deadTimers {
+		t.Stop()
+		delete(ep.deadTimers, src)
+	}
+	ep.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	ep.helloCond.Broadcast()
+	ep.bar.fail(errClosed)
+	ep.mb.fail()
+}
+
+// Close shuts the endpoint down gracefully: a bye frame announces the
+// departure (in reconnect mode, so peers never wait for a reconnect that
+// cannot come), queued outbound frames are flushed, connections and the
+// listener are closed, and any still-posted receive is canceled so no
+// caller blocks on a closed communicator.
 func (ep *tcpEndpoint) Close() error {
 	ep.closeOnce.Do(func() {
+		if ep.reconnect > 0 && !ep.closed.Load() {
+			bye := EncodeFrame(Frame{Type: FrameBye, Rank: ep.rank})
+			for j, p := range ep.peers {
+				if p != nil && !ep.peerDead(j) {
+					p.enqueue(bye, nil)
+				}
+			}
+		}
 		ep.closed.Store(true)
+		ep.hbOnce.Do(func() { close(ep.stopHB) })
 		ep.ln.Close()
 		for _, p := range ep.peers {
 			if p != nil {
@@ -528,6 +1003,10 @@ func (ep *tcpEndpoint) Close() error {
 		// inbound side is cut here, which ends the reader goroutines.
 		ep.connMu.Lock()
 		conns := append([]net.Conn(nil), ep.inConns...)
+		for src, t := range ep.deadTimers {
+			t.Stop()
+			delete(ep.deadTimers, src)
+		}
 		ep.connMu.Unlock()
 		for _, c := range conns {
 			c.Close()
@@ -543,19 +1022,27 @@ func (ep *tcpEndpoint) Close() error {
 // peerLink is the outbound half of one rank pair: an unbounded frame queue
 // drained by a dedicated writer goroutine, so Isend never blocks on the
 // network (the same eager decoupling the in-process substrate provides).
+// In reconnect mode it additionally retains every written-but-unacked
+// frame in a bounded window, the raw material of the post-redial re-send.
 type peerLink struct {
-	conn    net.Conn
 	mu      sync.Mutex
 	cond    *sync.Cond
+	conn    net.Conn
 	q       []outFrame
 	stopped bool
 	err     error
+
+	sent    []outFrame // written but not yet acknowledged (reconnect mode)
+	sentCnt int64      // frames fully written on the link since rendezvous
+	ackCnt  int64      // highest cumulative acknowledgement received
+
+	lastEnq atomic.Int64 // unixnano of the last enqueue (heartbeat idle check)
 }
 
 // outFrame is one queued wire frame; owner, when non-nil, is the pooled
-// buffer backing data, returned to framePool after a successful write.
-// Barrier frames enqueue the same slice to several peers and so carry no
-// owner.
+// buffer backing data, returned to framePool after a successful write (or,
+// in reconnect mode, once the receiver acknowledged the frame). Barrier
+// frames enqueue the same slice to several peers and so carry no owner.
 type outFrame struct {
 	data  []byte
 	owner *[]byte
@@ -564,10 +1051,12 @@ type outFrame struct {
 func newPeerLink(conn net.Conn) *peerLink {
 	p := &peerLink{conn: conn}
 	p.cond = sync.NewCond(&p.mu)
+	p.lastEnq.Store(time.Now().UnixNano())
 	return p
 }
 
 func (p *peerLink) enqueue(frame []byte, owner *[]byte) {
+	p.lastEnq.Store(time.Now().UnixNano())
 	p.mu.Lock()
 	if p.stopped || p.err != nil {
 		p.mu.Unlock()
@@ -585,11 +1074,85 @@ func (p *peerLink) depth() int {
 	return len(p.q)
 }
 
+func (p *peerLink) lastWrite() time.Time {
+	return time.Unix(0, p.lastEnq.Load())
+}
+
 func (p *peerLink) stop() {
 	p.mu.Lock()
 	p.stopped = true
 	p.mu.Unlock()
 	p.cond.Signal()
+}
+
+// abort kills the link with no flush: queued frames drop, the connection
+// closes mid-stream — the Crash primitive's per-link half.
+func (p *peerLink) abort() {
+	p.mu.Lock()
+	p.err = errClosed
+	p.q = nil
+	conn := p.conn
+	p.mu.Unlock()
+	conn.Close()
+	p.cond.Signal()
+}
+
+func (p *peerLink) isStopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}
+
+// recordWrite accounts one successfully written frame. Without reconnect
+// the pooled buffer goes straight back; with it the frame joins the
+// unacked window, whose overflow (false) fails the link.
+func (p *peerLink) recordWrite(b outFrame, reconnect bool, window int) bool {
+	p.mu.Lock()
+	p.sentCnt++
+	if !reconnect {
+		p.mu.Unlock()
+		if b.owner != nil {
+			*b.owner = (*b.owner)[:0]
+			framePool.Put(b.owner)
+		}
+		return true
+	}
+	p.sent = append(p.sent, b)
+	over := len(p.sent) > window
+	p.mu.Unlock()
+	return !over
+}
+
+// ackTo prunes the unacked window up to the cumulative count n, recycling
+// the pooled buffers of the acknowledged frames.
+func (p *peerLink) ackTo(n int64) {
+	p.mu.Lock()
+	drop := n - p.ackCnt
+	if drop <= 0 {
+		p.mu.Unlock()
+		return
+	}
+	if drop > int64(len(p.sent)) {
+		drop = int64(len(p.sent))
+	}
+	acked := p.sent[:drop]
+	p.sent = append([]outFrame(nil), p.sent[drop:]...)
+	p.ackCnt = n
+	p.mu.Unlock()
+	for _, b := range acked {
+		if b.owner != nil {
+			*b.owner = (*b.owner)[:0]
+			framePool.Put(b.owner)
+		}
+	}
+}
+
+// unacked snapshots the window of written-but-unacknowledged frames, the
+// exact suffix a repaired connection must carry again.
+func (p *peerLink) unacked() []outFrame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]outFrame(nil), p.sent...)
 }
 
 // barrierState tracks barrier generations on both sides of the centralized
@@ -603,6 +1166,7 @@ type barrierState struct {
 	gen       int
 	entered   map[int]map[int]bool // generation → set of ranks that entered (rank 0 only)
 	released  map[int]bool
+	aborted   map[int]bool // generations rank 0 declared doomed (BarrierAbort)
 	departed  []bool
 	departErr []error
 	err       error // communicator-wide failure (protocol violation or Close)
@@ -612,6 +1176,7 @@ func newBarrierState(size int) *barrierState {
 	b := &barrierState{
 		entered:   map[int]map[int]bool{},
 		released:  map[int]bool{},
+		aborted:   map[int]bool{},
 		departed:  make([]bool, size),
 		departErr: make([]error, size),
 	}
@@ -631,6 +1196,8 @@ func (b *barrierState) handle(src, gen int, phase byte) {
 		set[src] = true
 	case BarrierRelease:
 		b.released[gen] = true
+	case BarrierAbort:
+		b.aborted[gen] = true
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
@@ -662,6 +1229,16 @@ func (b *barrierState) depart(src int, err error) {
 func (b *barrierState) missingLocked(gen int) int {
 	for j := 1; j < len(b.departed); j++ {
 		if b.departed[j] && !b.entered[gen][j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// departedLocked returns any departed member, or -1. Callers hold b.mu.
+func (b *barrierState) departedLocked() int {
+	for j, d := range b.departed {
+		if d {
 			return j
 		}
 	}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTCPMeshCfg is newTCPMesh with resilience knobs applied to every rank.
+func newTCPMeshCfg(t *testing.T, n int, mod func(*TCPConfig)) []Endpoint {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	eps := make([]Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := TCPConfig{
+				Rank:              i,
+				Peers:             peers,
+				Listener:          lns[i],
+				RendezvousTimeout: 10 * time.Second,
+			}
+			mod(&cfg)
+			eps[i], errs[i] = DialTCP(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
+	return eps
+}
+
+// awaitFailure registers a FailureObserver callback on ep and returns a
+// channel that delivers the first reported peer death.
+func awaitFailure(t *testing.T, ep Endpoint) <-chan error {
+	t.Helper()
+	fo, ok := ep.(FailureObserver)
+	if !ok {
+		t.Fatalf("%T does not implement FailureObserver", ep)
+	}
+	ch := make(chan error, 4)
+	fo.OnPeerFailure(func(rank int, err error) { ch <- err })
+	return ch
+}
+
+// TestTCPReconnectResendsAfterSever severs both directions of a live link
+// mid-conversation and asserts the reconnect layer repairs it invisibly:
+// every message sent after the cut still arrives exactly once, in order,
+// in both directions, with no failure verdict rendered.
+func TestTCPReconnectResendsAfterSever(t *testing.T) {
+	eps := newTCPMeshCfg(t, 2, func(cfg *TCPConfig) {
+		cfg.Reconnect = 5 * time.Second
+		cfg.ReconnectBackoff = 2 * time.Millisecond
+	})
+
+	// Prime the link so both directions carry established connections.
+	eps[0].Isend([]byte("prime"), 1, 0)
+	r := eps[1].Irecv(0, 0)
+	r.Wait()
+	if string(r.Data()) != "prime" {
+		t.Fatalf("prime: %q", r.Data())
+	}
+
+	eps[0].(LinkSeverer).SeverLink(1)
+
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		eps[0].Isend(chaosPayload(i), 1, 100+i)
+		eps[1].Isend(chaosPayload(2000+i), 0, 100+i)
+	}
+	for i := 0; i < msgs; i++ {
+		r := eps[1].Irecv(0, 100+i)
+		r.Wait()
+		if r.Canceled() || !bytes.Equal(r.Data(), chaosPayload(i)) {
+			t.Fatalf("0->1 message %d lost across sever (canceled=%v)", i, r.Canceled())
+		}
+		r = eps[0].Irecv(1, 100+i)
+		r.Wait()
+		if r.Canceled() || !bytes.Equal(r.Data(), chaosPayload(2000+i)) {
+			t.Fatalf("1->0 message %d lost across sever (canceled=%v)", i, r.Canceled())
+		}
+	}
+	for rank, ep := range eps {
+		if err := ep.(FailureObserver).PeerFailure(); err != nil {
+			t.Fatalf("rank %d rendered a failure verdict across a survivable sever: %v", rank, err)
+		}
+	}
+	barErr := make(chan error, 1)
+	go func() { barErr <- eps[1].Barrier() }()
+	if err := eps[0].Barrier(); err != nil {
+		t.Fatalf("barrier on repaired mesh: %v", err)
+	}
+	if err := <-barErr; err != nil {
+		t.Fatalf("rank 1 barrier on repaired mesh: %v", err)
+	}
+}
+
+// TestTCPByeCleanDeparture: a graceful Close announces itself with a bye
+// frame, so the survivor departs the peer immediately instead of holding
+// the dead-peer verdict open for the whole reconnect budget.
+func TestTCPByeCleanDeparture(t *testing.T) {
+	eps := newTCPMeshCfg(t, 2, func(cfg *TCPConfig) {
+		cfg.Reconnect = 30 * time.Second // a budget the test must never wait out
+	})
+	failed := awaitFailure(t, eps[0])
+
+	start := time.Now()
+	eps[1].Close()
+	select {
+	case err := <-failed:
+		var pde *PeerDeathError
+		if !errors.As(err, &pde) || pde.Rank != 1 {
+			t.Fatalf("departure error %v, want PeerDeathError for rank 1", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bye did not shortcut the reconnect budget: no departure after 5s")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("departure verdict took %v, bye should make it immediate", waited)
+	}
+	// Receives naming the departed peer cancel rather than hang.
+	r := eps[0].Irecv(1, 9)
+	r.Wait()
+	if !r.Canceled() {
+		t.Fatal("recv from departed peer did not cancel")
+	}
+}
+
+// TestTCPHeartbeatKeepsIdleLinkAlive then renders the dead verdict: an idle
+// but healthy peer must never be declared dead (its heartbeats prove
+// liveness), while a crashed one must be, within the reconnect budget.
+func TestTCPHeartbeatKeepsIdleLinkAlive(t *testing.T) {
+	eps := newTCPMeshCfg(t, 2, func(cfg *TCPConfig) {
+		cfg.Reconnect = 250 * time.Millisecond
+		cfg.ReconnectBackoff = 2 * time.Millisecond
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+		cfg.HeartbeatTimeout = 120 * time.Millisecond
+	})
+	failed := awaitFailure(t, eps[0])
+
+	// Phase 1: total silence above the transport, several multiples of the
+	// heartbeat timeout long. Heartbeats alone must keep the link alive.
+	time.Sleep(400 * time.Millisecond)
+	if err := eps[0].(FailureObserver).PeerFailure(); err != nil {
+		t.Fatalf("idle healthy peer declared dead: %v", err)
+	}
+
+	// Phase 2: the peer crashes without a goodbye; the survivor must notice.
+	eps[1].(Crasher).Crash()
+	select {
+	case err := <-failed:
+		var pde *PeerDeathError
+		if !errors.As(err, &pde) || pde.Rank != 1 {
+			t.Fatalf("crash verdict %v, want PeerDeathError for rank 1", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("crashed peer never declared dead")
+	}
+}
+
+// TestTCPPeerLinkWindowAccounting unit-tests the unacked re-send window:
+// bounded growth, cumulative pruning, and the exact unacked suffix that a
+// resume must replay.
+func TestTCPPeerLinkWindowAccounting(t *testing.T) {
+	p := newPeerLink(nil)
+	frame := func(i int) outFrame {
+		return outFrame{data: EncodeFrame(Frame{Type: FrameData, Rank: 0, Tag: i})}
+	}
+	const window = 4
+	for i := 0; i < window; i++ {
+		if !p.recordWrite(frame(i), true, window) {
+			t.Fatalf("write %d rejected inside the window", i)
+		}
+	}
+	if p.recordWrite(frame(window), true, window) {
+		t.Fatal("write beyond the window accepted with no acks")
+	}
+	// Cumulative ack for the first 3 frames frees room again.
+	p.ackTo(3)
+	if !p.recordWrite(frame(window+1), true, window) {
+		t.Fatal("write rejected after ack pruned the window")
+	}
+	// An overflowing recordWrite still records its frame before reporting
+	// the overflow, so the window now holds tags 3..5 — exactly the suffix
+	// a resume must replay.
+	un := p.unacked()
+	want := 3
+	if len(un) != want {
+		t.Fatalf("unacked() returned %d frames, want %d", len(un), want)
+	}
+	for _, b := range un {
+		f, _, err := DecodeFrame(b.data)
+		if err != nil {
+			t.Fatalf("unacked frame corrupt: %v", err)
+		}
+		if f.Tag < 3 {
+			t.Fatalf("unacked window still holds acked frame tag %d", f.Tag)
+		}
+	}
+	// A duplicate (stale) ack must be a no-op, not a panic or regression.
+	p.ackTo(1)
+	if got := len(p.unacked()); got != want {
+		t.Fatalf("stale ack changed the window: %d -> %d", want, got)
+	}
+}
+
+// TestTCPZeroConfigHasNoResilienceOverhead: with Reconnect off the endpoint
+// keeps the pre-resilience wire behavior — a crash is an immediate
+// departure, with no verdict-holding window.
+func TestTCPZeroConfigHasNoResilienceOverhead(t *testing.T) {
+	eps := newTCPMesh(t, 2)
+	failed := awaitFailure(t, eps[0])
+	eps[1].(Crasher).Crash()
+	select {
+	case err := <-failed:
+		var pde *PeerDeathError
+		if !errors.As(err, &pde) || pde.Rank != 1 {
+			t.Fatalf("verdict %v, want PeerDeathError for rank 1", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no immediate departure without reconnect mode")
+	}
+}

@@ -13,9 +13,59 @@
 // factorization runs unchanged on either substrate.
 package transport
 
+import "fmt"
+
 // Any is the wildcard for Irecv's source or tag (MPI_ANY_SOURCE /
 // MPI_ANY_TAG). It equals mpi.Any.
 const Any = -1
+
+// PeerDeathError reports that one peer rank of the communicator is gone —
+// its process exited, its connection broke past the reconnect budget, or
+// its heartbeats stopped. Layers above the Endpoint surface unwrap it to
+// distinguish network death from algorithmic deadlock.
+type PeerDeathError struct {
+	Rank int
+	Err  error
+}
+
+func (e *PeerDeathError) Error() string {
+	return fmt.Sprintf("transport: peer rank %d is dead: %v", e.Rank, e.Err)
+}
+
+func (e *PeerDeathError) Unwrap() error { return e.Err }
+
+// FailureObserver is implemented by endpoints that can report the death of
+// individual peers (the TCP substrate, Chaos wrappers, mux job sessions).
+// The in-process Local substrate never loses a peer and does not implement
+// it; callers type-assert.
+type FailureObserver interface {
+	// OnPeerFailure registers a callback invoked (outside internal locks)
+	// when a peer rank departs or is declared dead; nil unregisters every
+	// callback. Each endpoint instance expects one logical consumer — the
+	// runtime's proxy for a run endpoint, the Mux for its underlying one.
+	OnPeerFailure(fn func(rank int, err error))
+	// PeerFailure returns the first peer death observed on this endpoint
+	// (typically a *PeerDeathError), or nil while the full communicator is
+	// healthy. It keeps reporting after callbacks were unregistered, so
+	// error paths can recover the cause after the fact.
+	PeerFailure() error
+}
+
+// Crasher is implemented by endpoints that can simulate the abrupt death of
+// their own rank for fault-injection tests: connections are severed without
+// the clean-shutdown handshake, nothing queued is flushed, and peers are
+// left to discover the death through their own failure detection.
+type Crasher interface {
+	Crash()
+}
+
+// LinkSeverer is implemented by endpoints whose link to one peer can be cut
+// underneath the protocol — both directions of the TCP pair are closed as a
+// network fault would, while queues, windows and counters stay intact, so
+// the reconnect machinery (not a fresh rendezvous) must repair the link.
+type LinkSeverer interface {
+	SeverLink(peer int)
+}
 
 // Request tracks an outstanding Isend or Irecv, mirroring the MPI request
 // object surface the runtime uses.

@@ -19,17 +19,33 @@ import (
 //   - FrameData carries one message: rank is the sender, tag is the MPI
 //     tag, payload is the marshaled packet;
 //   - FrameBarrier carries barrier protocol traffic: tag is the barrier
-//     generation, payload is one byte (BarrierEnter or BarrierRelease).
+//     generation, payload is one byte (BarrierEnter, BarrierRelease or
+//     BarrierAbort);
+//   - FrameAck carries the receiver's cumulative frame count for a link
+//     (payload: u64 big-endian), written on the reverse direction of the
+//     inbound connection so a reconnecting dialer knows where to resume;
+//   - FrameBye announces a clean shutdown: the connection's end-of-stream
+//     that follows is a departure, never a crash to reconnect from;
+//   - FrameHeartbeat keeps an idle link's liveness visible (tag and
+//     payload unused).
 const (
-	FrameHello   byte = 1
-	FrameData    byte = 2
-	FrameBarrier byte = 3
+	FrameHello     byte = 1
+	FrameData      byte = 2
+	FrameBarrier   byte = 3
+	FrameAck       byte = 4
+	FrameBye       byte = 5
+	FrameHeartbeat byte = 6
 )
 
-// Barrier phases carried in a FrameBarrier payload.
+// Barrier phases carried in a FrameBarrier payload. BarrierAbort is rank
+// 0's verdict that a generation can never complete (a member departed
+// without entering): without it, every other rank would wait forever for a
+// release that cannot come, since non-root ranks have no way to tell a
+// slow collective from a doomed one.
 const (
 	BarrierEnter   byte = 0
 	BarrierRelease byte = 1
+	BarrierAbort   byte = 2
 )
 
 // HeaderLen is the fixed frame header size in bytes.
@@ -55,7 +71,7 @@ type Frame struct {
 }
 
 func validFrameType(t byte) bool {
-	return t == FrameHello || t == FrameData || t == FrameBarrier
+	return t >= FrameHello && t <= FrameHeartbeat
 }
 
 // AppendFrame appends the encoding of f to dst and returns the extended
@@ -126,9 +142,19 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame reads one frame from r. The payload is freshly allocated. A
+// readChunk bounds how much payload memory ReadFrame commits to before the
+// corresponding bytes have actually arrived: a hostile or corrupt length
+// prefix can claim up to MaxPayload (1 GiB), and speculatively allocating
+// that from 13 header bytes would let a garbage stream exhaust memory. The
+// buffer instead grows chunk by chunk as data is read, so an attacker must
+// send the bytes to make the receiver hold them.
+const readChunk = 1 << 20
+
+// ReadFrame reads one frame from r. The payload is freshly allocated,
+// incrementally (at most readChunk bytes ahead of the data actually
+// received), so a lying length prefix cannot force a huge allocation. A
 // clean EOF before the first header byte is reported as io.EOF; a stream
-// that ends mid-frame is an io.ErrUnexpectedEOF.
+// that ends mid-frame is an error wrapping io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -137,15 +163,25 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 		return Frame{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[0:])
-	if n > MaxPayload {
-		return Frame{}, fmt.Errorf("transport: frame payload %d exceeds limit %d", n, MaxPayload)
+	// Validate the full header before committing any payload memory: most
+	// garbage streams die here, on 13 bytes.
+	if _, _, err := DecodeFrame(hdr[:]); err != nil && !errors.Is(err, ErrShortFrame) {
+		return Frame{}, err
 	}
-	buf := make([]byte, HeaderLen+n)
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
-		return Frame{}, fmt.Errorf("transport: truncated frame: %w", err)
+	n := int(binary.BigEndian.Uint32(hdr[0:]))
+	payload := make([]byte, 0, min(n, readChunk))
+	for len(payload) < n {
+		step := min(n-len(payload), readChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return Frame{}, fmt.Errorf("transport: truncated frame: %w", err)
+		}
 	}
-	f, _, err := DecodeFrame(buf)
-	return f, err
+	return Frame{
+		Type:    hdr[4],
+		Rank:    int(binary.BigEndian.Uint32(hdr[5:])),
+		Tag:     int(binary.BigEndian.Uint32(hdr[9:])),
+		Payload: payload,
+	}, nil
 }

@@ -2,9 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -142,4 +144,74 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("re-encode mismatch")
 		}
 	})
+}
+
+// FuzzReadFrame feeds the stream reader arbitrary byte streams — truncated
+// headers, hostile length prefixes, garbage types — and asserts it never
+// panics, never over-reads, and that every frame it accepts re-encodes to
+// exactly the bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add(EncodeFrame(Frame{Type: FrameHello, Rank: 0, Tag: 0}))
+	f.Add(EncodeFrame(Frame{Type: FrameData, Rank: 2, Tag: 9, Payload: []byte("abc")}))
+	f.Add(EncodeFrame(Frame{Type: FrameHeartbeat, Rank: 1, Tag: 0}))
+	f.Add(append(EncodeFrame(Frame{Type: FrameAck, Rank: 3, Tag: 0, Payload: []byte{0, 0, 0, 0, 0, 0, 0, 9}}),
+		EncodeFrame(Frame{Type: FrameBye, Rank: 3, Tag: 0})...))
+	// Hostile length prefix: claims ~4 GiB with 8 bytes of payload behind it.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 2, 0, 0, 0, 1, 0, 0, 0, 2, 1, 2, 3, 4, 5, 6, 7, 8})
+	// Length prefix exactly at the cap, no payload.
+	f.Add([]byte{0x40, 0x00, 0x00, 0x00, 2, 0, 0, 0, 1, 0, 0, 0, 2})
+	// Valid frame followed by a truncated one.
+	f.Add(append(EncodeFrame(Frame{Type: FrameData, Rank: 0, Tag: 1, Payload: []byte("tail")}),
+		0, 0, 0, 9, 2))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		for {
+			before := len(b) - r.Len()
+			fr, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			consumed := len(b) - r.Len() - before
+			enc := EncodeFrame(fr)
+			if len(enc) != consumed {
+				t.Fatalf("frame of %d bytes consumed %d from the stream", len(enc), consumed)
+			}
+			if !bytes.Equal(enc, b[before:before+consumed]) {
+				t.Fatalf("re-encode mismatch at offset %d", before)
+			}
+		}
+	})
+}
+
+// TestReadFrameHostileLength: a header claiming a MaxPayload-sized frame
+// backed by a few real bytes must fail with a truncated-frame error, and —
+// the point of the chunked reader — must not allocate anywhere near the
+// claimed size while doing so.
+func TestReadFrameHostileLength(t *testing.T) {
+	hostile := make([]byte, HeaderLen+20)
+	binary.BigEndian.PutUint32(hostile[0:], MaxPayload) // claims 1 GiB
+	hostile[4] = FrameData
+	binary.BigEndian.PutUint32(hostile[5:], 1)
+	binary.BigEndian.PutUint32(hostile[9:], 2)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadFrame(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+
+	if err == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("hostile prefix error %v, want truncated-frame wrapping io.ErrUnexpectedEOF", err)
+	}
+	// The reader may stage up to one readChunk (1 MiB); give it a generous
+	// 64 MiB of slack — the failure mode being excluded is the 1 GiB
+	// up-front allocation.
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 64<<20 {
+		t.Fatalf("hostile 1 GiB length prefix drove %d bytes of allocation", alloc)
+	}
 }
