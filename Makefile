@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels launch-smoke serve-smoke trace-smoke vet clean
+.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-batch launch-smoke serve-smoke trace-smoke batch-smoke vet clean
 
 all: build
 
@@ -24,11 +24,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Brief fuzz of the transport wire decoder and stream reader (must
-# never panic; regression corpus under internal/transport/testdata).
+# Brief fuzz of the wire decoders (must never panic; regression corpora
+# under internal/transport/testdata and internal/batch/testdata).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzRequestReader -fuzztime 10s ./internal/batch
+	$(GO) test -run '^$$' -fuzz FuzzResultReader -fuzztime 10s ./internal/batch
 
 # Deterministic fault-injection proof: a factorization over real TCP
 # with seeded chaos (drops, delays, a mid-run link sever, a rank kill)
@@ -45,11 +47,18 @@ cover-transport:
 	awk -v c="$$cov" -v f="$(COVER_FLOOR_TRANSPORT)" 'BEGIN { exit !(c+0 >= f+0) }' || \
 	{ echo "coverage regression: $$cov% < $(COVER_FLOOR_TRANSPORT)%"; exit 1; }
 
-# Quick benchmark pass: the real-hardware tree comparison plus one
-# distributed run over local TCP processes.
+# Quick benchmark pass: the real-hardware tree comparison, one
+# distributed run over local TCP processes, and a shrunk batch-vs-jobs
+# comparison (BENCH_batch.json holds the full 10k-matrix baseline).
 bench-smoke: build
 	$(GO) test -run '^$$' -bench BenchmarkRealTreeComparison -benchtime 1x .
 	$(BIN)/qrfactor -launch 2 -m 1024 -n 128 -nb 32 -ib 8 -check
+	$(BIN)/qrbench -batch -batch-count 512
+
+# Full batch throughput comparison, regenerating the committed baseline:
+#   make bench-batch && git diff BENCH_batch.json
+bench-batch: build
+	$(BIN)/qrbench -batch -batch-out BENCH_batch.json
 
 # Kernel/BLAS throughput benchmarks, benchstat-friendly (fixed count and
 # pinned benchtime so runs are comparable):
@@ -71,6 +80,12 @@ serve-smoke: build
 # shard gather at rank 0, qrtrace -merge analysis, Chrome JSON export.
 trace-smoke: build
 	sh scripts/trace_smoke.sh $(BIN)
+
+# End-to-end check of the batched small-matrix path: a 10k-matrix batch
+# through POST /v1/batch with checksum, metrics and goroutine-leak
+# verification (BATCH_SMOKE_COUNT overrides the batch size).
+batch-smoke: build
+	sh scripts/batch_smoke.sh $(BIN)
 
 clean:
 	rm -rf $(BIN)

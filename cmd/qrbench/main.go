@@ -8,6 +8,11 @@
 //	qrbench -fig baselines  # ScaLAPACK model + generic-runtime profile
 //	qrbench -fig ablation   # nb / h / scheduling sweeps
 //	qrbench -fig real       # real multicore runs on this host
+//	qrbench -batch          # batched small-matrix QR vs individual VSA jobs
+//
+// The -batch comparison writes BENCH_batch.json via -batch-out; the
+// committed copy is the recorded baseline for the batch subsystem's
+// throughput claim (see docs/BATCH.md).
 package main
 
 import (
@@ -35,8 +40,21 @@ func main() {
 	scale := flag.Float64("scale", 1, "shrink factor for quicker runs (divides m and cores)")
 	nodes := flag.Int("nodes", 1, "runtime nodes for -fig real (inter-node traffic is reported per run)")
 	trFile := flag.String("trace", "", "with -fig real: record each run's execution trace to <file>-<tree>.jsonl")
+	batchRun := flag.Bool("batch", false, "benchmark the batched small-matrix path against individual VSA jobs (ignores -fig)")
+	batchCount := flag.Int("batch-count", 10000, "with -batch: matrices per side")
+	batchDim := flag.Int("batch-dim", 32, "with -batch: matrix dimension (dim x dim)")
+	batchOut := flag.String("batch-out", "", "with -batch: write machine-readable results JSON to this file (e.g. BENCH_batch.json)")
+	batchURL := flag.String("batch-url", "", "with -batch: drive one batch against a running qrserve at this base URL instead of the in-process comparison")
 	flag.Parse()
 
+	if *batchRun {
+		if *batchURL != "" {
+			batchServe(*batchURL, *batchCount, *batchDim)
+		} else {
+			batchBench(*batchCount, *batchDim, *batchOut)
+		}
+		return
+	}
 	switch *fig {
 	case "10":
 		fig10(*scale)

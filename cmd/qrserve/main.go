@@ -59,10 +59,14 @@ func main() {
 		hbeat    = flag.Duration("heartbeat", 0, "probe idle fleet links at this interval and declare silent agents dead (0 = off; requires -reconnect)")
 		tracecap = flag.Int("tracecap", 0, "per-traced-job event recorder capacity (0 = default; overflow drops oldest events)")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
+		bstreams = flag.Int("batch-streams", 0, "POST /v1/batch streams admitted concurrently (0 = default 2; arrivals beyond it get 429)")
+		bchunk   = flag.Int("batch-chunk", 0, "matrices per batch scheduler chunk (0 = default 64)")
+		bcross   = flag.Int("batch-crossover", 0, "batch engine threshold: n <= crossover uses Givens, larger compact-WY (0 = library default)")
 	)
 	flag.Parse()
 	startPprof(*pprof)
-	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat, *tracecap))
+	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat, *tracecap,
+		*bstreams, *bchunk, *bcross))
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener; the
@@ -81,7 +85,7 @@ func startPprof(addr string) {
 
 // run is main minus os.Exit, so the deferred group kill and closes fire on
 // every path.
-func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap int) int {
+func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap, bstreams, bchunk, bcross int) int {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -118,13 +122,16 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 	}
 
 	srv, err := service.NewServer(service.Config{
-		Threads:       threads,
-		QueueCap:      queue,
-		MaxConcurrent: maxjobs,
-		ResultCap:     results,
-		Ep:            ep,
-		TraceCap:      tracecap,
-		Logf:          log.Printf,
+		Threads:        threads,
+		QueueCap:       queue,
+		MaxConcurrent:  maxjobs,
+		ResultCap:      results,
+		Ep:             ep,
+		TraceCap:       tracecap,
+		BatchStreams:   bstreams,
+		BatchChunk:     bchunk,
+		BatchCrossover: bcross,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Print(err)

@@ -1,0 +1,307 @@
+package batch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pulsarqr/internal/matrix"
+)
+
+// Wire format of POST /v1/batch. The request body is one stream:
+//
+//	"QBR1" [u32 count] count × ( [u16 m] [u16 n] m·n × [f64] )
+//
+// and the response is its mirror, with results in completion order (NOT
+// request order — chunks finish whenever a worker gets to them):
+//
+//	"QBS1" frames × ( [u32 index] [u16 k] [u16 n] k·n × [f64] ) trailer
+//	trailer = [u32 0xFFFFFFFF] [u32 done] [u32 shed] [u64 checksum]
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns, written
+// little-endian, column-major. Each result frame carries the full k×k upper
+// triangle of R as a k×n square (zeros below the diagonal), where k = n of
+// the request matrix at that index. The trailer's checksum is the XOR of the
+// Float64bits of every result element emitted — XOR because it is exact and
+// order-independent, so the client can verify it even though frames arrive
+// out of order. done counts frames emitted; shed counts matrices dropped
+// when the stream was cut short (cancellation, shutdown), so a client
+// always learns whether it got everything.
+//
+// Decoders defend against hostile prefixes the same way transport.ReadFrame
+// does: every count and dimension is validated against a hard bound before
+// any memory is committed, so a 12-byte garbage request cannot force a
+// large allocation.
+
+// Request and response stream magics.
+var (
+	reqMagic  = [4]byte{'Q', 'B', 'R', '1'}
+	respMagic = [4]byte{'Q', 'B', 'S', '1'}
+)
+
+// MaxCount bounds the matrix count a single batch request may declare.
+const MaxCount = 1 << 20
+
+// trailerIndex marks the response trailer frame.
+const trailerIndex = 0xFFFFFFFF
+
+// ErrBadMagic reports a stream that does not start with the expected magic.
+var ErrBadMagic = errors.New("batch: bad stream magic")
+
+// WriteRequestHeader writes the request magic and matrix count.
+func WriteRequestHeader(w io.Writer, count int) error {
+	if count < 0 || count > MaxCount {
+		return fmt.Errorf("batch: request count %d out of range [0,%d]", count, MaxCount)
+	}
+	var hdr [8]byte
+	copy(hdr[:4], reqMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(count))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// AppendMatrix appends the request encoding of a to dst: dimensions then the
+// column-major payload. It panics on shapes the batch path cannot accept —
+// a programming error on the sending side.
+func AppendMatrix(dst []byte, a *matrix.Mat) []byte {
+	m, n := a.Rows, a.Cols
+	if n < 1 || m < n || m > MaxDim {
+		panic(fmt.Sprintf("batch: encode %dx%d matrix", m, n))
+	}
+	var dims [4]byte
+	binary.LittleEndian.PutUint16(dims[0:], uint16(m))
+	binary.LittleEndian.PutUint16(dims[2:], uint16(n))
+	dst = append(dst, dims[:]...)
+	for j := 0; j < n; j++ {
+		col := a.Data[j*a.LD : j*a.LD+m]
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// RequestReader decodes a batch request stream matrix by matrix, so the
+// handler can dispatch chunks while the body is still arriving. Matrices
+// returned by Next are freshly allocated and owned by the caller; the
+// reader's internal byte scratch is reused across calls.
+type RequestReader struct {
+	r     io.Reader
+	count int
+	read  int
+	buf   []byte
+}
+
+// NewRequestReader validates the stream header and returns a reader over
+// its matrices.
+func NewRequestReader(r io.Reader) (*RequestReader, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("batch: request header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != reqMagic {
+		return nil, ErrBadMagic
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	if count > MaxCount {
+		return nil, fmt.Errorf("batch: request declares %d matrices, limit %d", count, MaxCount)
+	}
+	return &RequestReader{r: r, count: int(count)}, nil
+}
+
+// Count returns the matrix count the stream header declared.
+func (rr *RequestReader) Count() int { return rr.count }
+
+// Next decodes the next matrix. It returns io.EOF after the declared count
+// has been read; a stream that ends early yields an error wrapping
+// io.ErrUnexpectedEOF. Dimensions are validated before the payload is
+// allocated or read.
+func (rr *RequestReader) Next() (*matrix.Mat, error) {
+	if rr.read >= rr.count {
+		return nil, io.EOF
+	}
+	var dims [4]byte
+	if _, err := io.ReadFull(rr.r, dims[:]); err != nil {
+		return nil, fmt.Errorf("batch: matrix %d header: %w", rr.read, noEOF(err))
+	}
+	m := int(binary.LittleEndian.Uint16(dims[0:]))
+	n := int(binary.LittleEndian.Uint16(dims[2:]))
+	if n < 1 || m < n || m > MaxDim {
+		return nil, fmt.Errorf("batch: matrix %d is %dx%d; need %d >= m >= n >= 1", rr.read, m, n, MaxDim)
+	}
+	need := m * n * 8
+	if cap(rr.buf) < need {
+		rr.buf = make([]byte, need)
+	}
+	buf := rr.buf[:need]
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
+		return nil, fmt.Errorf("batch: matrix %d payload: %w", rr.read, noEOF(err))
+	}
+	a := matrix.New(m, n)
+	for i := range a.Data {
+		a.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	rr.read++
+	return a, nil
+}
+
+// noEOF turns a bare io.EOF into io.ErrUnexpectedEOF: inside a declared
+// stream, running out of bytes is always a truncation.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ResultWriter encodes the response stream, tracking the running checksum
+// and frame count for the trailer. It is not safe for concurrent use; the
+// scheduler serializes emission.
+type ResultWriter struct {
+	w    io.Writer
+	buf  []byte
+	sum  uint64
+	done uint32
+}
+
+// NewResultWriter writes the response magic and returns the writer.
+func NewResultWriter(w io.Writer) (*ResultWriter, error) {
+	if _, err := w.Write(respMagic[:]); err != nil {
+		return nil, err
+	}
+	return &ResultWriter{w: w}, nil
+}
+
+// WriteResult emits one result frame: the R factor for the request matrix
+// at index, folded into the running checksum.
+func (rw *ResultWriter) WriteResult(index int, r *matrix.Mat) error {
+	k, n := r.Rows, r.Cols
+	if n < 1 || k > MaxDim || n > MaxDim {
+		panic(fmt.Sprintf("batch: encode %dx%d result", k, n))
+	}
+	rw.buf = rw.buf[:0]
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, uint32(index))
+	rw.buf = binary.LittleEndian.AppendUint16(rw.buf, uint16(k))
+	rw.buf = binary.LittleEndian.AppendUint16(rw.buf, uint16(n))
+	for j := 0; j < n; j++ {
+		col := r.Data[j*r.LD : j*r.LD+k]
+		for _, v := range col {
+			bits := math.Float64bits(v)
+			rw.sum ^= bits
+			rw.buf = binary.LittleEndian.AppendUint64(rw.buf, bits)
+		}
+	}
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		return err
+	}
+	rw.done++
+	return nil
+}
+
+// Done returns the number of result frames written so far.
+func (rw *ResultWriter) Done() int { return int(rw.done) }
+
+// WriteTrailer ends the stream, reporting shed matrices (those the server
+// never factorized) and the checksum of everything emitted.
+func (rw *ResultWriter) WriteTrailer(shed int) error {
+	rw.buf = rw.buf[:0]
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, trailerIndex)
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, rw.done)
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, uint32(shed))
+	rw.buf = binary.LittleEndian.AppendUint64(rw.buf, rw.sum)
+	_, err := rw.w.Write(rw.buf)
+	return err
+}
+
+// Trailer is the decoded end-of-stream summary of a batch response.
+type Trailer struct {
+	Done int    // result frames the server emitted
+	Shed int    // matrices the server dropped (cancellation, shutdown)
+	Sum  uint64 // server-side checksum of every emitted element
+}
+
+// Result is one decoded response frame.
+type Result struct {
+	Index int // position of the source matrix in the request
+	R     *matrix.Mat
+}
+
+// ResultReader decodes a batch response stream, verifying the trailer
+// checksum against what was actually received.
+type ResultReader struct {
+	r    io.Reader
+	buf  []byte
+	sum  uint64
+	done int
+}
+
+// NewResultReader validates the response magic and returns a reader.
+func NewResultReader(r io.Reader) (*ResultReader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("batch: response header: %w", err)
+	}
+	if magic != respMagic {
+		return nil, ErrBadMagic
+	}
+	return &ResultReader{r: r}, nil
+}
+
+// Next decodes the next result frame. At the end of the stream it returns
+// (nil, trailer, nil) after verifying the checksum and frame count; before
+// that, (result, nil, nil).
+func (rr *ResultReader) Next() (*Result, *Trailer, error) {
+	var idx [4]byte
+	if _, err := io.ReadFull(rr.r, idx[:]); err != nil {
+		return nil, nil, fmt.Errorf("batch: result frame: %w", noEOF(err))
+	}
+	index := binary.LittleEndian.Uint32(idx[:])
+	if index == trailerIndex {
+		var tb [16]byte
+		if _, err := io.ReadFull(rr.r, tb[:]); err != nil {
+			return nil, nil, fmt.Errorf("batch: trailer: %w", noEOF(err))
+		}
+		t := &Trailer{
+			Done: int(binary.LittleEndian.Uint32(tb[0:])),
+			Shed: int(binary.LittleEndian.Uint32(tb[4:])),
+			Sum:  binary.LittleEndian.Uint64(tb[8:]),
+		}
+		if t.Done != rr.done {
+			return nil, nil, fmt.Errorf("batch: trailer declares %d results, stream carried %d", t.Done, rr.done)
+		}
+		if t.Sum != rr.sum {
+			return nil, nil, fmt.Errorf("batch: checksum mismatch: server %016x, received %016x", t.Sum, rr.sum)
+		}
+		return nil, t, nil
+	}
+	if index > MaxCount {
+		return nil, nil, fmt.Errorf("batch: result index %d out of range", index)
+	}
+	var dims [4]byte
+	if _, err := io.ReadFull(rr.r, dims[:]); err != nil {
+		return nil, nil, fmt.Errorf("batch: result %d header: %w", index, noEOF(err))
+	}
+	k := int(binary.LittleEndian.Uint16(dims[0:]))
+	n := int(binary.LittleEndian.Uint16(dims[2:]))
+	if n < 1 || k < 1 || k > MaxDim || n > MaxDim {
+		return nil, nil, fmt.Errorf("batch: result %d is %dx%d", index, k, n)
+	}
+	need := k * n * 8
+	if cap(rr.buf) < need {
+		rr.buf = make([]byte, need)
+	}
+	buf := rr.buf[:need]
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
+		return nil, nil, fmt.Errorf("batch: result %d payload: %w", index, noEOF(err))
+	}
+	r := matrix.New(k, n)
+	for i := range r.Data {
+		bits := binary.LittleEndian.Uint64(buf[i*8:])
+		rr.sum ^= bits
+		r.Data[i] = math.Float64frombits(bits)
+	}
+	rr.done++
+	return &Result{Index: int(index), R: r}, nil, nil
+}

@@ -29,6 +29,9 @@ type Workspace struct {
 
 	vView, tView, c1View, c2View matrix.Mat // per-block operand view headers
 	wMat, v2Mat                  matrix.Mat // W panel and V2 copy headers
+
+	auxBuf [2][]float64  // Aux backing storage
+	auxMat [2]matrix.Mat // Aux headers
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on demand and are
@@ -38,6 +41,15 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // wsPool backs the nil-Workspace convenience path of the exported kernels.
 var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 
+// BorrowWorkspace takes a workspace from the process-wide pool; pair it
+// with ReturnWorkspace. Callers on a hot path should hold their own
+// workspace instead (one per goroutine) — the pool exists for convenience
+// entry points and fallbacks.
+func BorrowWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// ReturnWorkspace gives a borrowed workspace back to the pool.
+func ReturnWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
 // grow returns buf resized to n elements, reallocating only when capacity
 // is insufficient. Contents are unspecified: callers must fully overwrite
 // whatever they later read.
@@ -46,6 +58,17 @@ func grow(buf *[]float64, n int) []float64 {
 		*buf = make([]float64, n)
 	}
 	return (*buf)[:n]
+}
+
+// Aux returns one of the workspace's auxiliary scratch matrices (slot 0 or
+// 1) shaped as a compact rows×cols matrix. The backing buffer grows on
+// demand and is retained across calls; contents are unspecified, so callers
+// must fully overwrite whatever they later read. Auxiliary matrices let
+// callers outside this package (e.g. the batched small-QR fast path) run
+// zero-alloc in steady state on the same per-worker workspace the tile
+// kernels use — subject to the same single-goroutine ownership rule.
+func (ws *Workspace) Aux(slot, rows, cols int) *matrix.Mat {
+	return matInto(&ws.auxMat[slot], &ws.auxBuf[slot], rows, cols)
 }
 
 // matInto shapes one of the workspace's matrix headers as a compact

@@ -2,6 +2,7 @@ package pulsar
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,9 @@ import (
 type Pool struct {
 	threads int
 	workers []*worker
+
+	next   atomic.Uint32 // round-robin cursor for Exec placement
+	closed atomic.Bool
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -41,10 +45,14 @@ func NewPool(threads int, state func(thread int) any) *Pool {
 			w.state = state(t)
 		}
 		p.workers = append(p.workers, w)
+	}
+	// Workers start only after the slice is complete: their steal loops scan
+	// p.workers, which must be immutable by then.
+	for _, w := range p.workers {
 		p.wg.Add(1)
 		go func(w *worker) {
 			defer p.wg.Done()
-			w.runPool()
+			w.runPool(p)
 		}(w)
 	}
 	return p
@@ -66,14 +74,85 @@ func (p *Pool) OnWait(fn func(WaitEvent)) {
 }
 
 // Close stops the workers and waits for them to exit. VSAs still attached
-// stop making progress; Close is meant for process shutdown.
+// stop making progress and queued Exec tasks are dropped; Close is meant for
+// process shutdown.
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() {
+		p.closed.Store(true)
 		for _, w := range p.workers {
 			w.stop()
 		}
 		p.wg.Wait()
 	})
+}
+
+// Exec schedules fn onto one of the pool's workers and returns immediately.
+// fn receives the executing worker's private state (the same state VDP
+// firings see via WorkerState), so batch tasks share the warm per-worker
+// kernel workspaces with factorization jobs. Tasks are placed round-robin
+// but idle workers steal queued tasks from their siblings, so one slow task
+// cannot strand work behind it. Exec reports false — and drops fn — once the
+// pool has been closed.
+func (p *Pool) Exec(fn func(state any)) bool {
+	if fn == nil || p.closed.Load() {
+		return false
+	}
+	w := p.workers[int(p.next.Add(1))%len(p.workers)]
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return false
+	}
+	w.tasks = append(w.tasks, fn)
+	w.kick = true
+	w.mu.Unlock()
+	w.cond.Signal()
+	return true
+}
+
+// TasksQueued returns the number of Exec tasks waiting across all workers
+// (diagnostics; the count is a racy snapshot).
+func (p *Pool) TasksQueued() int {
+	n := 0
+	for _, w := range p.workers {
+		w.mu.Lock()
+		n += len(w.tasks)
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// popTask removes this worker's oldest queued task, or nil.
+func (w *worker) popTask() func(any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.tasks) == 0 {
+		return nil
+	}
+	t := w.tasks[0]
+	copy(w.tasks, w.tasks[1:])
+	w.tasks[len(w.tasks)-1] = nil
+	w.tasks = w.tasks[:len(w.tasks)-1]
+	return t
+}
+
+// stealTask takes the newest queued task of another worker, scanning
+// siblings from the thief's right-hand neighbor. Stealing from the tail
+// keeps the victim's oldest (soonest-started) work with the victim.
+func (p *Pool) stealTask(thief *worker) func(any) {
+	for i := 1; i < len(p.workers); i++ {
+		v := p.workers[(thief.id+i)%len(p.workers)]
+		v.mu.Lock()
+		if n := len(v.tasks); n > 0 {
+			t := v.tasks[n-1]
+			v.tasks[n-1] = nil
+			v.tasks = v.tasks[:n-1]
+			v.mu.Unlock()
+			return t
+		}
+		v.mu.Unlock()
+	}
+	return nil
 }
 
 // attach hands a VSA's local VDPs to the pool's workers, lists[t] being the
@@ -112,8 +191,9 @@ func (p *Pool) detach(s *VSA) {
 // runPool is the scheduling loop of a pooled worker: the same ready-sweep
 // as the per-run loop, but over VDPs of any number of VSAs and without a
 // termination condition — the worker parks when nothing is ready and lives
-// until the pool closes.
-func (w *worker) runPool() {
+// until the pool closes. Between VDP sweeps the worker drains its Exec task
+// queue, and before parking it tries to steal a queued task from a sibling.
+func (w *worker) runPool(p *Pool) {
 	for {
 		w.mu.Lock()
 		vdps := w.vdps
@@ -123,6 +203,13 @@ func (w *worker) runPool() {
 			return
 		}
 		progress := false
+		for t := w.popTask(); t != nil; t = w.popTask() {
+			t(w.state)
+			progress = true
+			if w.isStopped() {
+				return
+			}
+		}
 		for _, v := range vdps {
 			s := v.vsa
 			// busy brackets the aborted check and the firings so that an
@@ -145,6 +232,10 @@ func (w *worker) runPool() {
 			}
 		}
 		if !progress {
+			if t := p.stealTask(w); t != nil {
+				t(w.state)
+				continue
+			}
 			w.mu.Lock()
 			hook := w.waitHook
 			var t0 time.Time

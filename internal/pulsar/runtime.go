@@ -376,6 +376,10 @@ type worker struct {
 	vdps       []*VDP
 	aliveLocal int
 
+	// tasks is the worker's queue of Pool.Exec batch tasks (pooled workers
+	// only, guarded by mu). FIFO for the owner; siblings steal from the tail.
+	tasks []func(state any)
+
 	// waitHook, when set, observes each parked interval. Private workers get
 	// it from Config.WaitHook before their goroutine starts; pooled workers
 	// get it from Pool.OnWait under mu (runPool reads it under mu too).

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+
+	"pulsarqr/internal/batch"
+	"pulsarqr/internal/matrix"
+)
+
+// batchFlushEvery bounds how many result frames accumulate in the HTTP
+// response buffer before an explicit flush: frequent enough that a slow
+// stream shows progress, rare enough that flush syscalls stay off the
+// per-matrix path.
+const batchFlushEvery = 64
+
+// handleBatch serves POST /v1/batch: a length-prefixed stream of packed
+// small matrices in, a stream of R factors out (completion order, trailer
+// last — see docs/BATCH.md). Admission is a separate class from the job
+// queue: at most cfg.BatchStreams streams factorize at once, and an arrival
+// beyond that is shed immediately with 429 + Retry-After, buffering nothing.
+// A stream cut short — client gone, shutdown, decode error — still ends with
+// a trailer carrying partial-progress accounting, since the response headers
+// are already out by then.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.batchSem <- struct{}{}:
+		defer func() { <-s.batchSem }()
+	default:
+		s.metrics.BatchRejected.Add(1)
+		// Busy slots drain in chunk time, not job time: hint a short retry,
+		// stretched by how loaded the batch class already is.
+		w.Header().Set("Retry-After", strconv.Itoa(1+int(s.metrics.BatchActive.Load())))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{"batch capacity exhausted; retry later"})
+		return
+	}
+	if s.baseCtx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{ErrClosed.Error()})
+		return
+	}
+
+	rr, err := batch.NewRequestReader(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad batch request: " + err.Error()})
+		return
+	}
+
+	s.metrics.BatchRequests.Add(1)
+	s.metrics.BatchActive.Add(1)
+	defer s.metrics.BatchActive.Add(-1)
+
+	// The stream must end when either the client or the server goes away:
+	// merge the request context with the server's base context. Server Close
+	// cancels baseCtx before closing the pool, so a stream wedged on a
+	// dropped chunk is always unblocked here first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	// Results stream while the request body is still arriving, which on
+	// HTTP/1.1 requires explicit opt-in — without it the server closes the
+	// body at the first response write. HTTP/2 is full duplex already, so
+	// the error is advisory.
+	http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	rw, err := batch.NewResultWriter(w)
+	if err != nil {
+		return // client already gone; the stream never started
+	}
+	flusher, _ := w.(http.Flusher)
+	sinceFlush := 0
+	done, serr := s.batchSched.Stream(ctx, rr.Next, func(index int, res *matrix.Mat) error {
+		if err := rw.WriteResult(index, res); err != nil {
+			return err
+		}
+		if sinceFlush++; sinceFlush >= batchFlushEvery && flusher != nil {
+			sinceFlush = 0
+			flusher.Flush()
+		}
+		return nil
+	})
+
+	// Whatever ended the stream, the trailer reconciles it: shed is every
+	// matrix the request declared that no result frame answered. Writes may
+	// fail if the client is gone — nothing left to do about it.
+	shed := rr.Count() - done
+	if shed < 0 {
+		shed = 0
+	}
+	s.metrics.BatchShed.Add(int64(shed))
+	rw.WriteTrailer(shed)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if serr != nil {
+		s.cfg.Logf("batch stream ended early after %d/%d matrices: %v", done, rr.Count(), serr)
+		return
+	}
+	// A complete stream leaves only the chunked-encoding terminator in the
+	// body; consuming it here, on the handler goroutine, keeps net/http's
+	// full-duplex close-time drain from racing the keepalive reader. Early
+	// exits skip this — their bodies may stall, and those connections are
+	// not worth reusing anyway.
+	io.Copy(io.Discard, r.Body)
+}

@@ -6,6 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
+
+	"pulsarqr/internal/batch"
+	"pulsarqr/internal/matrix"
 )
 
 // Client is a thin HTTP client for qrserve, used by the smoke tests and
@@ -13,6 +18,15 @@ import (
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:7311"
 	HTTP *http.Client
+
+	// Retry429 is the number of times a 429 response is retried before it
+	// surfaces as an error. Zero (the default) disables retries, so 429s
+	// stay observable — tests and admission-aware callers depend on that.
+	Retry429 int
+	// Backoff is the wait before a 429 retry when the server sent no
+	// usable Retry-After header; zero defaults to one second. A Retry-After
+	// header always wins over this fallback.
+	Backoff time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -22,44 +36,69 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// retryWait returns how long to wait before retrying a 429: the server's
+// Retry-After header when present and parseable, the configured fallback
+// otherwise.
+func (c *Client) retryWait(resp *http.Response) time.Duration {
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec >= 0 {
+		return time.Duration(sec) * time.Second
+	}
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return time.Second
+}
+
 func (c *Client) do(method, path string, body, out any) (int, error) {
-	var rd io.Reader
+	var enc []byte
 	if body != nil {
-		b, err := json.Marshal(body)
+		var err error
+		if enc, err = json.Marshal(body); err != nil {
+			return 0, err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(enc)
+		}
+		req, err := http.NewRequest(method, c.Base+path, rd)
 		if err != nil {
 			return 0, err
 		}
-		rd = bytes.NewReader(b)
-	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
-	if err != nil {
-		return 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, err
-	}
-	if resp.StatusCode >= 400 {
-		var e errorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return resp.StatusCode, fmt.Errorf("%s", e.Error)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		return resp.StatusCode, fmt.Errorf("http %d", resp.StatusCode)
-	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.Retry429 {
+			wait := c.retryWait(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(wait)
+			continue
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
 			return resp.StatusCode, err
 		}
+		if resp.StatusCode >= 400 {
+			var e errorResponse
+			if json.Unmarshal(data, &e) == nil && e.Error != "" {
+				return resp.StatusCode, fmt.Errorf("%s", e.Error)
+			}
+			return resp.StatusCode, fmt.Errorf("http %d", resp.StatusCode)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
 	}
-	return resp.StatusCode, nil
 }
 
 // Submit posts a factorization; with wait true the call blocks until the
@@ -100,6 +139,104 @@ func (c *Client) Health() error {
 		return fmt.Errorf("service unhealthy")
 	}
 	return nil
+}
+
+// Batch streams mats through POST /v1/batch and calls each for every R
+// factor as it arrives — in completion order, not submission order; the
+// result's Index says which input it answers. It returns the server's
+// trailer, whose Done/Shed reconcile partial progress and whose checksum the
+// reader has already verified against the received bytes. Every matrix must
+// be m×n with m ≥ n ≥ 1 and m ≤ batch.MaxDim. 429 responses are retried
+// Retry429 times, honoring Retry-After.
+func (c *Client) Batch(mats []*matrix.Mat, each func(res batch.Result) error) (batch.Trailer, error) {
+	for attempt := 0; ; attempt++ {
+		tr, status, err := c.batchOnce(mats, each)
+		if status == http.StatusTooManyRequests && attempt < c.Retry429 {
+			time.Sleep(tr.retryWait(c))
+			continue
+		}
+		return tr.Trailer, err
+	}
+}
+
+// batchTrailer carries the trailer plus the 429 wait hint through a retry
+// loop without re-reading headers.
+type batchTrailer struct {
+	batch.Trailer
+	retryAfter time.Duration
+}
+
+func (t batchTrailer) retryWait(c *Client) time.Duration {
+	if t.retryAfter > 0 {
+		return t.retryAfter
+	}
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return time.Second
+}
+
+func (c *Client) batchOnce(mats []*matrix.Mat, each func(res batch.Result) error) (batchTrailer, int, error) {
+	// The request body streams through a pipe: 10k matrices never exist as
+	// one contiguous buffer on either side of the wire.
+	pr, pw := io.Pipe()
+	go func() {
+		if err := batch.WriteRequestHeader(pw, len(mats)); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		var buf []byte
+		for _, m := range mats {
+			buf = batch.AppendMatrix(buf[:0], m)
+			if _, err := pw.Write(buf); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+
+	req, err := http.NewRequest("POST", c.Base+"/v1/batch", pr)
+	if err != nil {
+		return batchTrailer{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return batchTrailer{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t := batchTrailer{retryAfter: 0}
+		if sec, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && sec >= 0 {
+			t.retryAfter = time.Duration(sec) * time.Second
+		}
+		data, _ := io.ReadAll(resp.Body)
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return t, resp.StatusCode, fmt.Errorf("%s", e.Error)
+		}
+		return t, resp.StatusCode, fmt.Errorf("http %d", resp.StatusCode)
+	}
+
+	rd, err := batch.NewResultReader(resp.Body)
+	if err != nil {
+		return batchTrailer{}, resp.StatusCode, err
+	}
+	for {
+		res, tr, err := rd.Next()
+		if err != nil {
+			return batchTrailer{}, resp.StatusCode, err
+		}
+		if tr != nil {
+			return batchTrailer{Trailer: *tr}, resp.StatusCode, nil
+		}
+		if each != nil {
+			if err := each(*res); err != nil {
+				return batchTrailer{}, resp.StatusCode, err
+			}
+		}
+	}
 }
 
 // Metrics fetches the raw Prometheus exposition text.

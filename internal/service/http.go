@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -70,6 +72,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/factorize", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -93,8 +96,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(req.JobSpec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// Explicit backpressure: 429, nothing buffered. Clients retry with
-		// their own policy.
+		// Explicit backpressure: 429, nothing buffered. Retry-After scales
+		// with how many queued jobs must drain per execution slot before a
+		// retry can be admitted, so clients back off harder the deeper the
+		// queue — without any client-side knowledge of server sizing.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.mgr.Depth(), s.cfg.MaxConcurrent)))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
 		return
 	case errors.Is(err, ErrClosed):
@@ -178,5 +184,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.mgr.Depth(), s.resident())
+	// Process-level goroutine count: the smoke tests diff it across a batch
+	// stream to prove the scheduler leaks nothing.
+	fmt.Fprintf(w, "# HELP qrserve_goroutines Goroutines live in the server process.\n# TYPE qrserve_goroutines gauge\nqrserve_goroutines %d\n", runtime.NumGoroutine())
 	s.writeTransportProm(w)
+}
+
+// retryAfterSeconds derives a 429 Retry-After hint from queue depth: one
+// second per queued job per execution slot, clamped to [1, 30].
+func retryAfterSeconds(depth, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	sec := 1 + depth/slots
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pulsarqr/internal/pulsar"
 )
@@ -29,11 +30,18 @@ type Metrics struct {
 	TraceEvents atomic.Int64 // events in gathered trace shards
 	TraceDrops  atomic.Int64 // events lost to recorder capacity bounds
 
+	BatchRequests atomic.Int64 // batch streams admitted
+	BatchRejected atomic.Int64 // batch streams shed at admission (429)
+	BatchMatrices atomic.Int64 // matrices factorized and emitted by batch streams
+	BatchShed     atomic.Int64 // matrices a batch stream declared but never emitted
+	BatchActive   atomic.Int64 // batch streams currently executing
+
 	flopBits atomic.Uint64 // total useful flops, float64 bits
 	busyBits atomic.Uint64 // total seconds spent factorizing, float64 bits
 
 	latency *histogram
 	wait    *histogram // pool worker park intervals
+	chunk   *histogram // batch chunk dispatch-to-completion latency
 
 	mu      sync.Mutex
 	firings map[string]*atomic.Int64 // VDP firings by trace class
@@ -49,6 +57,13 @@ var latencyBuckets = []float64{
 // the multi-second idling of a drained service.
 var waitBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10,
+}
+
+// chunkBuckets span a batch chunk's life from dispatch to completion: tens
+// of microseconds for a chunk of tiny Givens matrices up to the queueing
+// delay behind a saturated pool.
+var chunkBuckets = []float64{
+	1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1,
 }
 
 // histogram is a fixed-bucket Prometheus-style histogram on atomics; the
@@ -87,7 +102,16 @@ func NewMetrics() *Metrics {
 		firings: map[string]*atomic.Int64{},
 		latency: newHistogram(latencyBuckets),
 		wait:    newHistogram(waitBuckets),
+		chunk:   newHistogram(chunkBuckets),
 	}
+}
+
+// ObserveBatchChunk records one completed batch chunk: its matrix count and
+// dispatch-to-completion wall time. The scheduler installs it as OnChunk, so
+// it is called from pool worker goroutines.
+func (m *Metrics) ObserveBatchChunk(matrices int, d time.Duration) {
+	m.BatchMatrices.Add(int64(matrices))
+	m.chunk.observe(d.Seconds())
 }
 
 // ObserveJob records one finished factorization: end-to-end latency, time
@@ -180,6 +204,13 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
 	}
 	hist("qrserve_job_latency_seconds", "End-to-end job latency, admission to completion.", m.latency)
 	hist("qrserve_worker_wait_seconds", "Pool worker park intervals (time spent idle between tasks).", m.wait)
+
+	counter("qrserve_batch_requests_total", "Batch streams admitted.", m.BatchRequests.Load())
+	counter("qrserve_batch_rejected_total", "Batch streams shed at admission.", m.BatchRejected.Load())
+	counter("qrserve_batch_matrices_total", "Matrices factorized and emitted by batch streams.", m.BatchMatrices.Load())
+	counter("qrserve_batch_shed_total", "Matrices declared by batch requests but never emitted.", m.BatchShed.Load())
+	gauge("qrserve_batch_active", "Batch streams currently executing.", m.BatchActive.Load())
+	hist("qrserve_batch_chunk_seconds", "Batch chunk latency, dispatch to completion.", m.chunk)
 
 	counter("qrserve_trace_events_total", "Events in gathered trace shards.", m.TraceEvents.Load())
 	counter("qrserve_trace_dropped_total", "Trace events lost to recorder capacity bounds.", m.TraceDrops.Load())

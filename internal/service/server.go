@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pulsarqr/internal/batch"
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/pulsar"
@@ -45,6 +46,17 @@ type Config struct {
 	// trace.DefaultCapacity. Overflow drops the oldest events and is
 	// reported in the shard and the qrserve_trace_dropped_total counter.
 	TraceCap int
+	// BatchStreams caps concurrent POST /v1/batch streams — the batch
+	// tenant's admission class, separate from the job queue so a flood of
+	// batch traffic cannot starve big single-job tenants (and vice versa).
+	// Default 2.
+	BatchStreams int
+	// BatchChunk is the number of matrices per dispatched batch task;
+	// zero takes the scheduler default (64).
+	BatchChunk int
+	// BatchCrossover is the Givens/compact-WY engine threshold; zero takes
+	// batch.DefaultCrossover.
+	BatchCrossover int
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -58,6 +70,9 @@ type Server struct {
 	ctl     *transport.JobEndpoint
 	mgr     *Manager
 	metrics *Metrics
+
+	batchSched *batch.Scheduler
+	batchSem   chan struct{} // admission slots for POST /v1/batch streams
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -86,6 +101,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.ResultCap <= 0 {
 		cfg.ResultCap = 64
+	}
+	if cfg.BatchStreams <= 0 {
+		cfg.BatchStreams = 2
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -128,6 +146,13 @@ func NewServer(cfg Config) (*Server, error) {
 	s.pool = pulsar.NewPool(cfg.Threads, func(int) any { return kernels.NewWorkspace() })
 	s.pool.OnWait(s.metrics.ObserveWait) // park intervals feed the worker-wait histogram
 	s.mgr = NewManager(cfg.QueueCap, cfg.MaxConcurrent, s.metrics, s.runJob)
+	s.batchSem = make(chan struct{}, cfg.BatchStreams)
+	s.batchSched = batch.NewScheduler(batch.SchedConfig{
+		Pool:      s.pool,
+		ChunkSize: cfg.BatchChunk,
+		Crossover: cfg.BatchCrossover,
+		OnChunk:   s.metrics.ObserveBatchChunk,
+	})
 	return s, nil
 }
 

@@ -1,0 +1,102 @@
+#!/bin/sh
+# batch_smoke.sh — end-to-end check of the batched small-matrix path.
+#
+# Starts a standalone qrserve, streams a 10k-matrix batch through
+# POST /v1/batch via qrbench's client mode (which verifies the trailer
+# checksum against every received byte), checks the batch metrics
+# agree, proves the stream leaked no goroutines via the
+# qrserve_goroutines gauge, and shuts down cleanly.
+#
+# Usage: scripts/batch_smoke.sh [path-to-bin-dir]   (default: ./bin)
+set -eu
+
+BIN=${1:-bin}
+COUNT=${BATCH_SMOKE_COUNT:-10000}
+WORK=$(mktemp -d)
+SERVE_PID=
+
+cleanup() {
+    status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- qrserve log ---"
+        cat "$WORK/serve.log" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+[ -x "$BIN/qrserve" ] && [ -x "$BIN/qrbench" ] || {
+    echo "batch-smoke: $BIN/qrserve or $BIN/qrbench missing (run: make build)" >&2
+    exit 1
+}
+
+"$BIN/qrserve" -listen 127.0.0.1:0 -portfile "$WORK/port" -threads 2 \
+    >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+i=0
+until [ -s "$WORK/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ] || ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "batch-smoke: qrserve did not come up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/port")
+echo "batch-smoke: qrserve up at $ADDR"
+
+goroutines() {
+    curl -sf "http://$ADDR/metrics" | sed -n 's/^qrserve_goroutines \([0-9]*\)$/\1/p'
+}
+BEFORE=$(goroutines)
+[ -n "$BEFORE" ] || { echo "batch-smoke: no qrserve_goroutines gauge" >&2; exit 1; }
+
+# One streamed batch; the client fails loudly on a count or checksum
+# mismatch, so reaching the ok line certifies both.
+"$BIN/qrbench" -batch -batch-url "http://$ADDR" -batch-count "$COUNT" >"$WORK/batch.out"
+grep -q "batch ok: $COUNT matrices, trailer checksum verified" "$WORK/batch.out" || {
+    echo "batch-smoke: client did not report a verified batch:" >&2
+    cat "$WORK/batch.out" >&2
+    exit 1
+}
+echo "batch-smoke: $COUNT matrices round-tripped, checksum verified"
+
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics"
+grep -q '^qrserve_batch_requests_total 1$' "$WORK/metrics" &&
+    grep -q "^qrserve_batch_matrices_total $COUNT\$" "$WORK/metrics" &&
+    grep -q '^qrserve_batch_shed_total 0$' "$WORK/metrics" || {
+    echo "batch-smoke: batch metrics disagree (want 1 request, $COUNT matrices, 0 shed):" >&2
+    grep '^qrserve_batch' "$WORK/metrics" >&2 || true
+    exit 1
+}
+echo "batch-smoke: metrics agree (1 request, $COUNT matrices, 0 shed)"
+
+# The stream must leak nothing: the goroutine gauge settles back to its
+# pre-batch level (keepalive conns park a couple of goroutines briefly,
+# so poll until they idle out).
+i=0
+while :; do
+    AFTER=$(goroutines)
+    [ -n "$AFTER" ] && [ "$AFTER" -le "$BEFORE" ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "batch-smoke: goroutine leak: $BEFORE before, $AFTER after" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "batch-smoke: no goroutine leak ($BEFORE before, $AFTER after)"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "batch-smoke: qrserve exited non-zero on SIGTERM" >&2
+    exit 1
+}
+SERVE_PID=
+echo "batch-smoke: clean shutdown"
