@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-batch launch-smoke serve-smoke trace-smoke batch-smoke vet clean
+.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-kernels-check bench-kernels-update bench-batch launch-smoke serve-smoke trace-smoke batch-smoke vet clean
 
 all: build
 
@@ -64,9 +64,27 @@ bench-batch: build
 # pinned benchtime so runs are comparable):
 #   make bench-kernels > new.txt && benchstat BENCH_kernels.json new.txt
 # BENCH_kernels.json holds the committed baseline from the recorded host.
+BENCH_TIME ?= 200ms
+BENCH_COUNT ?= 5
 bench-kernels:
-	$(GO) test -run '^$$' -bench 'BenchmarkGemm|BenchmarkTrmm' -benchtime 200ms -count 5 ./internal/blas
-	$(GO) test -run '^$$' -bench 'BenchmarkD(geqrt|tsqrt|ttqrt|ormqr|tsmqr|ttmqr)$$' -benchtime 200ms -count 5 ./internal/kernels
+	$(GO) test -run '^$$' -bench 'BenchmarkGemm|BenchmarkTrmm' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) ./internal/blas
+	$(GO) test -run '^$$' -bench 'BenchmarkD(geqrt|tsqrt|ttqrt|ormqr|tsmqr|ttmqr)$$' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) ./internal/kernels
+
+# Regression gate: rerun the kernel benchmarks and fail if any kernel's
+# median ns/op regressed more than 20% against BENCH_kernels.json (see
+# scripts/benchcheck; BENCH_TOLERANCE overrides the band).
+BENCH_TOLERANCE ?= 0.20
+bench-kernels-check:
+	@$(MAKE) --no-print-directory bench-kernels > bench-fresh.txt && \
+	$(GO) run ./scripts/benchcheck -baseline BENCH_kernels.json -threshold $(BENCH_TOLERANCE) bench-fresh.txt; \
+	rc=$$?; rm -f bench-fresh.txt; exit $$rc
+
+# Regenerate the committed baseline from a fresh run on this host:
+#   make bench-kernels-update && git diff BENCH_kernels.json
+bench-kernels-update:
+	@$(MAKE) --no-print-directory bench-kernels > bench-fresh.txt && \
+	$(GO) run ./scripts/benchcheck -update -baseline BENCH_kernels.json bench-fresh.txt; \
+	rc=$$?; rm -f bench-fresh.txt; exit $$rc
 
 launch-smoke: build
 	$(BIN)/qrfactor -launch 3 -m 2048 -n 256 -nb 64 -ib 16 -check

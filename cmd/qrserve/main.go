@@ -62,11 +62,12 @@ func main() {
 		bstreams = flag.Int("batch-streams", 0, "POST /v1/batch streams admitted concurrently (0 = default 2; arrivals beyond it get 429)")
 		bchunk   = flag.Int("batch-chunk", 0, "matrices per batch scheduler chunk (0 = default 64)")
 		bcross   = flag.Int("batch-crossover", 0, "batch engine threshold: n <= crossover uses Givens, larger compact-WY (0 = library default)")
+		numaPin  = flag.Bool("numa", false, "pin pool workers to NUMA nodes with node-local workspaces (best-effort; propagated to launched agents)")
 	)
 	flag.Parse()
 	startPprof(*pprof)
 	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat, *tracecap,
-		*bstreams, *bchunk, *bcross))
+		*bstreams, *bchunk, *bcross, *numaPin))
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener; the
@@ -85,7 +86,7 @@ func startPprof(addr string) {
 
 // run is main minus os.Exit, so the deferred group kill and closes fire on
 // every path.
-func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap, bstreams, bchunk, bcross int) int {
+func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap, bstreams, bchunk, bcross int, numaPin bool) int {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -96,7 +97,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 	var ep transport.Endpoint
 	switch {
 	case launch > 0:
-		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv, recon, hbeat)
+		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv, recon, hbeat, numaPin)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -131,6 +132,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 		BatchStreams:   bstreams,
 		BatchChunk:     bchunk,
 		BatchCrossover: bcross,
+		PinNUMA:        numaPin,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -187,7 +189,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 // launchFleet reserves ports for a (1+agents)-rank mesh, keeps rank 0's
 // listener bound for itself, spawns the agent processes under group
 // supervision, and dials the mesh.
-func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, nodeBin string, threads int, rdv, recon, hbeat time.Duration) (transport.Endpoint, error) {
+func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, nodeBin string, threads int, rdv, recon, hbeat time.Duration, numaPin bool) (transport.Endpoint, error) {
 	bin, err := findNode(nodeBin)
 	if err != nil {
 		return nil, err
@@ -225,6 +227,7 @@ func launchFleet(group *procgroup.Group, childWG *sync.WaitGroup, agents int, no
 			"-rendezvous", rdv.String(),
 			"-reconnect", recon.String(),
 			"-heartbeat", hbeat.String(),
+			"-numa="+fmt.Sprint(numaPin),
 		)
 		out, err := cmd.StdoutPipe()
 		if err != nil {

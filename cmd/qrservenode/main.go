@@ -42,6 +42,7 @@ func main() {
 		recon   = flag.Duration("reconnect", 0, "survive transient link drops: redial dead connections for up to this long (0 = fail fast; must match the server's setting)")
 		hbeat   = flag.Duration("heartbeat", 0, "probe idle links at this interval and declare silent peers dead (0 = off; requires -reconnect)")
 		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
+		numaPin = flag.Bool("numa", false, "pin pool workers to NUMA nodes with node-local workspaces (best-effort)")
 	)
 	flag.Parse()
 	if *pprof != "" {
@@ -91,7 +92,11 @@ func main() {
 	defer ep.Close()
 	log.Printf("fleet of %d ranks up, %d worker threads warm", ep.Size(), *threads)
 
-	agent, err := service.NewAgent(ep, *threads, log.Printf)
+	agent, err := service.NewAgentOpts(ep, service.AgentOptions{
+		Threads: *threads,
+		PinNUMA: *numaPin,
+		Logf:    log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

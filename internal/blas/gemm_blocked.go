@@ -9,8 +9,8 @@ import "sync"
 // MC×KC block of op(A) streams through the inner cache. Inside a block the
 // packed panels are walked by a register-tiled MR×NR micro-kernel that
 // keeps the whole C tile in registers for the full KC-long inner product
-// (an AVX2+FMA assembly kernel on capable amd64 hosts, a portable Go
-// kernel elsewhere).
+// (AVX-512 or AVX2+FMA assembly on capable amd64 hosts, a portable Go
+// kernel elsewhere — see dispatch.go for the geometry of each level).
 //
 // Packing writes op(A) into MR-row panels and alpha·op(B) into NR-column
 // panels, zero-padding ragged edges to full panels so the micro-kernel
@@ -19,17 +19,10 @@ import "sync"
 // routines, so all four op(A)/op(B) cases share one kernel.
 //
 // Determinism: for fixed operand shapes the blocking boundaries, packing
-// order and micro-kernel summation order are all compile-time constants —
-// the result is a pure function of the inputs, independent of caller,
-// scratch-buffer history, or how many workers run concurrently elsewhere.
-// See docs/KERNELS.md for the full contract.
-const (
-	gemmMR = 8   // micro-tile rows (two 4-wide vector registers)
-	gemmNR = 6   // micro-tile columns (12 accumulator registers of 16)
-	gemmMC = 128 // row-block height: packed A block is MC·KC·8 = 256 KiB
-	gemmKC = 256 // rank-k depth: an 8×KC micro-panel of A is 16 KiB (½ L1d)
-	gemmNC = 516 // column-slab width (multiple of NR): packed B ≤ ~1 MiB
-)
+// order and micro-kernel summation order are all fixed at process start —
+// the result is a pure function of (inputs, host kernel), independent of
+// caller, scratch-buffer history, or how many workers run concurrently
+// elsewhere. See docs/KERNELS.md for the full contract.
 
 // blockedThreshold gates the blocked path: below it the packing traffic
 // (m·k + k·n extra reads and writes) is not paid back by the micro-kernel,
@@ -42,7 +35,8 @@ func useBlocked(m, n, k int) bool {
 
 // gemmScratch holds the packing buffers of one in-flight Dgemm. The pool
 // keeps them warm across calls so steady-state factorizations allocate
-// nothing in the GEMM path.
+// nothing in the GEMM path. Buffers are sized for the largest kernel
+// config so a test-forced kernel switch never outgrows a pooled buffer.
 type gemmScratch struct {
 	ap []float64 // packed op(A): MC×KC in MR-row panels
 	bp []float64 // packed alpha·op(B): KC×NC in NR-column panels
@@ -51,8 +45,8 @@ type gemmScratch struct {
 var gemmScratchPool = sync.Pool{
 	New: func() any {
 		return &gemmScratch{
-			ap: make([]float64, gemmMC*gemmKC),
-			bp: make([]float64, gemmKC*gemmNC),
+			ap: make([]float64, scratchAP),
+			bp: make([]float64, scratchBP),
 		}
 	},
 }
@@ -64,50 +58,49 @@ func dgemmBlocked(transA, transB bool, m, n, k int, alpha float64,
 	a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	sc := gemmScratchPool.Get().(*gemmScratch)
 	defer gemmScratchPool.Put(sc)
-	for jc := 0; jc < n; jc += gemmNC {
-		nc := min(gemmNC, n-jc)
-		for pc := 0; pc < k; pc += gemmKC {
-			kc := min(gemmKC, k-pc)
+	for jc := 0; jc < n; jc += kp.nc {
+		nc := min(kp.nc, n-jc)
+		for pc := 0; pc < k; pc += kp.kc {
+			kc := min(kp.kc, k-pc)
 			packB(sc.bp, transB, b, ldb, alpha, pc, jc, kc, nc)
-			for ic := 0; ic < m; ic += gemmMC {
-				mc := min(gemmMC, m-ic)
+			for ic := 0; ic < m; ic += kp.mc {
+				mc := min(kp.mc, m-ic)
 				packA(sc.ap, transA, a, lda, ic, pc, mc, kc)
-				for jr := 0; jr < nc; jr += gemmNR {
-					ncr := min(gemmNR, nc-jr)
-					bp := sc.bp[jr*kc:]
-					for ir := 0; ir < mc; ir += gemmMR {
-						mcr := min(gemmMR, mc-ir)
-						ap := sc.ap[ir*kc:]
-						if mcr == gemmMR && ncr == gemmNR {
-							microTile(kc, ap, bp, c[(ic+ir)+(jc+jr)*ldc:], ldc)
-							continue
-						}
-						// Ragged edge: accumulate the full padded tile into
-						// a stack buffer, then fold the live part into C.
-						var tmp [gemmMR * gemmNR]float64
-						microTile(kc, ap, bp, tmp[:], gemmMR)
-						for j := 0; j < ncr; j++ {
-							cc := c[(ic+ir)+(jc+jr+j)*ldc:]
-							tt := tmp[j*gemmMR:]
-							for i := 0; i < mcr; i++ {
-								cc[i] += tt[i]
-							}
-						}
-					}
-				}
+				macroKernel(sc.ap, sc.bp, mc, nc, kc, c[ic+jc*ldc:], ldc)
 			}
 		}
 	}
 }
 
-// microTile dispatches one MR×NR tile update to the best kernel for this
-// host. The branch is over concrete functions (not a function variable) so
-// escape analysis keeps the caller's edge buffer on the stack.
-func microTile(kc int, ap, bp, c []float64, ldc int) {
-	if haveFastKernel {
-		microFast(kc, ap, bp, c, ldc)
-	} else {
-		microGeneric(kc, ap, bp, c, ldc)
+// macroKernel sweeps the micro-kernel over one packed MC×KC block of op(A)
+// and the packed KC×NC slab of alpha·op(B), accumulating into C (leading
+// dimension ldc). It is shared by dgemmBlocked and DgemmPackedLHS, which is
+// what makes pre-packed panels bitwise-identical to freshly packed ones:
+// same walk, same summation order.
+func macroKernel(ap, bp []float64, mc, nc, kc int, c []float64, ldc int) {
+	mr, nr := kp.mr, kp.nr
+	for jr := 0; jr < nc; jr += nr {
+		ncr := min(nr, nc-jr)
+		bpp := bp[jr*kc:]
+		for ir := 0; ir < mc; ir += mr {
+			mcr := min(mr, mc-ir)
+			app := ap[ir*kc:]
+			if mcr == mr && ncr == nr {
+				microTile(kc, app, bpp, c[ir+jr*ldc:], ldc)
+				continue
+			}
+			// Ragged edge: accumulate the full padded tile into a stack
+			// buffer, then fold the live part into C.
+			var tmp [maxMR * maxNR]float64
+			microTile(kc, app, bpp, tmp[:], mr)
+			for j := 0; j < ncr; j++ {
+				cc := c[ir+(jr+j)*ldc:]
+				tt := tmp[j*mr:]
+				for i := 0; i < mcr; i++ {
+					cc[i] += tt[i]
+				}
+			}
+		}
 	}
 }
 
@@ -116,18 +109,19 @@ func microTile(kc int, ap, bp, c []float64, ldc int) {
 // micro-kernel loads them as vectors. The last panel is zero-padded to a
 // full MR rows.
 func packA(dst []float64, trans bool, a []float64, lda, i0, p0, mc, kc int) {
-	for ir := 0; ir < mc; ir += gemmMR {
-		rows := min(gemmMR, mc-ir)
-		panel := dst[ir*kc : ir*kc+gemmMR*kc]
+	mr := kp.mr
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
+		panel := dst[ir*kc : ir*kc+mr*kc]
 		if !trans {
 			// op(A)[i,p] = a[(i0+i) + (p0+p)*lda]: copy column runs.
 			for p := 0; p < kc; p++ {
 				col := a[(i0+ir)+(p0+p)*lda:]
-				d := panel[p*gemmMR : p*gemmMR+gemmMR]
+				d := panel[p*mr : p*mr+mr]
 				for i := 0; i < rows; i++ {
 					d[i] = col[i]
 				}
-				for i := rows; i < gemmMR; i++ {
+				for i := rows; i < mr; i++ {
 					d[i] = 0
 				}
 			}
@@ -137,12 +131,12 @@ func packA(dst []float64, trans bool, a []float64, lda, i0, p0, mc, kc int) {
 			for i := 0; i < rows; i++ {
 				col := a[p0+(i0+ir+i)*lda:]
 				for p := 0; p < kc; p++ {
-					panel[p*gemmMR+i] = col[p]
+					panel[p*mr+i] = col[p]
 				}
 			}
-			for i := rows; i < gemmMR; i++ {
+			for i := rows; i < mr; i++ {
 				for p := 0; p < kc; p++ {
-					panel[p*gemmMR+i] = 0
+					panel[p*mr+i] = 0
 				}
 			}
 		}
@@ -154,31 +148,32 @@ func packA(dst []float64, trans bool, a []float64, lda, i0, p0, mc, kc int) {
 // contiguous. The last panel is zero-padded to a full NR columns. Folding
 // alpha here multiplies each element once instead of once per use.
 func packB(dst []float64, trans bool, b []float64, ldb int, alpha float64, p0, j0, kc, nc int) {
-	for jr := 0; jr < nc; jr += gemmNR {
-		cols := min(gemmNR, nc-jr)
-		panel := dst[jr*kc : jr*kc+gemmNR*kc]
+	nr := kp.nr
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
+		panel := dst[jr*kc : jr*kc+nr*kc]
 		if !trans {
 			// op(B)[p,j] = b[(p0+p) + (j0+j)*ldb]: scatter column runs.
 			for j := 0; j < cols; j++ {
 				col := b[p0+(j0+jr+j)*ldb:]
 				for p := 0; p < kc; p++ {
-					panel[p*gemmNR+j] = alpha * col[p]
+					panel[p*nr+j] = alpha * col[p]
 				}
 			}
-			for j := cols; j < gemmNR; j++ {
+			for j := cols; j < nr; j++ {
 				for p := 0; p < kc; p++ {
-					panel[p*gemmNR+j] = 0
+					panel[p*nr+j] = 0
 				}
 			}
 		} else {
 			// op(B)[p,j] = b[(j0+j) + (p0+p)*ldb]: copy row runs.
 			for p := 0; p < kc; p++ {
 				row := b[(j0+jr)+(p0+p)*ldb:]
-				d := panel[p*gemmNR : p*gemmNR+gemmNR]
+				d := panel[p*nr : p*nr+nr]
 				for j := 0; j < cols; j++ {
 					d[j] = alpha * row[j]
 				}
-				for j := cols; j < gemmNR; j++ {
+				for j := cols; j < nr; j++ {
 					d[j] = 0
 				}
 			}
@@ -186,28 +181,29 @@ func packB(dst []float64, trans bool, b []float64, ldb int, alpha float64, p0, j
 	}
 }
 
-// microGeneric is the portable MR×NR micro-kernel: C[0:MR,0:NR] += Ap·Bp
+// microGeneric is the portable MR×NR micro-kernel: C[0:mr,0:nr] += Ap·Bp
 // over kc rank-1 terms, with the accumulator tile in a local array. Used
-// when the host lacks the assembly kernel's ISA. The summation order (k
-// ascending, one fused tile) matches the assembly kernel's term order,
+// when the host lacks the assembly kernels' ISA, and as the oracle the
+// assembly kernels are differential-tested against. The summation order (k
+// ascending, one fused tile) matches the assembly kernels' term order,
 // though rounding may differ where FMA contraction applies.
-func microGeneric(kc int, a, b, c []float64, ldc int) {
-	var acc [gemmMR * gemmNR]float64
-	a = a[:kc*gemmMR]
-	b = b[:kc*gemmNR]
+func microGeneric(kc int, a, b, c []float64, ldc, mr, nr int) {
+	var acc [maxMR * maxNR]float64
+	a = a[:kc*mr]
+	b = b[:kc*nr]
 	for p := 0; p < kc; p++ {
-		ar := a[p*gemmMR : p*gemmMR+gemmMR]
-		br := b[p*gemmNR : p*gemmNR+gemmNR]
+		ar := a[p*mr : p*mr+mr]
+		br := b[p*nr : p*nr+nr]
 		for j, bv := range br {
-			cj := acc[j*gemmMR : j*gemmMR+gemmMR]
+			cj := acc[j*mr : j*mr+mr]
 			for i, av := range ar {
 				cj[i] += av * bv
 			}
 		}
 	}
-	for j := 0; j < gemmNR; j++ {
-		cc := c[j*ldc : j*ldc+gemmMR]
-		aj := acc[j*gemmMR : j*gemmMR+gemmMR]
+	for j := 0; j < nr; j++ {
+		cc := c[j*ldc : j*ldc+mr]
+		aj := acc[j*mr : j*mr+mr]
 		for i, v := range aj {
 			cc[i] += v
 		}

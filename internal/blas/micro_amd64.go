@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package blas
 
@@ -12,6 +12,14 @@ package blas
 //go:noescape
 func dgemmKernel8x6(kc int, a, b, c *float64, ldc int)
 
+// dgemmKernel12x8 is the AVX-512 micro-kernel: C[0:12,0:8] += Ap·Bp over
+// kc rank-1 terms, Ap a 12-row packed panel and Bp an 8-column packed
+// panel. The 12×8 accumulator tile lives in sixteen ZMM/YMM registers
+// (rows 0–7 in a ZMM, rows 8–11 in the paired YMM) for the whole k-loop.
+//
+//go:noescape
+func dgemmKernel12x8(kc int, a, b, c *float64, ldc int)
+
 // cpuidx executes CPUID with the given leaf/subleaf.
 //
 //go:noescape
@@ -22,9 +30,13 @@ func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 //go:noescape
 func xgetbv0() (eax, edx uint32)
 
-// haveFastKernel reports whether this host can run the assembly kernel.
-// Detected once at startup so the per-tile dispatch is a predictable branch.
-var haveFastKernel = detectAVX2FMA()
+// haveFastKernel reports whether this host can run the AVX2 assembly
+// kernel; haveAVX512 whether it can run the AVX-512 one. Detected once at
+// startup so the per-tile dispatch is a predictable branch.
+var (
+	haveFastKernel = detectAVX2FMA()
+	haveAVX512     = detectAVX512()
+)
 
 func detectAVX2FMA() bool {
 	maxID, _, _, _ := cpuidx(0, 0)
@@ -49,6 +61,36 @@ func detectAVX2FMA() bool {
 	return ebx7&avx2Bit != 0
 }
 
-func microFast(kc int, a, b, c []float64, ldc int) {
+func detectAVX512() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidx(1, 0)
+	const osxsaveBit = 1 << 27
+	if ecx1&osxsaveBit == 0 {
+		return false
+	}
+	// The OS must save/restore SSE/AVX state and all three AVX-512 state
+	// components (XCR0 bits 1,2 and 5,6,7 = opmask, ZMM-hi256, hi16-ZMM).
+	if xeax, _ := xgetbv0(); xeax&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidx(7, 0)
+	const (
+		avx512f  = 1 << 16
+		avx512dq = 1 << 17
+		avx512bw = 1 << 30
+		avx512vl = 1 << 31
+	)
+	const want = uint32(avx512f | avx512dq | avx512bw | avx512vl)
+	return ebx7&want == want
+}
+
+func microFast8x6(kc int, a, b, c []float64, ldc int) {
 	dgemmKernel8x6(kc, &a[0], &b[0], &c[0], ldc)
+}
+
+func microFast12x8(kc int, a, b, c []float64, ldc int) {
+	dgemmKernel12x8(kc, &a[0], &b[0], &c[0], ldc)
 }

@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 
@@ -110,6 +110,148 @@ done:
 	VADDPD  Y15, Y1, Y1
 	VMOVUPD Y0, (CX)
 	VMOVUPD Y1, 32(CX)
+
+	VZEROUPPER
+	RET
+
+// func dgemmKernel12x8(kc int, a, b, c *float64, ldc int)
+//
+// 12×8 AVX-512 micro-kernel. Column j of the accumulator tile is the pair
+// Z(4+2j) = rows 0–7 and Y(5+2j) = rows 8–11 (YMM 16–19 need AVX512VL,
+// which detection requires). Z0/Y1 hold the current 12 packed A values and
+// Z2/Z3 rotate through broadcast B values — a VEX/EVEX write to a YMM
+// zeroes the upper ZMM lanes, so Y2/Y3 are the correctly broadcast low
+// halves of Z2/Z3. Per k-step: 2 loads + 8 broadcasts + 16 FMAs = 192
+// flops from one 96-byte A panel line and one 64-byte B panel line.
+TEXT ·dgemmKernel12x8(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), R8
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX              // ldc in bytes
+
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Y5, Y5, Y5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Y7, Y7, Y7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Y9, Y9, Y9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Y11, Y11, Y11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Y13, Y13, Y13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Y15, Y15, Y15
+	VPXORQ Z16, Z16, Z16
+	VPXORQ Y17, Y17, Y17
+	VPXORQ Z18, Z18, Z18
+	VPXORQ Y19, Y19, Y19
+
+	TESTQ R8, R8
+	JZ    done12
+
+loop12:
+	VMOVUPD (SI), Z0         // a[0:8]
+	VMOVUPD 64(SI), Y1       // a[8:12]
+
+	VBROADCASTSD (DI), Z2    // b[0]
+	VBROADCASTSD 8(DI), Z3   // b[1]
+	VFMADD231PD  Z2, Z0, Z4
+	VFMADD231PD  Y2, Y1, Y5
+	VFMADD231PD  Z3, Z0, Z6
+	VFMADD231PD  Y3, Y1, Y7
+
+	VBROADCASTSD 16(DI), Z2  // b[2]
+	VBROADCASTSD 24(DI), Z3  // b[3]
+	VFMADD231PD  Z2, Z0, Z8
+	VFMADD231PD  Y2, Y1, Y9
+	VFMADD231PD  Z3, Z0, Z10
+	VFMADD231PD  Y3, Y1, Y11
+
+	VBROADCASTSD 32(DI), Z2  // b[4]
+	VBROADCASTSD 40(DI), Z3  // b[5]
+	VFMADD231PD  Z2, Z0, Z12
+	VFMADD231PD  Y2, Y1, Y13
+	VFMADD231PD  Z3, Z0, Z14
+	VFMADD231PD  Y3, Y1, Y15
+
+	VBROADCASTSD 48(DI), Z2  // b[6]
+	VBROADCASTSD 56(DI), Z3  // b[7]
+	VFMADD231PD  Z2, Z0, Z16
+	VFMADD231PD  Y2, Y1, Y17
+	VFMADD231PD  Z3, Z0, Z18
+	VFMADD231PD  Y3, Y1, Y19
+
+	ADDQ $96, SI
+	ADDQ $64, DI
+	DECQ R8
+	JNZ  loop12
+
+done12:
+	// C[:, j] += acc pair, walking one ldc stride per column.
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z4, Z0, Z0
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z6, Z0, Z0
+	VADDPD  Y7, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z8, Z0, Z0
+	VADDPD  Y9, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z10, Z0, Z0
+	VADDPD  Y11, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z12, Z0, Z0
+	VADDPD  Y13, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z14, Z0, Z0
+	VADDPD  Y15, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z16, Z0, Z0
+	VADDPD  Y17, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
+	ADDQ    DX, CX
+
+	VMOVUPD (CX), Z0
+	VMOVUPD 64(CX), Y1
+	VADDPD  Z18, Z0, Z0
+	VADDPD  Y19, Y1, Y1
+	VMOVUPD Z0, (CX)
+	VMOVUPD Y1, 64(CX)
 
 	VZEROUPPER
 	RET

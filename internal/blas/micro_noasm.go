@@ -1,10 +1,21 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package blas
 
-// Hosts without the assembly micro-kernel always take the portable path.
-const haveFastKernel = false
+// Hosts without the assembly micro-kernels (non-amd64, or the `noasm`
+// build tag) always take the portable path.
+const (
+	haveFastKernel = false
+	haveAVX512     = false
+)
 
-func microFast(kc int, a, b, c []float64, ldc int) {
-	microGeneric(kc, a, b, c, ldc)
+// The fast entry points exist so dispatch.go compiles everywhere; the
+// constant capability flags above keep pickKernel from ever selecting
+// them, so these bodies are unreachable.
+func microFast8x6(kc int, a, b, c []float64, ldc int) {
+	microGeneric(kc, a, b, c, ldc, 8, 6)
+}
+
+func microFast12x8(kc int, a, b, c []float64, ldc int) {
+	microGeneric(kc, a, b, c, ldc, 12, 8)
 }

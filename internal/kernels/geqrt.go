@@ -44,9 +44,15 @@ func DgeqrtWS(ws *Workspace, ib int, a, t *matrix.Mat) {
 		tb := t.ViewInto(&ws.tView, 0, j, sb, sb)
 		dlarft(panel, tau[:sb], tb, work)
 		if j+sb < n {
+			// Uncached dlarfb: the panel was written moments ago inside
+			// this call, so a cached packing could never be reused.
 			dlarfb(ws, true, panel, tb, a.ViewInto(&ws.c1View, j, j+sb, m-j, n-j-sb))
 		}
 	}
+	// Both outputs were rewritten: kill any packed panels cached against
+	// them (a/t are exactly the V/T tiles later applies pack).
+	matrix.NoteWrite(a)
+	matrix.NoteWrite(t)
 }
 
 // Dormqr applies Q (trans=false) or Qᵀ (trans=true) to the m×n matrix c
@@ -72,9 +78,20 @@ func DormqrWS(ws *Workspace, trans bool, ib int, v, t, c *matrix.Mat) {
 	}
 	apply := func(j int) {
 		sb := min(ib, k-j)
-		dlarfb(ws, trans, v.ViewInto(&ws.vView, j, j, m-j, sb),
-			t.ViewInto(&ws.tView, 0, j, sb, sb),
-			c.ViewInto(&ws.c1View, j, 0, m-j, n))
+		// The diagonal block V1 (unit lower triangular) and op(T) are
+		// dense-expanded and packed once per sweep via the panel cache, so
+		// the whole reflector chain runs on the packed micro-kernel; the
+		// sub-diagonal block V2 packs like the TS kernels' dense block.
+		pv1t, pv1 := ws.packedV1Panels(v, j, sb)
+		pt := ws.packedTPanel(t, j, sb, trans)
+		rows := m - j - sb
+		var pv2t, pv2 []float64
+		if rows > 0 {
+			pv2t, pv2 = ws.packedV2Panels(v, j+sb, j, sb, rows, false)
+		}
+		applyFused(ws, pv1t, pv1, pv2t, pv2, pt, sb, rows,
+			c.ViewInto(&ws.c1View, j, 0, sb, n),
+			c.ViewInto(&ws.c2View, j+sb, 0, rows, n))
 	}
 	// Column blocks forward for Qᵀ, backward for Q.
 	if trans {
@@ -86,4 +103,6 @@ func DormqrWS(ws *Workspace, trans bool, ib int, v, t, c *matrix.Mat) {
 			apply(j)
 		}
 	}
+	// C was rewritten: kill any packed panels cached against it.
+	matrix.NoteWrite(c)
 }

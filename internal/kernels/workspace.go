@@ -21,17 +21,21 @@ import (
 // fully overwrites the region it reads, which is what keeps results
 // independent of buffer history (the determinism contract).
 type Workspace struct {
-	tau  []float64 // Dgeqrt reflector scaling factors
-	work []float64 // dgeqr2/dlarft vector scratch
-	wvec []float64 // tsqrtGeneric T-column scratch
-	wbuf []float64 // applyTS/dlarfb W panel storage
-	v2b  []float64 // v2Block zero-padded triangular copy storage
+	tau    []float64 // Dgeqrt reflector scaling factors
+	work   []float64 // dgeqr2/dlarft vector scratch
+	wvec   []float64 // tsqrtGeneric T-column scratch
+	wbuf   []float64 // applyTS/dlarfb/applyFused W panel storage
+	w2buf  []float64 // applyFused op(T)·W panel storage
+	v2b    []float64 // v2Block zero-padded triangular copy storage
+	pdense []float64 // panel-cache dense-expansion scratch (T, V1)
 
 	vView, tView, c1View, c2View matrix.Mat // per-block operand view headers
-	wMat, v2Mat                  matrix.Mat // W panel and V2 copy headers
+	wMat, w2Mat, v2Mat           matrix.Mat // W/W2 panels and V2 copy headers
 
 	auxBuf [2][]float64  // Aux backing storage
 	auxMat [2]matrix.Mat // Aux headers
+
+	panels panelCache // packed reflector panels, keyed by tile identity+generation
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on demand and are

@@ -1,0 +1,63 @@
+package matrix
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Write-generation registry. The kernel layer caches panel packings keyed by
+// the identity of a tile's backing array (the address of its first element).
+// Addresses are recycled by the allocator, so identity alone is not enough:
+// a cache entry must also prove the backing bytes have not been rewritten —
+// or replaced by a different allocation at the same address — since it was
+// filled. The registry provides that proof as a monotonically increasing
+// generation per address slot:
+//
+//   - NoteWrite bumps the generation of a Mat's backing address. It is
+//     called by New and FromColMajor (so a fresh allocation at a recycled
+//     address invalidates stale entries) and by every kernel that rewrites
+//     tile contents (Dgeqrt/Dtsqrt/Dttqrt and the apply kernels).
+//   - WriteGen reads the current generation; a consumer caches the value at
+//     pack time and treats the entry as stale the moment it changes.
+//
+// Slots are a fixed-size hash table of atomic counters. Collisions merely
+// alias two addresses onto one counter, which can only cause spurious
+// invalidation (an extra repack) — never a stale hit. The table is
+// lock-free and allocation-free, so noting a write is a single atomic add
+// on the kernels' hot path.
+const genSlots = 4096 // power of two; 32 KiB of counters
+
+var genTable [genSlots]atomic.Uint64
+
+func genSlot(m *Mat) *atomic.Uint64 {
+	if len(m.Data) == 0 {
+		return &genTable[0]
+	}
+	p := uintptr(unsafe.Pointer(&m.Data[0]))
+	// Mix the address down past allocator size-class alignment.
+	h := (p >> 4) ^ (p >> 13) ^ (p >> 23)
+	return &genTable[h&(genSlots-1)]
+}
+
+// DataPtr returns the address of m's first backing element (0 when empty).
+// It is the identity half of the (identity, generation) pair consumers use
+// to key cached derivations of a matrix's contents; pair it with WriteGen.
+func DataPtr(m *Mat) uintptr {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&m.Data[0]))
+}
+
+// NoteWrite records that m's backing array has been (or is about to be)
+// rewritten, invalidating any panel packings cached against it. Writers
+// outside the kernels package (e.g. code that fills a tile by hand and then
+// feeds it to the apply kernels as V or T) must call this after writing.
+func NoteWrite(m *Mat) {
+	genSlot(m).Add(1)
+}
+
+// WriteGen returns the current write generation of m's backing array.
+func WriteGen(m *Mat) uint64 {
+	return genSlot(m).Load()
+}

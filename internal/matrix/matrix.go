@@ -32,7 +32,11 @@ func New(rows, cols int) *Mat {
 	if ld < 1 {
 		ld = 1
 	}
-	return &Mat{Rows: rows, Cols: cols, LD: ld, Data: make([]float64, ld*cols)}
+	m := &Mat{Rows: rows, Cols: cols, LD: ld, Data: make([]float64, ld*cols)}
+	// A fresh allocation may land on a recycled address; bump its write
+	// generation so panel packings cached against the old occupant die.
+	NoteWrite(m)
+	return m
 }
 
 // NewRand returns a Rows×Cols matrix with entries drawn uniformly from
@@ -65,7 +69,11 @@ func FromColMajor(rows, cols, ld int, data []float64) *Mat {
 	if cols > 0 && len(data) < ld*(cols-1)+rows {
 		panic("matrix: data slice too short")
 	}
-	return &Mat{Rows: rows, Cols: cols, LD: ld, Data: data}
+	m := &Mat{Rows: rows, Cols: cols, LD: ld, Data: data}
+	// The wrapped data is caller-owned and of unknown history; invalidate
+	// any panel packings cached against this address.
+	NoteWrite(m)
+	return m
 }
 
 // At returns element (i, j).

@@ -1,0 +1,129 @@
+// Package numa discovers the host's NUMA topology and pins worker threads
+// to nodes, so a pulsar.Pool can keep each worker's kernel workspaces, tile
+// packings and firing traffic on the memory local to its socket.
+//
+// Discovery reads the Linux sysfs tree (/sys/devices/system/node); on
+// other platforms, or when sysfs is absent, Detect degrades to a single
+// node covering every CPU, and PinThread reports ErrUnsupported — callers
+// treat pinning as best-effort and run unpinned.
+//
+// Node-local allocation uses the first-touch policy every mainstream OS
+// applies to anonymous memory: pages are committed on the node of the CPU
+// that first writes them. The pool therefore creates each worker's state
+// on the worker's own thread after pinning, and tile storage written by a
+// pinned worker's first kernel firing lands on that worker's node without
+// any explicit placement syscalls.
+package numa
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnsupported is returned by PinThread on platforms without a thread
+// affinity syscall. Callers should fall back to running unpinned.
+var ErrUnsupported = errors.New("numa: thread pinning not supported on this platform")
+
+// Node is one NUMA node: its sysfs ID and the CPUs it owns.
+type Node struct {
+	ID   int
+	CPUs []int
+}
+
+// Topology is the set of NUMA nodes visible to this process, sorted by ID.
+type Topology struct {
+	Nodes []Node
+}
+
+// NumNodes returns the node count (at least 1 for a valid topology).
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NodeForWorker maps worker thread w of threads total onto a node,
+// interleaving workers round-robin across nodes so concurrent firings
+// spread over every memory controller. The mapping is deterministic.
+func (t *Topology) NodeForWorker(w int) *Node {
+	if len(t.Nodes) == 0 {
+		return nil
+	}
+	return &t.Nodes[w%len(t.Nodes)]
+}
+
+// sysNodeDir is swappable in tests.
+var sysNodeDir = "/sys/devices/system/node"
+
+// Detect reads the host topology from sysfs. It never fails: hosts without
+// readable NUMA information (non-Linux, containers hiding sysfs) get a
+// single node 0 spanning runtime.NumCPU() logical CPUs, which makes every
+// downstream decision a no-op.
+func Detect() *Topology {
+	if t := detectSysfs(sysNodeDir); t != nil {
+		return t
+	}
+	cpus := make([]int, runtime.NumCPU())
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return &Topology{Nodes: []Node{{ID: 0, CPUs: cpus}}}
+}
+
+func detectSysfs(dir string) *Topology {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var t Topology
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(dir + "/" + name + "/cpulist")
+		if err != nil {
+			continue
+		}
+		cpus := ParseCPUList(strings.TrimSpace(string(raw)))
+		if len(cpus) == 0 {
+			continue // memory-only node: nothing to pin to
+		}
+		t.Nodes = append(t.Nodes, Node{ID: id, CPUs: cpus})
+	}
+	if len(t.Nodes) == 0 {
+		return nil
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i].ID < t.Nodes[j].ID })
+	return &t
+}
+
+// ParseCPUList parses the kernel's cpulist format — comma-separated CPU
+// numbers and inclusive ranges, e.g. "0-3,8,10-11". Malformed fields are
+// skipped rather than failing the whole list.
+func ParseCPUList(s string) []int {
+	var cpus []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(field, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || b < a {
+				continue
+			}
+			for c := a; c <= b; c++ {
+				cpus = append(cpus, c)
+			}
+		} else if c, err := strconv.Atoi(field); err == nil {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus
+}

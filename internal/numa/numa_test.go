@@ -1,0 +1,95 @@
+package numa
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-1,4-5", []int{0, 1, 4, 5}},
+		{"7,9,11", []int{7, 9, 11}},
+		{" 0-2 , 8 ", []int{0, 1, 2, 8}},
+		{"", nil},
+		{"x,3", []int{3}},   // malformed field skipped
+		{"5-3,2", []int{2}}, // inverted range skipped
+		{"1-1", []int{1}},   // degenerate range
+	} {
+		if got := ParseCPUList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// fakeSysfs materializes a /sys/devices/system/node tree with the given
+// per-node cpulist contents.
+func fakeSysfs(t *testing.T, nodes map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, cpulist := range nodes {
+		if err := os.MkdirAll(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name, "cpulist"), []byte(cpulist+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDetectSysfs(t *testing.T) {
+	dir := fakeSysfs(t, map[string]string{
+		"node1":    "8-15",
+		"node0":    "0-7",
+		"node2":    "", // memory-only node: no CPUs, must be skipped
+		"has_cpu":  "ignored",
+		"possible": "ignored",
+	})
+	topo := detectSysfs(dir)
+	if topo == nil {
+		t.Fatal("detectSysfs returned nil for a populated tree")
+	}
+	want := []Node{{ID: 0, CPUs: []int{0, 1, 2, 3, 4, 5, 6, 7}}, {ID: 1, CPUs: []int{8, 9, 10, 11, 12, 13, 14, 15}}}
+	if !reflect.DeepEqual(topo.Nodes, want) {
+		t.Fatalf("Nodes = %+v, want %+v", topo.Nodes, want)
+	}
+}
+
+func TestDetectFallsBackToSingleNode(t *testing.T) {
+	old := sysNodeDir
+	sysNodeDir = filepath.Join(t.TempDir(), "does-not-exist")
+	defer func() { sysNodeDir = old }()
+	topo := Detect()
+	if topo.NumNodes() != 1 || topo.Nodes[0].ID != 0 || len(topo.Nodes[0].CPUs) == 0 {
+		t.Fatalf("fallback topology = %+v, want one node 0 covering all CPUs", topo.Nodes)
+	}
+}
+
+func TestNodeForWorkerInterleaves(t *testing.T) {
+	topo := &Topology{Nodes: []Node{{ID: 0}, {ID: 1}, {ID: 3}}}
+	for w, want := range []int{0, 1, 3, 0, 1, 3, 0} {
+		if got := topo.NodeForWorker(w); got.ID != want {
+			t.Errorf("NodeForWorker(%d).ID = %d, want %d", w, got.ID, want)
+		}
+	}
+	empty := &Topology{}
+	if empty.NodeForWorker(0) != nil {
+		t.Error("NodeForWorker on empty topology should return nil")
+	}
+}
+
+func TestPinThreadEmptyMask(t *testing.T) {
+	if err := PinThread(nil); err == nil {
+		t.Fatal("PinThread(nil) succeeded, want error")
+	}
+	if err := PinThread([]int{-1, 1 << 20}); err == nil {
+		t.Fatal("PinThread with only out-of-range CPUs succeeded, want error")
+	}
+}

@@ -1,0 +1,44 @@
+//go:build linux
+
+package numa
+
+import (
+	"errors"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// maskWords sizes the affinity bitmask for up to 1024 logical CPUs, the
+// kernel's conventional cpu_set_t width.
+const maskWords = 16
+
+// PinThread locks the calling goroutine to its OS thread and restricts
+// that thread to the given CPUs. The lock is intentionally never released:
+// a pinned pool worker owns its thread for the life of the process, which
+// is what makes first-touch allocations from that worker node-stable. CPUs
+// outside [0, 1024) are ignored; an empty effective mask is an error and
+// leaves the thread unpinned.
+func PinThread(cpus []int) error {
+	var mask [maskWords]uint64
+	any := false
+	for _, c := range cpus {
+		if c < 0 || c >= maskWords*64 {
+			continue
+		}
+		mask[c/64] |= 1 << (c % 64)
+		any = true
+	}
+	if !any {
+		return errors.New("numa: empty CPU mask")
+	}
+	runtime.LockOSThread()
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package numa
+
+// PinThread is unavailable off Linux; callers run unpinned.
+func PinThread(cpus []int) error { return ErrUnsupported }

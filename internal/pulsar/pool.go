@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pulsarqr/internal/numa"
 )
 
 // Pool is a persistent set of worker threads that outlives any single VSA
@@ -21,6 +23,7 @@ import (
 type Pool struct {
 	threads int
 	workers []*worker
+	nodeOf  []int // worker thread → pinned NUMA node ID, -1 when unpinned
 
 	next   atomic.Uint32 // round-robin cursor for Exec placement
 	closed atomic.Bool
@@ -29,37 +32,99 @@ type Pool struct {
 	closeOnce sync.Once
 }
 
-// NewPool starts threads persistent workers. state, when non-nil, is called
-// once per worker to create its private state (e.g. a reusable kernel
-// workspace) — the pooled equivalent of Config.WorkerState, which is
-// ignored for pooled runs.
+// PoolOptions parameterizes NewPoolOpts.
+type PoolOptions struct {
+	// Threads is the worker count; values ≤ 0 mean 1.
+	Threads int
+	// State, when non-nil, is called once per worker to create its private
+	// state (e.g. a reusable kernel workspace) — the pooled equivalent of
+	// Config.WorkerState, which is ignored for pooled runs.
+	State func(thread int) any
+	// PinNUMA pins each worker thread to a NUMA node (workers interleaved
+	// round-robin across nodes) and creates its State on the pinned thread,
+	// so first-touch allocation places per-worker workspaces — and the tile
+	// pages a worker's kernels commit — on the worker's own node. Pinning
+	// is best-effort: hosts without affinity support (non-Linux) or with a
+	// single node run exactly as before.
+	PinNUMA bool
+	// Topology overrides NUMA detection (tests); nil means numa.Detect().
+	Topology *numa.Topology
+}
+
+// NewPool starts threads persistent workers with default options; see
+// PoolOptions.State for the state callback.
 func NewPool(threads int, state func(thread int) any) *Pool {
+	return NewPoolOpts(PoolOptions{Threads: threads, State: state})
+}
+
+// NewPoolOpts starts a pool as described by opts. It returns after every
+// worker has finished its placement (pinning and state creation), so
+// WorkerNode reports final values immediately.
+func NewPoolOpts(opts PoolOptions) *Pool {
+	threads := opts.Threads
 	if threads <= 0 {
 		threads = 1
 	}
-	p := &Pool{threads: threads}
+	p := &Pool{threads: threads, nodeOf: make([]int, threads)}
+	var topo *numa.Topology
+	if opts.PinNUMA {
+		topo = opts.Topology
+		if topo == nil {
+			topo = numa.Detect()
+		}
+	}
 	for t := 0; t < threads; t++ {
 		w := &worker{id: t, pooled: true}
 		w.cond = sync.NewCond(&w.mu)
-		if state != nil {
-			w.state = state(t)
+		p.nodeOf[t] = -1
+		if !opts.PinNUMA && opts.State != nil {
+			// Unpinned pools keep the historical eager creation on the
+			// caller's goroutine; placement doesn't matter without pinning.
+			w.state = opts.State(t)
 		}
 		p.workers = append(p.workers, w)
 	}
 	// Workers start only after the slice is complete: their steal loops scan
 	// p.workers, which must be immutable by then.
-	for _, w := range p.workers {
+	var placed sync.WaitGroup
+	for t, w := range p.workers {
 		p.wg.Add(1)
-		go func(w *worker) {
+		placed.Add(1)
+		go func(t int, w *worker) {
 			defer p.wg.Done()
+			if opts.PinNUMA {
+				if n := topo.NodeForWorker(t); n != nil {
+					if err := numa.PinThread(n.CPUs); err == nil {
+						p.nodeOf[t] = n.ID
+					}
+				}
+				// First-touch placement: the state is created on the
+				// worker's own (now pinned) thread, so its workspace
+				// buffers commit pages on the worker's node.
+				if opts.State != nil {
+					w.state = opts.State(t)
+				}
+			}
+			placed.Done()
 			w.runPool(p)
-		}(w)
+		}(t, w)
 	}
+	placed.Wait()
 	return p
 }
 
 // Threads returns the number of worker threads in the pool.
 func (p *Pool) Threads() int { return p.threads }
+
+// WorkerNode reports the NUMA node worker thread t is pinned to, or -1
+// when t is unpinned (pool built without PinNUMA, pinning unsupported, or
+// t out of range).
+func (p *Pool) WorkerNode(t int) int {
+	if t < 0 || t >= len(p.nodeOf) {
+		return -1
+	}
+	return p.nodeOf[t]
+}
 
 // OnWait installs a hook observing every interval a pooled worker spends
 // parked with nothing ready to fire. Pass nil to remove it. The hook sees

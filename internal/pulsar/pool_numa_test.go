@@ -1,0 +1,97 @@
+package pulsar
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"pulsarqr/internal/numa"
+)
+
+// TestPoolPinNUMAPlacement checks that a pinned pool interleaves workers
+// across the injected topology, creates per-worker state on the worker's
+// own thread (first-touch), and reports placement through WorkerNode.
+func TestPoolPinNUMAPlacement(t *testing.T) {
+	// Every node pins to CPU 0 so the test passes on single-CPU hosts; the
+	// placement logic under test is identical.
+	topo := &numa.Topology{Nodes: []numa.Node{{ID: 0, CPUs: []int{0}}, {ID: 1, CPUs: []int{0}}}}
+	var mu sync.Mutex
+	madeBy := map[int]int{} // thread -> count of State calls
+	p := NewPoolOpts(PoolOptions{
+		Threads: 4,
+		State: func(thread int) any {
+			mu.Lock()
+			madeBy[thread]++
+			mu.Unlock()
+			return thread
+		},
+		PinNUMA:  true,
+		Topology: topo,
+	})
+	defer p.Close()
+
+	for w := 0; w < 4; w++ {
+		got := p.WorkerNode(w)
+		if got == -1 {
+			if runtime.GOOS != "linux" {
+				continue // pinning unsupported: unpinned is the documented fallback
+			}
+			t.Errorf("worker %d unpinned on linux", w)
+			continue
+		}
+		if want := topo.Nodes[w%2].ID; got != want {
+			t.Errorf("WorkerNode(%d) = %d, want %d (round-robin)", w, got, want)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for w := 0; w < 4; w++ {
+		if madeBy[w] != 1 {
+			t.Errorf("State called %d times for worker %d, want exactly 1", madeBy[w], w)
+		}
+	}
+}
+
+// TestPoolPinNUMAStateReachesTasks checks pinned workers still hand their
+// state to Exec tasks — i.e. the deferred on-thread creation finished
+// before the pool accepted work.
+func TestPoolPinNUMAStateReachesTasks(t *testing.T) {
+	p := NewPoolOpts(PoolOptions{
+		Threads: 2,
+		State:   func(thread int) any { return 100 + thread },
+		PinNUMA: true,
+	})
+	defer p.Close()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if !p.Exec(func(state any) {
+			defer wg.Done()
+			mu.Lock()
+			seen[state.(int)] = true
+			mu.Unlock()
+		}) {
+			t.Fatal("Exec refused work on an open pool")
+		}
+	}
+	wg.Wait()
+	for s := range seen {
+		if s != 100 && s != 101 {
+			t.Errorf("task saw unexpected state %d", s)
+		}
+	}
+}
+
+// TestPoolUnpinnedWorkerNode guards the accessor's out-of-range and
+// unpinned contracts.
+func TestPoolUnpinnedWorkerNode(t *testing.T) {
+	p := NewPool(2, nil)
+	defer p.Close()
+	for _, w := range []int{-1, 0, 1, 2, 99} {
+		if got := p.WorkerNode(w); got != -1 {
+			t.Errorf("WorkerNode(%d) = %d on an unpinned pool, want -1", w, got)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pulsarqr/internal/blas"
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
@@ -31,17 +32,34 @@ type Agent struct {
 	wg sync.WaitGroup
 }
 
+// AgentOptions parameterizes NewAgentOpts.
+type AgentOptions struct {
+	// Threads sizes the agent's worker pool. Default 2.
+	Threads int
+	// PinNUMA pins pool workers to NUMA nodes with node-local workspaces;
+	// best-effort, see pulsar.PoolOptions.PinNUMA.
+	PinNUMA bool
+	// Logf receives agent logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
 // NewAgent wraps a dialed endpoint (any rank except 0) in an agent with a
 // pool of threads workers.
 func NewAgent(ep transport.Endpoint, threads int, logf func(string, ...any)) (*Agent, error) {
+	return NewAgentOpts(ep, AgentOptions{Threads: threads, Logf: logf})
+}
+
+// NewAgentOpts wraps a dialed endpoint (any rank except 0) in an agent as
+// described by opts.
+func NewAgentOpts(ep transport.Endpoint, opts AgentOptions) (*Agent, error) {
 	if ep.Rank() == 0 {
 		return nil, fmt.Errorf("service: rank 0 runs the server, not an agent")
 	}
-	if threads <= 0 {
-		threads = 2
+	if opts.Threads <= 0 {
+		opts.Threads = 2
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
 	}
 	mux := transport.NewMux(ep)
 	ctl, err := mux.Open(ctlJob)
@@ -49,13 +67,20 @@ func NewAgent(ep transport.Endpoint, threads int, logf func(string, ...any)) (*A
 		mux.Close()
 		return nil, err
 	}
+	pool := pulsar.NewPoolOpts(pulsar.PoolOptions{
+		Threads: opts.Threads,
+		State:   func(int) any { return kernels.NewWorkspace() },
+		PinNUMA: opts.PinNUMA,
+	})
+	opts.Logf("agent rank %d: micro-kernel %s, numa pinning %v (worker 0 on node %d)",
+		ep.Rank(), blas.MicroKernelName(), opts.PinNUMA, pool.WorkerNode(0))
 	return &Agent{
 		ep:   ep,
 		mux:  mux,
 		ctl:  ctl,
-		pool: pulsar.NewPool(threads, func(int) any { return kernels.NewWorkspace() }),
+		pool: pool,
 		jobs: map[uint32]agentAttempt{},
-		logf: logf,
+		logf: opts.Logf,
 	}, nil
 }
 

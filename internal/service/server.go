@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pulsarqr/internal/batch"
+	"pulsarqr/internal/blas"
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/pulsar"
@@ -57,6 +58,10 @@ type Config struct {
 	// BatchCrossover is the Givens/compact-WY engine threshold; zero takes
 	// batch.DefaultCrossover.
 	BatchCrossover int
+	// PinNUMA pins pool workers to NUMA nodes and allocates their
+	// workspaces node-local (see pulsar.PoolOptions.PinNUMA). Best-effort:
+	// single-node or non-Linux hosts run exactly as before.
+	PinNUMA bool
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -143,8 +148,16 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 		})
 	}
-	s.pool = pulsar.NewPool(cfg.Threads, func(int) any { return kernels.NewWorkspace() })
+	s.pool = pulsar.NewPoolOpts(pulsar.PoolOptions{
+		Threads: cfg.Threads,
+		State:   func(int) any { return kernels.NewWorkspace() },
+		PinNUMA: cfg.PinNUMA,
+	})
 	s.pool.OnWait(s.metrics.ObserveWait) // park intervals feed the worker-wait histogram
+	// Attribute this process's compute path once at startup: bench JSONs and
+	// fleet logs need to know which micro-kernel produced the numbers.
+	cfg.Logf("compute: micro-kernel %s, cpu features %s, numa pinning %v (worker 0 on node %d)",
+		blas.MicroKernelName(), blas.CPUFeatures(), cfg.PinNUMA, s.pool.WorkerNode(0))
 	s.mgr = NewManager(cfg.QueueCap, cfg.MaxConcurrent, s.metrics, s.runJob)
 	s.batchSem = make(chan struct{}, cfg.BatchStreams)
 	s.batchSched = batch.NewScheduler(batch.SchedConfig{
