@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-kernels-check bench-kernels-update bench-batch launch-smoke serve-smoke trace-smoke batch-smoke vet clean
+.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-kernels-check bench-kernels-update bench-batch bench-sessions launch-smoke serve-smoke trace-smoke batch-smoke session-smoke vet clean
 
 all: build
 
@@ -25,12 +25,15 @@ vet:
 	$(GO) vet ./...
 
 # Brief fuzz of the wire decoders (must never panic; regression corpora
-# under internal/transport/testdata and internal/batch/testdata).
+# under internal/transport/testdata, internal/batch/testdata and
+# internal/session/testdata).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzRequestReader -fuzztime 10s ./internal/batch
 	$(GO) test -run '^$$' -fuzz FuzzResultReader -fuzztime 10s ./internal/batch
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointReader -fuzztime 10s ./internal/session
+	$(GO) test -run '^$$' -fuzz FuzzAppendReader -fuzztime 10s ./internal/session
 
 # Deterministic fault-injection proof: a factorization over real TCP
 # with seeded chaos (drops, delays, a mid-run link sever, a rank kill)
@@ -59,6 +62,12 @@ bench-smoke: build
 #   make bench-batch && git diff BENCH_batch.json
 bench-batch: build
 	$(BIN)/qrbench -batch -batch-out BENCH_batch.json
+
+# Streaming-session append throughput vs full refactorization,
+# regenerating the committed baseline:
+#   make bench-sessions && git diff BENCH_sessions.json
+bench-sessions: build
+	$(BIN)/qrbench -session -session-out BENCH_sessions.json
 
 # Kernel/BLAS throughput benchmarks, benchstat-friendly (fixed count and
 # pinned benchtime so runs are comparable):
@@ -104,6 +113,12 @@ trace-smoke: build
 # verification (BATCH_SMOKE_COUNT overrides the batch size).
 batch-smoke: build
 	sh scripts/batch_smoke.sh $(BIN)
+
+# End-to-end check of durable streaming sessions: open a session, stream
+# 3 appends (checkpoint every append), kill -9 the server, restart over
+# the same checkpoint directory, verify the restored R bitwise.
+session-smoke: build
+	sh scripts/session_smoke.sh $(BIN)
 
 clean:
 	rm -rf $(BIN)

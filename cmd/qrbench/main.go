@@ -45,8 +45,32 @@ func main() {
 	batchDim := flag.Int("batch-dim", 32, "with -batch: matrix dimension (dim x dim)")
 	batchOut := flag.String("batch-out", "", "with -batch: write machine-readable results JSON to this file (e.g. BENCH_batch.json)")
 	batchURL := flag.String("batch-url", "", "with -batch: drive one batch against a running qrserve at this base URL instead of the in-process comparison")
+	sessRun := flag.Bool("session", false, "benchmark streaming TSQR session appends against full refactorization (ignores -fig)")
+	sessCount := flag.Int("session-count", 64, "with -session: appended row blocks")
+	sessN := flag.Int("session-n", 64, "with -session: session column count")
+	sessBlock := flag.Int("session-block", 64, "with -session: rows per appended block")
+	sessOut := flag.String("session-out", "", "with -session: write machine-readable results JSON to this file (e.g. BENCH_sessions.json)")
+	sessURL := flag.String("session-url", "", "with -session: run the seed/verify smoke action against a running qrserve at this base URL instead of the in-process comparison")
+	sessAct := flag.String("session-act", "seed", "with -session-url: seed (open a durable session and stream blocks) or verify (check the restored session's R bitwise)")
+	sessID := flag.String("session-id", "", "with -session-act verify: the session id printed by seed")
 	flag.Parse()
 
+	if *sessRun {
+		switch {
+		case *sessURL != "" && *sessAct == "seed":
+			sessionSeed(*sessURL, *sessCount, *sessN, *sessBlock)
+		case *sessURL != "" && *sessAct == "verify":
+			if *sessID == "" {
+				log.Fatal("-session-act verify needs -session-id")
+			}
+			sessionVerify(*sessURL, *sessID, *sessCount, *sessN, *sessBlock)
+		case *sessURL != "":
+			log.Fatalf("unknown -session-act %q", *sessAct)
+		default:
+			sessionBench(*sessCount, *sessN, *sessBlock, *sessOut)
+		}
+		return
+	}
 	if *batchRun {
 		if *batchURL != "" {
 			batchServe(*batchURL, *batchCount, *batchDim)

@@ -63,11 +63,34 @@ func main() {
 		bchunk   = flag.Int("batch-chunk", 0, "matrices per batch scheduler chunk (0 = default 64)")
 		bcross   = flag.Int("batch-crossover", 0, "batch engine threshold: n <= crossover uses Givens, larger compact-WY (0 = library default)")
 		numaPin  = flag.Bool("numa", false, "pin pool workers to NUMA nodes with node-local workspaces (best-effort; propagated to launched agents)")
+		ckptDir  = flag.String("checkpoint-dir", "", "durable streaming-session checkpoints (QSC1) live here; sessions survive restarts (empty = memory-only sessions)")
+		sstreams = flag.Int("session-streams", 0, "session append streams admitted concurrently (0 = default 2; arrivals beyond it get 429)")
+		maxsess  = flag.Int("max-sessions", 0, "streaming sessions registered at once (0 = default 64)")
+		tensess  = flag.Int("tenant-sessions", 0, "streaming sessions one tenant may hold (0 = default 8)")
+		sidle    = flag.Duration("session-idle", 0, "unload (durable) or evict (memory-only) sessions idle this long (0 = default 10m; negative disables)")
+		ckevery  = flag.Int("checkpoint-every", 0, "appends between durable checkpoint writes (0 = every append)")
 	)
 	flag.Parse()
 	startPprof(*pprof)
-	os.Exit(run(*listen, *portfile, *threads, *queue, *maxjobs, *results, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat, *tracecap,
-		*bstreams, *bchunk, *bcross, *numaPin))
+	cfg := service.Config{
+		Threads:              *threads,
+		QueueCap:             *queue,
+		MaxConcurrent:        *maxjobs,
+		ResultCap:            *results,
+		TraceCap:             *tracecap,
+		BatchStreams:         *bstreams,
+		BatchChunk:           *bchunk,
+		BatchCrossover:       *bcross,
+		PinNUMA:              *numaPin,
+		CheckpointDir:        *ckptDir,
+		SessionStreams:       *sstreams,
+		MaxSessions:          *maxsess,
+		MaxSessionsPerTenant: *tensess,
+		SessionIdle:          *sidle,
+		CheckpointEvery:      *ckevery,
+		Logf:                 log.Printf,
+	}
+	os.Exit(run(*listen, *portfile, cfg, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat))
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener; the
@@ -86,7 +109,7 @@ func startPprof(addr string) {
 
 // run is main minus os.Exit, so the deferred group kill and closes fire on
 // every path.
-func run(listen, portfile string, threads, queue, maxjobs, results, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration, tracecap, bstreams, bchunk, bcross int, numaPin bool) int {
+func run(listen, portfile string, cfg service.Config, launch int, peers, nodeBin string, rdv, recon, hbeat time.Duration) int {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -97,7 +120,7 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 	var ep transport.Endpoint
 	switch {
 	case launch > 0:
-		e, err := launchFleet(group, &childWG, launch, nodeBin, threads, rdv, recon, hbeat, numaPin)
+		e, err := launchFleet(group, &childWG, launch, nodeBin, cfg.Threads, rdv, recon, hbeat, cfg.PinNUMA)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -122,19 +145,8 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 		defer ep.Close()
 	}
 
-	srv, err := service.NewServer(service.Config{
-		Threads:        threads,
-		QueueCap:       queue,
-		MaxConcurrent:  maxjobs,
-		ResultCap:      results,
-		Ep:             ep,
-		TraceCap:       tracecap,
-		BatchStreams:   bstreams,
-		BatchChunk:     bchunk,
-		BatchCrossover: bcross,
-		PinNUMA:        numaPin,
-		Logf:           log.Printf,
-	})
+	cfg.Ep = ep
+	srv, err := service.NewServer(cfg)
 	if err != nil {
 		log.Print(err)
 		return 1
@@ -158,7 +170,10 @@ func run(listen, portfile string, threads, queue, maxjobs, results, launch int, 
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
 	log.Printf("serving on http://%s (%d ranks, %d threads, queue %d, %d concurrent jobs)",
-		ln.Addr(), srv.Ranks(), threads, queue, maxjobs)
+		ln.Addr(), srv.Ranks(), cfg.Threads, cfg.QueueCap, cfg.MaxConcurrent)
+	if cfg.CheckpointDir != "" {
+		log.Printf("durable sessions: checkpoints in %s", cfg.CheckpointDir)
+	}
 
 	select {
 	case <-ctx.Done():

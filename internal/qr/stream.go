@@ -1,0 +1,291 @@
+package qr
+
+import (
+	"fmt"
+
+	"pulsarqr/internal/blas"
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+)
+
+// This file implements the incremental (streaming) TSQR engine behind
+// long-lived factorization sessions: rows arrive in blocks, and after each
+// appended block the engine re-reduces only the leaf-to-root path of the
+// reduction tree — O(log P) tile kernels per append for P appended blocks,
+// instead of the O(P) kernels a from-scratch refactorization would fire.
+//
+// The committed state is a binary-counter spine (exactly the subtree roots
+// of a binary reduction tree over the appended leaves, one root per set bit
+// of the leaf count): appending leaf P+1 pushes its n×n R and merges equal
+// sized subtrees like a carry chain, so the spine never exceeds ⌈log₂ P⌉
+// entries and the amortized merge cost per append is O(1). The current
+// global R is the fold of the spine — at most popcount(P)−1 further merges,
+// none of which disturb the committed state. Every merge is the same
+// dttqrt/dttmqr tile kernel pair the batch factorization's binary tree
+// fires, so streamed sessions inherit the kernel layer's workspaces and
+// packed-panel cache unchanged.
+
+// StreamNode is one committed subtree root of a streaming factorization:
+// the R factor (and optionally the ride-along QᵀB rows) of every row block
+// folded into it.
+type StreamNode struct {
+	Blocks int64 // appended row blocks folded into this node
+	Rows   int64 // matrix rows folded into this node
+	// R is the n×n upper-triangular factor of the node's rows; entries
+	// below the diagonal are zero (never reflectors — eliminated factors
+	// are discarded on merge).
+	R *matrix.Mat
+	// QTB holds the significant (top n) rows of Qᵀ·B for the node's
+	// ride-along right-hand-side columns; nil when the stream carries none.
+	QTB *matrix.Mat
+}
+
+// SolveLS returns the least-squares solution x of min‖A·x − b‖₂ over every
+// row streamed into the node, solving R·x = (QᵀB)₁..n. It requires the
+// stream to carry ride-along right-hand sides and R to be nonsingular.
+func (nd *StreamNode) SolveLS() *matrix.Mat {
+	if nd.QTB == nil {
+		panic("qr: stream carries no ride-along right-hand sides")
+	}
+	x := nd.QTB.Clone()
+	blas.Dtrsm(true, true, false, false, x.Rows, x.Cols, 1, nd.R.Data, nd.R.LD, x.Data, x.LD)
+	return x
+}
+
+// Streamer is the incremental TSQR engine. LeafReduce is a pure function
+// of its inputs and may run concurrently on several goroutines (each with
+// its own Workspace) — that is what lets a session pipeline appends over a
+// worker pool. Commit and Current mutate or read the spine and must be
+// serialized by the caller (a session holds its lock across them).
+type Streamer struct {
+	n, nrhs int
+	opts    Options
+
+	spine  []*StreamNode
+	blocks int64
+	rows   int64
+
+	// Hook, when non-nil, observes every tile-kernel firing with its trace
+	// class ("tsqrt", "tsmqr", "ttqrt", "ttmqr"). It may be called from
+	// concurrent LeafReduce goroutines and must be safe for concurrent use.
+	Hook func(class string)
+
+	scratchV *matrix.Mat // merge victim copy (Current must not destroy the spine)
+	scratchQ *matrix.Mat
+}
+
+// NewStreamer returns an empty streaming factorization over n columns and
+// nrhs ride-along right-hand-side columns (0 for R-only streams).
+func NewStreamer(n, nrhs int, opts Options) (*Streamer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qr: stream needs at least one column, got %d", n)
+	}
+	if nrhs < 0 {
+		return nil, fmt.Errorf("qr: negative rhs count %d", nrhs)
+	}
+	return &Streamer{n: n, nrhs: nrhs, opts: opts.normalize()}, nil
+}
+
+// RestoreStreamer rebuilds a streamer from a checkpointed spine, taking
+// ownership of the nodes. The spine must be ordered oldest first with
+// strictly decreasing block counts (the binary-counter invariant).
+func RestoreStreamer(n, nrhs int, opts Options, spine []*StreamNode) (*Streamer, error) {
+	s, err := NewStreamer(n, nrhs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, nd := range spine {
+		if nd.Blocks < 1 || nd.Rows < 1 {
+			return nil, fmt.Errorf("qr: spine node %d folds %d blocks / %d rows", i, nd.Blocks, nd.Rows)
+		}
+		if i > 0 && nd.Blocks >= spine[i-1].Blocks {
+			return nil, fmt.Errorf("qr: spine block counts not strictly decreasing at node %d", i)
+		}
+		if nd.R == nil || nd.R.Rows != n || nd.R.Cols != n {
+			return nil, fmt.Errorf("qr: spine node %d R is not %dx%d", i, n, n)
+		}
+		if nrhs == 0 && nd.QTB != nil {
+			return nil, fmt.Errorf("qr: spine node %d carries rhs on an R-only stream", i)
+		}
+		if nrhs > 0 && (nd.QTB == nil || nd.QTB.Rows != n || nd.QTB.Cols != nrhs) {
+			return nil, fmt.Errorf("qr: spine node %d QTB is not %dx%d", i, n, nrhs)
+		}
+		s.blocks += nd.Blocks
+		s.rows += nd.Rows
+	}
+	s.spine = append(s.spine, spine...)
+	return s, nil
+}
+
+// N returns the stream's column count.
+func (s *Streamer) N() int { return s.n }
+
+// NRHS returns the stream's ride-along right-hand-side column count.
+func (s *Streamer) NRHS() int { return s.nrhs }
+
+// Opts returns the stream's normalized algorithm configuration.
+func (s *Streamer) Opts() Options { return s.opts }
+
+// Blocks returns the number of row blocks committed so far.
+func (s *Streamer) Blocks() int64 { return s.blocks }
+
+// Rows returns the number of matrix rows committed so far.
+func (s *Streamer) Rows() int64 { return s.rows }
+
+// SpineDepth returns the number of committed subtree roots (= popcount of
+// Blocks); it never exceeds ⌈log₂ Blocks⌉+1.
+func (s *Streamer) SpineDepth() int { return len(s.spine) }
+
+// Spine exposes the committed subtree roots, oldest first, for checkpoint
+// serialization. The caller must not mutate the nodes and must hold the
+// same lock that serializes Commit.
+func (s *Streamer) Spine() []*StreamNode { return s.spine }
+
+func (s *Streamer) hook(class string) {
+	if s.Hook != nil {
+		s.Hook(class)
+	}
+}
+
+// tMat shapes the workspace's auxiliary slot 0 as the block-reflector T
+// factor for one kernel call.
+func tScratch(ws *kernels.Workspace, ib, n int) *matrix.Mat {
+	return ws.Aux(0, min(ib, n), n)
+}
+
+// LeafReduce factorizes one appended row block into a leaf node: the block's
+// tile chunks are folded into a fresh n×n R by a dtsqrt chain (the flat-tree
+// leaf reduction), and rhs — required exactly when the stream carries
+// right-hand sides — is dragged along into the leaf's QᵀB by the paired
+// dtsmqr updates. The block and rhs contents are consumed (overwritten with
+// reflectors and rotated rows).
+//
+// LeafReduce does not touch the spine: concurrent calls on distinct
+// workspaces are safe, which is what lets a session overlap the leaf work of
+// append k+1 with the commit of append k. Results are deterministic in the
+// inputs alone, so pipelined and sequential executions are bitwise equal.
+func (s *Streamer) LeafReduce(ws *kernels.Workspace, block, rhs *matrix.Mat) (*StreamNode, error) {
+	if block == nil || block.Rows < 1 {
+		return nil, fmt.Errorf("qr: empty append block")
+	}
+	if block.Cols != s.n {
+		return nil, fmt.Errorf("qr: append block has %d cols, stream has %d", block.Cols, s.n)
+	}
+	if s.nrhs == 0 && rhs != nil {
+		return nil, fmt.Errorf("qr: rhs passed to an R-only stream")
+	}
+	if s.nrhs > 0 && (rhs == nil || rhs.Rows != block.Rows || rhs.Cols != s.nrhs) {
+		return nil, fmt.Errorf("qr: append rhs must be %dx%d", block.Rows, s.nrhs)
+	}
+	if ws == nil {
+		ws = kernels.BorrowWorkspace()
+		defer kernels.ReturnWorkspace(ws)
+	}
+	nd := &StreamNode{Blocks: 1, Rows: int64(block.Rows), R: matrix.New(s.n, s.n)}
+	if s.nrhs > 0 {
+		nd.QTB = matrix.New(s.n, s.nrhs)
+	}
+	nb, ib := s.opts.NB, s.opts.IB
+	for r := 0; r < block.Rows; r += nb {
+		cr := min(nb, block.Rows-r)
+		chunk := block.View(r, 0, cr, s.n)
+		t := tScratch(ws, ib, s.n)
+		kernels.DtsqrtWS(ws, ib, nd.R, chunk, t)
+		s.hook("tsqrt")
+		if s.nrhs > 0 {
+			kernels.DtsmqrWS(ws, true, ib, chunk, t, nd.QTB, rhs.View(r, 0, cr, s.nrhs))
+			s.hook("tsmqr")
+		}
+	}
+	return nd, nil
+}
+
+// merge folds victim into surv (the older, larger subtree) with one
+// dttqrt/dttmqr pair. victim's matrices are destroyed.
+func (s *Streamer) merge(ws *kernels.Workspace, surv, victim *StreamNode) {
+	t := tScratch(ws, s.opts.IB, s.n)
+	kernels.DttqrtWS(ws, s.opts.IB, surv.R, victim.R, t)
+	s.hook("ttqrt")
+	if s.nrhs > 0 {
+		kernels.DttmqrWS(ws, true, s.opts.IB, victim.R, t, surv.QTB, victim.QTB)
+		s.hook("ttmqr")
+	}
+	surv.Blocks += victim.Blocks
+	surv.Rows += victim.Rows
+}
+
+// Commit appends a reduced leaf to the spine and runs the carry chain:
+// while the two newest subtrees are equal sized they merge, exactly the
+// leaf-to-root path of the binary reduction tree. Takes ownership of nd.
+// Callers must serialize Commit with Current and Spine.
+func (s *Streamer) Commit(ws *kernels.Workspace, nd *StreamNode) {
+	if ws == nil {
+		ws = kernels.BorrowWorkspace()
+		defer kernels.ReturnWorkspace(ws)
+	}
+	s.spine = append(s.spine, nd)
+	s.blocks += nd.Blocks
+	s.rows += nd.Rows
+	for len(s.spine) >= 2 && s.spine[len(s.spine)-1].Blocks == s.spine[len(s.spine)-2].Blocks {
+		s.merge(ws, s.spine[len(s.spine)-2], s.spine[len(s.spine)-1])
+		s.spine[len(s.spine)-1] = nil
+		s.spine = s.spine[:len(s.spine)-1]
+	}
+}
+
+// Current folds the spine into the global factorization state — the R (and
+// QᵀB) of every row committed so far — without disturbing the committed
+// nodes: merge victims are copied into streamer-owned scratch first. At most
+// SpineDepth()−1 merges fire. dst's buffers are reused when correctly
+// shaped; pass nil to allocate fresh. The result aliases dst, never the
+// spine, so callers may hold it across later appends.
+func (s *Streamer) Current(ws *kernels.Workspace, dst *StreamNode) *StreamNode {
+	if ws == nil {
+		ws = kernels.BorrowWorkspace()
+		defer kernels.ReturnWorkspace(ws)
+	}
+	if dst == nil {
+		dst = &StreamNode{}
+	}
+	dst.R = ensureShape(dst.R, s.n, s.n)
+	if s.nrhs > 0 {
+		dst.QTB = ensureShape(dst.QTB, s.n, s.nrhs)
+	} else {
+		dst.QTB = nil
+	}
+	dst.Blocks, dst.Rows = s.blocks, s.rows
+	if len(s.spine) == 0 {
+		dst.R.Zero()
+		if dst.QTB != nil {
+			dst.QTB.Zero()
+		}
+		return dst
+	}
+	dst.R.CopyFrom(s.spine[0].R)
+	if s.nrhs > 0 {
+		dst.QTB.CopyFrom(s.spine[0].QTB)
+	}
+	for _, nd := range s.spine[1:] {
+		s.scratchV = ensureShape(s.scratchV, s.n, s.n)
+		s.scratchV.CopyFrom(nd.R)
+		t := tScratch(ws, s.opts.IB, s.n)
+		kernels.DttqrtWS(ws, s.opts.IB, dst.R, s.scratchV, t)
+		s.hook("ttqrt")
+		if s.nrhs > 0 {
+			s.scratchQ = ensureShape(s.scratchQ, s.n, s.nrhs)
+			s.scratchQ.CopyFrom(nd.QTB)
+			kernels.DttmqrWS(ws, true, s.opts.IB, s.scratchV, t, dst.QTB, s.scratchQ)
+			s.hook("ttmqr")
+		}
+	}
+	return dst
+}
+
+// ensureShape returns m when it is exactly rows×cols, a fresh matrix
+// otherwise.
+func ensureShape(m *matrix.Mat, rows, cols int) *matrix.Mat {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	return matrix.New(rows, cols)
+}

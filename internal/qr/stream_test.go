@@ -1,0 +1,309 @@
+package qr
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+)
+
+// stackDense stacks row blocks into one dense matrix.
+func stackDense(blocks []*matrix.Mat, n int) *matrix.Mat {
+	rows := 0
+	for _, b := range blocks {
+		rows += b.Rows
+	}
+	d := matrix.New(rows, n)
+	r := 0
+	for _, b := range blocks {
+		d.View(r, 0, b.Rows, n).CopyFrom(b)
+		r += b.Rows
+	}
+	return d
+}
+
+// canonR flips the sign of every row of r (and the matching row of q, when
+// non-nil) whose diagonal entry is negative, making the R factor of a
+// full-rank matrix unique.
+func canonR(r, q *matrix.Mat) {
+	for i := 0; i < r.Rows && i < r.Cols; i++ {
+		if r.At(i, i) < 0 {
+			for j := 0; j < r.Cols; j++ {
+				r.Set(i, j, -r.At(i, j))
+			}
+			if q != nil {
+				for j := 0; j < q.Cols; j++ {
+					q.Set(i, j, -q.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// streamAll drives a streamer over the blocks sequentially and returns the
+// folded current state.
+func streamAll(t *testing.T, s *Streamer, ws *kernels.Workspace, blocks, rhs []*matrix.Mat) *StreamNode {
+	t.Helper()
+	for i, b := range blocks {
+		var rb *matrix.Mat
+		if rhs != nil {
+			rb = rhs[i]
+		}
+		nd, err := s.LeafReduce(ws, b.Clone(), cloneOrNil(rb))
+		if err != nil {
+			t.Fatalf("LeafReduce block %d: %v", i, err)
+		}
+		s.Commit(ws, nd)
+	}
+	return s.Current(ws, nil)
+}
+
+func cloneOrNil(m *matrix.Mat) *matrix.Mat {
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}
+
+// TestStreamMatchesFactorize streams randomly sized row blocks (including
+// blocks shorter than n) and checks the folded R against a from-scratch
+// factorization of the stacked matrix, elementwise after sign
+// canonicalization. With ride-along right-hand sides it also checks the
+// least-squares solution against the reference Solve.
+func TestStreamMatchesFactorize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		n, nrhs, blocks int
+	}{
+		{8, 0, 5},
+		{24, 0, 9},
+		{32, 2, 7},
+		{48, 3, 12},
+	} {
+		t.Run(fmt.Sprintf("n%d_rhs%d_b%d", tc.n, tc.nrhs, tc.blocks), func(t *testing.T) {
+			opts := Options{NB: 32, IB: 8}
+			var blocks, rhs []*matrix.Mat
+			for i := 0; i < tc.blocks; i++ {
+				m := 1 + rng.Intn(2*tc.n)
+				if i == 0 {
+					m = tc.n + rng.Intn(tc.n) // full rank from the first fold
+				}
+				blocks = append(blocks, matrix.NewRand(m, tc.n, rng))
+				if tc.nrhs > 0 {
+					rhs = append(rhs, matrix.NewRand(m, tc.nrhs, rng))
+				}
+			}
+			s, err := NewStreamer(tc.n, tc.nrhs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := kernels.NewWorkspace()
+			cur := s.Current(ws, nil)
+			if cur.R.MaxAbs() != 0 || cur.Rows != 0 {
+				t.Fatalf("empty stream has nonzero state")
+			}
+			cur = streamAll(t, s, ws, blocks, rhs)
+
+			dense := stackDense(blocks, tc.n)
+			if int64(dense.Rows) != s.Rows() {
+				t.Fatalf("streamed %d rows, stacked %d", s.Rows(), dense.Rows)
+			}
+			var denseB *matrix.Tiled
+			if tc.nrhs > 0 {
+				denseB = matrix.FromDense(stackDense(rhs, tc.nrhs), opts.NB)
+			}
+			f, err := Factorize(matrix.FromDense(dense, opts.NB), denseB, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.R()
+			canonR(want, nil)
+			got := cur.R.Clone()
+			var gotQ *matrix.Mat
+			if tc.nrhs > 0 {
+				gotQ = cur.QTB.Clone()
+			}
+			canonR(got, gotQ)
+			tol := 1e-10 * float64(dense.Rows) * dense.MaxAbs()
+			if d := matrix.MaxAbsDiff(got, want); d > tol {
+				t.Fatalf("streamed R deviates from factorized R by %g (tol %g)", d, tol)
+			}
+			if tc.nrhs > 0 {
+				xWant := f.SolveFromQTB()
+				xGot := (&StreamNode{R: got, QTB: gotQ}).SolveLS()
+				xTol := 1e-8 * float64(dense.Rows) * math.Max(1, xWant.MaxAbs())
+				if d := matrix.MaxAbsDiff(xGot, xWant); d > xTol {
+					t.Fatalf("streamed LS solution deviates by %g (tol %g)", d, xTol)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamKernelCountLogP instruments kernel firings through the
+// streamer's hook and asserts the per-append tile-kernel count is O(log P),
+// not O(P): an append to a P-block session fires the leaf reduction plus at
+// most the leaf-to-root merge path and the spine fold — never a full
+// refactorization.
+func TestStreamKernelCountLogP(t *testing.T) {
+	const (
+		n = 24
+		P = 128
+	)
+	opts := Options{NB: 32, IB: 8}
+	rng := rand.New(rand.NewSource(7))
+	s, err := NewStreamer(n, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	s.Hook = func(string) { fired++ }
+	ws := kernels.NewWorkspace()
+
+	maxPerAppend, total := 0, 0
+	var blocks []*matrix.Mat
+	for i := 0; i < P; i++ {
+		b := matrix.NewRand(opts.NB, n, rng) // one tile chunk per leaf
+		blocks = append(blocks, b)
+		fired = 0
+		nd, err := s.LeafReduce(ws, b.Clone(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Commit(ws, nd)
+		s.Current(ws, nil)
+		total += fired
+		if fired > maxPerAppend {
+			maxPerAppend = fired
+		}
+	}
+
+	// Per append: 1 leaf tsqrt + ≤ log₂P carry ttqrts + ≤ log₂P fold
+	// ttqrts. A refactorization would fire ≥ P kernels.
+	logP := bits.Len(uint(P))
+	if bound := 2*logP + 2; maxPerAppend > bound {
+		t.Fatalf("append fired %d kernels, want <= %d (2·log2(%d)+2)", maxPerAppend, bound, P)
+	}
+	if maxPerAppend >= P/2 {
+		t.Fatalf("append fired %d kernels on a %d-block session — that is O(P), not O(log P)", maxPerAppend, P)
+	}
+	if s.SpineDepth() > logP {
+		t.Fatalf("spine depth %d exceeds log2(%d)", s.SpineDepth(), P)
+	}
+	t.Logf("P=%d: max %d kernels/append, %.1f avg, spine depth %d", P, maxPerAppend, float64(total)/P, s.SpineDepth())
+
+	// The streamed R still matches a from-scratch factorization.
+	s.Hook = nil
+	cur := s.Current(ws, nil)
+	dense := stackDense(blocks, n)
+	f, err := Factorize(matrix.FromDense(dense, opts.NB), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.R()
+	canonR(want, nil)
+	got := cur.R.Clone()
+	canonR(got, nil)
+	tol := 1e-10 * float64(dense.Rows) * dense.MaxAbs()
+	if d := matrix.MaxAbsDiff(got, want); d > tol {
+		t.Fatalf("streamed R deviates from factorized R by %g (tol %g)", d, tol)
+	}
+}
+
+// TestStreamRestoreBitwise checkpoints a stream mid-way (cloning the spine,
+// as the durable checkpoint does), restores it into a fresh streamer, and
+// drives both over the same remaining appends: the restored R must be
+// bitwise identical to the uninterrupted run's.
+func TestStreamRestoreBitwise(t *testing.T) {
+	const n, nrhs, total, cut = 16, 2, 11, 6
+	opts := Options{NB: 16, IB: 8}
+	rng := rand.New(rand.NewSource(3))
+	var blocks, rhs []*matrix.Mat
+	for i := 0; i < total; i++ {
+		m := 1 + rng.Intn(24)
+		blocks = append(blocks, matrix.NewRand(m, n, rng))
+		rhs = append(rhs, matrix.NewRand(m, nrhs, rng))
+	}
+	ws := kernels.NewWorkspace()
+
+	orig, err := NewStreamer(n, nrhs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamAll(t, orig, ws, blocks[:cut], rhs[:cut])
+
+	// Snapshot the spine the way a checkpoint does: deep copies.
+	var snap []*StreamNode
+	for _, nd := range orig.Spine() {
+		snap = append(snap, &StreamNode{Blocks: nd.Blocks, Rows: nd.Rows, R: nd.R.Clone(), QTB: nd.QTB.Clone()})
+	}
+	restored, err := RestoreStreamer(n, nrhs, opts, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Blocks() != cut || restored.Rows() != orig.Rows() {
+		t.Fatalf("restored %d blocks / %d rows, want %d / %d", restored.Blocks(), restored.Rows(), cut, orig.Rows())
+	}
+
+	curOrig := streamAll(t, orig, ws, blocks[cut:], rhs[cut:])
+	curRest := streamAll(t, restored, kernels.NewWorkspace(), blocks[cut:], rhs[cut:])
+	if d := matrix.MaxAbsDiff(curOrig.R, curRest.R); d != 0 {
+		t.Fatalf("restored R differs from uninterrupted run by %g (want bitwise equality)", d)
+	}
+	if d := matrix.MaxAbsDiff(curOrig.QTB, curRest.QTB); d != 0 {
+		t.Fatalf("restored QTB differs from uninterrupted run by %g (want bitwise equality)", d)
+	}
+}
+
+// TestStreamInputValidation exercises the error paths of LeafReduce and
+// RestoreStreamer.
+func TestStreamInputValidation(t *testing.T) {
+	opts := Options{NB: 16, IB: 8}
+	s, err := NewStreamer(8, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamer(0, 0, opts); err == nil {
+		t.Fatal("NewStreamer accepted n=0")
+	}
+	if _, err := NewStreamer(8, -1, opts); err == nil {
+		t.Fatal("NewStreamer accepted nrhs=-1")
+	}
+	if _, err := s.LeafReduce(nil, matrix.New(4, 7), nil); err == nil {
+		t.Fatal("LeafReduce accepted a column mismatch")
+	}
+	if _, err := s.LeafReduce(nil, nil, nil); err == nil {
+		t.Fatal("LeafReduce accepted a nil block")
+	}
+	if _, err := s.LeafReduce(nil, matrix.New(4, 8), matrix.New(4, 1)); err == nil {
+		t.Fatal("LeafReduce accepted rhs on an R-only stream")
+	}
+	sr, err := NewStreamer(8, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.LeafReduce(nil, matrix.New(4, 8), nil); err == nil {
+		t.Fatal("LeafReduce accepted a missing rhs")
+	}
+	if _, err := sr.LeafReduce(nil, matrix.New(4, 8), matrix.New(3, 1)); err == nil {
+		t.Fatal("LeafReduce accepted an rhs row mismatch")
+	}
+
+	good := &StreamNode{Blocks: 2, Rows: 20, R: matrix.New(8, 8)}
+	if _, err := RestoreStreamer(8, 0, opts, []*StreamNode{good, {Blocks: 2, Rows: 4, R: matrix.New(8, 8)}}); err == nil {
+		t.Fatal("RestoreStreamer accepted non-decreasing block counts")
+	}
+	if _, err := RestoreStreamer(8, 0, opts, []*StreamNode{{Blocks: 1, Rows: 4, R: matrix.New(7, 8)}}); err == nil {
+		t.Fatal("RestoreStreamer accepted a misshapen R")
+	}
+	if _, err := RestoreStreamer(8, 1, opts, []*StreamNode{good}); err == nil {
+		t.Fatal("RestoreStreamer accepted a missing QTB")
+	}
+	if _, err := RestoreStreamer(8, 0, opts, []*StreamNode{good}); err != nil {
+		t.Fatalf("RestoreStreamer rejected a valid spine: %v", err)
+	}
+}

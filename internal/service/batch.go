@@ -4,7 +4,6 @@ import (
 	"context"
 	"io"
 	"net/http"
-	"strconv"
 
 	"pulsarqr/internal/batch"
 	"pulsarqr/internal/matrix"
@@ -30,10 +29,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.batchSem }()
 	default:
 		s.metrics.BatchRejected.Add(1)
-		// Busy slots drain in chunk time, not job time: hint a short retry,
-		// stretched by how loaded the batch class already is.
-		w.Header().Set("Retry-After", strconv.Itoa(1+int(s.metrics.BatchActive.Load())))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{"batch capacity exhausted; retry later"})
+		// Busy slots drain in chunk time, not job time: depth is the streams
+		// already running, slots the stream cap, so the hint stays short.
+		shed429(w, int(s.metrics.BatchActive.Load()), s.cfg.BatchStreams, "batch capacity exhausted; retry later")
 		return
 	}
 	if s.baseCtx.Err() != nil {

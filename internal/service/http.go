@@ -76,6 +76,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("GET /v1/sessions/{id}/r", s.handleSessionR)
+	mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -100,8 +106,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// with how many queued jobs must drain per execution slot before a
 		// retry can be admitted, so clients back off harder the deeper the
 		// queue — without any client-side knowledge of server sizing.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.mgr.Depth(), s.cfg.MaxConcurrent)))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		shed429(w, s.mgr.Depth(), s.cfg.MaxConcurrent, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
@@ -187,6 +192,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Process-level goroutine count: the smoke tests diff it across a batch
 	// stream to prove the scheduler leaks nothing.
 	fmt.Fprintf(w, "# HELP qrserve_goroutines Goroutines live in the server process.\n# TYPE qrserve_goroutines gauge\nqrserve_goroutines %d\n", runtime.NumGoroutine())
+	s.writeSessionProm(w)
 	s.writeTransportProm(w)
 }
 
@@ -201,4 +207,13 @@ func retryAfterSeconds(depth, slots int) int {
 		sec = 30
 	}
 	return sec
+}
+
+// shed429 is the one load-shedding response for every admission class — the
+// job queue, batch streams, and session append streams all refuse work
+// through it, so clients see a uniform 429 + Retry-After contract: depth is
+// the work already admitted in that class, slots its drain parallelism.
+func shed429(w http.ResponseWriter, depth, slots int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(depth, slots)))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{msg})
 }

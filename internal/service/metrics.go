@@ -36,12 +36,23 @@ type Metrics struct {
 	BatchShed     atomic.Int64 // matrices a batch stream declared but never emitted
 	BatchActive   atomic.Int64 // batch streams currently executing
 
+	SessionsOpened   atomic.Int64 // sessions created via POST /v1/sessions
+	SessionsRejected atomic.Int64 // session opens refused (table or tenant full)
+	SessionsRestored atomic.Int64 // session spines reloaded from checkpoints
+	SessionsEvicted  atomic.Int64 // sessions unloaded or evicted by the janitor
+	SessionAppends   atomic.Int64 // row blocks appended across all sessions
+	AppendRejected   atomic.Int64 // append streams shed at admission (429)
+	AppendActive     atomic.Int64 // append streams currently executing
+	CheckpointWrites atomic.Int64 // QSC1 checkpoint files written
+	CheckpointBytes  atomic.Int64 // total bytes of checkpoint writes
+
 	flopBits atomic.Uint64 // total useful flops, float64 bits
 	busyBits atomic.Uint64 // total seconds spent factorizing, float64 bits
 
 	latency *histogram
 	wait    *histogram // pool worker park intervals
 	chunk   *histogram // batch chunk dispatch-to-completion latency
+	appendH *histogram // session append latency, receipt to committed R
 
 	mu      sync.Mutex
 	firings map[string]*atomic.Int64 // VDP firings by trace class
@@ -64,6 +75,13 @@ var waitBuckets = []float64{
 // delay behind a saturated pool.
 var chunkBuckets = []float64{
 	1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1,
+}
+
+// appendBuckets span one streamed append's life from receipt to committed R:
+// a carry-free leaf reduction is tens of microseconds; a deep carry chain
+// plus a checkpoint fsync can reach seconds.
+var appendBuckets = []float64{
+	1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5,
 }
 
 // histogram is a fixed-bucket Prometheus-style histogram on atomics; the
@@ -103,7 +121,21 @@ func NewMetrics() *Metrics {
 		latency: newHistogram(latencyBuckets),
 		wait:    newHistogram(waitBuckets),
 		chunk:   newHistogram(chunkBuckets),
+		appendH: newHistogram(appendBuckets),
 	}
+}
+
+// ObserveAppend records one committed session append (receipt to updated R).
+// The session table installs it as OnAppend, so it runs on commit goroutines.
+func (m *Metrics) ObserveAppend(d time.Duration) {
+	m.SessionAppends.Add(1)
+	m.appendH.observe(d.Seconds())
+}
+
+// ObserveCheckpoint records one durable checkpoint write and its size.
+func (m *Metrics) ObserveCheckpoint(bytes int64) {
+	m.CheckpointWrites.Add(1)
+	m.CheckpointBytes.Add(bytes)
 }
 
 // ObserveBatchChunk records one completed batch chunk: its matrix count and
@@ -211,6 +243,17 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
 	counter("qrserve_batch_shed_total", "Matrices declared by batch requests but never emitted.", m.BatchShed.Load())
 	gauge("qrserve_batch_active", "Batch streams currently executing.", m.BatchActive.Load())
 	hist("qrserve_batch_chunk_seconds", "Batch chunk latency, dispatch to completion.", m.chunk)
+
+	counter("qrserve_sessions_opened_total", "Streaming sessions created.", m.SessionsOpened.Load())
+	counter("qrserve_sessions_rejected_total", "Session opens refused (table or tenant full).", m.SessionsRejected.Load())
+	counter("qrserve_sessions_restored_total", "Session spines reloaded from checkpoints.", m.SessionsRestored.Load())
+	counter("qrserve_sessions_evicted_total", "Sessions unloaded or evicted by the idle janitor.", m.SessionsEvicted.Load())
+	counter("qrserve_session_appends_total", "Row blocks appended across all streaming sessions.", m.SessionAppends.Load())
+	counter("qrserve_session_append_rejected_total", "Append streams shed at admission.", m.AppendRejected.Load())
+	gauge("qrserve_session_appends_active", "Append streams currently executing.", m.AppendActive.Load())
+	counter("qrserve_checkpoint_writes_total", "QSC1 checkpoint files written.", m.CheckpointWrites.Load())
+	counter("qrserve_checkpoint_bytes_total", "Total bytes written to checkpoint files.", m.CheckpointBytes.Load())
+	hist("qrserve_session_append_seconds", "Session append latency, receipt to committed R.", m.appendH)
 
 	counter("qrserve_trace_events_total", "Events in gathered trace shards.", m.TraceEvents.Load())
 	counter("qrserve_trace_dropped_total", "Trace events lost to recorder capacity bounds.", m.TraceDrops.Load())

@@ -16,6 +16,7 @@ import (
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
+	"pulsarqr/internal/session"
 	"pulsarqr/internal/trace"
 	"pulsarqr/internal/transport"
 )
@@ -62,6 +63,26 @@ type Config struct {
 	// workspaces node-local (see pulsar.PoolOptions.PinNUMA). Best-effort:
 	// single-node or non-Linux hosts run exactly as before.
 	PinNUMA bool
+	// CheckpointDir, when set, makes streaming sessions durable: every
+	// session checkpoints its reduction spine there (QSC1 files), idle
+	// sessions unload to disk, and a restarted server re-registers every
+	// checkpoint it finds. Empty keeps sessions memory-only.
+	CheckpointDir string
+	// SessionStreams caps concurrent POST /v1/sessions/{id}/append streams —
+	// the third admission class beside the job queue and batch streams.
+	// Default 2.
+	SessionStreams int
+	// MaxSessions bounds the session table; MaxSessionsPerTenant bounds one
+	// tenant's share. Zeros take the session package defaults (64 / 8).
+	MaxSessions          int
+	MaxSessionsPerTenant int
+	// SessionIdle is how long a session may sit unused before it unloads
+	// (durable) or is evicted (memory-only); zero takes the session package
+	// default (10m), negative disables.
+	SessionIdle time.Duration
+	// CheckpointEvery is the default appends-per-checkpoint cadence for new
+	// sessions (overridable per session); zero means every append.
+	CheckpointEvery int
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +99,9 @@ type Server struct {
 
 	batchSched *batch.Scheduler
 	batchSem   chan struct{} // admission slots for POST /v1/batch streams
+
+	sessions   *session.Table
+	sessionSem chan struct{} // admission slots for session append streams
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -109,6 +133,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.BatchStreams <= 0 {
 		cfg.BatchStreams = 2
+	}
+	if cfg.SessionStreams <= 0 {
+		cfg.SessionStreams = 2
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -166,8 +193,33 @@ func NewServer(cfg Config) (*Server, error) {
 		Crossover: cfg.BatchCrossover,
 		OnChunk:   s.metrics.ObserveBatchChunk,
 	})
+	s.sessionSem = make(chan struct{}, cfg.SessionStreams)
+	tbl, err := session.NewTable(session.Config{
+		Dir:          cfg.CheckpointDir,
+		Pool:         s.pool,
+		MaxSessions:  cfg.MaxSessions,
+		MaxPerTenant: cfg.MaxSessionsPerTenant,
+		IdleTimeout:  cfg.SessionIdle,
+		Every:        cfg.CheckpointEvery,
+		OnAppend:     s.metrics.ObserveAppend,
+		OnCheckpoint: s.metrics.ObserveCheckpoint,
+		OnRestore:    func() { s.metrics.SessionsRestored.Add(1) },
+		OnEvict:      func() { s.metrics.SessionsEvicted.Add(1) },
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		s.pool.Close()
+		if s.mux != nil {
+			s.mux.Close()
+		}
+		return nil, err
+	}
+	s.sessions = tbl
 	return s, nil
 }
+
+// Sessions exposes the session table (tests and embedders).
+func (s *Server) Sessions() *session.Table { return s.sessions }
 
 // Metrics exposes the server's counters (shared with the HTTP surface).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -516,6 +568,11 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.stop() // cancels every job context derived from baseCtx
 		s.mgr.Close()
+		// Flush dirty session spines to their checkpoints while the pool is
+		// still alive: append streams unwind on the canceled baseCtx first.
+		if err := s.sessions.Close(); err != nil {
+			s.cfg.Logf("session table close: %v", err)
+		}
 		if s.mux != nil {
 			s.broadcast(ctlMsg{Op: "shutdown"})
 			s.ctl.Close()

@@ -1,0 +1,204 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/qr"
+)
+
+// randCheckpoint builds a structurally valid checkpoint with a random
+// binary-counter spine.
+func randCheckpoint(rng *rand.Rand) *Checkpoint {
+	n := 1 + rng.Intn(12)
+	nrhs := rng.Intn(3)
+	cp := &Checkpoint{
+		ID:     "deadbeef01234567",
+		Tenant: "acme",
+		N:      n,
+		NRHS:   nrhs,
+		Opts:   qr.Options{NB: 8 + rng.Intn(56), IB: 1 + rng.Intn(8)},
+		Every:  rng.Intn(4),
+		Ack:    rng.Intn(2) == 1,
+	}
+	if cp.Opts.IB > cp.Opts.NB {
+		cp.Opts.IB = cp.Opts.NB
+	}
+	count := int64(1 + rng.Intn(127))
+	for bit := 6; bit >= 0; bit-- { // set bits of count, descending: the binary-counter spine
+		if count&(1<<bit) == 0 {
+			continue
+		}
+		take := int64(1) << bit
+		nd := &qr.StreamNode{Blocks: take, Rows: take * int64(1+rng.Intn(40))}
+		nd.R = matrix.NewRand(n, n, rng)
+		for j := 0; j < n; j++ { // zero below diagonal, like a real R
+			for i := j + 1; i < n; i++ {
+				nd.R.Set(i, j, 0)
+			}
+		}
+		if nrhs > 0 {
+			nd.QTB = matrix.NewRand(n, nrhs, rng)
+		}
+		cp.Spine = append(cp.Spine, nd)
+		cp.Blocks += nd.Blocks
+		cp.Rows += nd.Rows
+	}
+	return cp
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cp := randCheckpoint(rng)
+		var buf bytes.Buffer
+		n, err := WriteCheckpoint(&buf, cp)
+		if err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("trial %d: reported %d bytes, wrote %d", trial, n, buf.Len())
+		}
+		got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if got.ID != cp.ID || got.Tenant != cp.Tenant || got.N != cp.N || got.NRHS != cp.NRHS ||
+			got.Opts.NB != cp.Opts.NB || got.Opts.IB != cp.Opts.IB ||
+			got.Every != cp.Every || got.Ack != cp.Ack ||
+			got.Blocks != cp.Blocks || got.Rows != cp.Rows || len(got.Spine) != len(cp.Spine) {
+			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, got, cp)
+		}
+		for i, nd := range cp.Spine {
+			g := got.Spine[i]
+			if g.Blocks != nd.Blocks || g.Rows != nd.Rows {
+				t.Fatalf("trial %d node %d: counts", trial, i)
+			}
+			if matrix.MaxAbsDiff(g.R, nd.R) != 0 {
+				t.Fatalf("trial %d node %d: R not bitwise equal", trial, i)
+			}
+			if (g.QTB == nil) != (nd.QTB == nil) {
+				t.Fatalf("trial %d node %d: QTB presence", trial, i)
+			}
+			if nd.QTB != nil && matrix.MaxAbsDiff(g.QTB, nd.QTB) != 0 {
+				t.Fatalf("trial %d node %d: QTB not bitwise equal", trial, i)
+			}
+		}
+		// Header-only parse agrees and stops before the spine.
+		info, err := ReadCheckpointInfo(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: info: %v", trial, err)
+		}
+		if info.Blocks != cp.Blocks || info.Rows != cp.Rows || info.Spine != nil {
+			t.Fatalf("trial %d: info mismatch", trial)
+		}
+		// The restored spine must satisfy RestoreStreamer's invariants.
+		if _, err := qr.RestoreStreamer(got.N, got.NRHS, got.Opts, got.Spine); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckpointTruncationAndCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cp := randCheckpoint(rng)
+	var buf bytes.Buffer
+	if _, err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must fail cleanly, never panic or misparse.
+	for cut := 0; cut < len(full); cut += 1 + cut/7 {
+		if _, err := ReadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed", cut, len(full))
+		}
+	}
+	// A flipped payload bit must fail the trailer checksum.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-20] ^= 0x40
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted checkpoint parsed")
+	} else if !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("corruption error = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestCheckpointHostilePrefixAllocBound(t *testing.T) {
+	// A tiny stream claiming enormous dims must be rejected on header
+	// validation — before any spine allocation happens.
+	hostile := [][]byte{
+		append([]byte("QSC1"), bytes.Repeat([]byte{0xff}, 64)...),
+		append([]byte("QSC1"), 0x02, 0x00, 'a', 'b', 0x00, 0x00,
+			0xff, 0xff, 0xff, 0x7f, // n = huge
+			0x00, 0x00, 0x00, 0x00),
+		[]byte("QBS1nope"),
+	}
+	for i, b := range hostile {
+		if _, err := ReadCheckpoint(bytes.NewReader(b)); err == nil {
+			t.Fatalf("hostile stream %d parsed", i)
+		}
+	}
+	// Structurally valid header declaring max dims: the reader may commit
+	// at most one column buffer + one matrix before the payload must
+	// actually arrive — it must hit EOF, not OOM.
+	var buf bytes.Buffer
+	cp := &Checkpoint{ID: "x", N: MaxN, NRHS: 0, Opts: qr.Options{NB: 64, IB: 16}, Blocks: 1, Rows: 1,
+		Spine: nil}
+	if _, err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()[:buf.Len()-8] // drop trailer, claim one spine node
+	hdr[len(hdr)-4] = 1
+	if _, err := ReadCheckpoint(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("truncated spine parsed")
+	} else if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointRejectsUnsafeNames(t *testing.T) {
+	base := randCheckpoint(rand.New(rand.NewSource(3)))
+	for _, id := range []string{"", "../../etc/passwd", "a/b", ".hidden", strings.Repeat("x", MaxName+1), "sp ace"} {
+		cp := *base
+		cp.ID = id
+		if _, err := WriteCheckpoint(io.Discard, &cp); err == nil {
+			t.Fatalf("id %q encoded", id)
+		}
+	}
+}
+
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(21))
+	cp := randCheckpoint(rng)
+	if _, err := WriteCheckpointFile(dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with new content; the file must never be torn, and no temp
+	// files may linger.
+	cp2 := randCheckpoint(rng)
+	cp2.ID = cp.ID
+	if _, err := WriteCheckpointFile(dir, cp2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(CheckpointPath(dir, cp.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks != cp2.Blocks {
+		t.Fatalf("read back blocks %d, want %d", got.Blocks, cp2.Blocks)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".qsc" {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+}

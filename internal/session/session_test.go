@@ -1,0 +1,407 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pulsarqr/internal/kernels"
+	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/pulsar"
+	"pulsarqr/internal/qr"
+)
+
+// feedBlocks returns a next() function yielding the given blocks/rhs pairs.
+func feedBlocks(blocks, rhs []*matrix.Mat) func() (*matrix.Mat, *matrix.Mat, error) {
+	i := 0
+	return func() (*matrix.Mat, *matrix.Mat, error) {
+		if i >= len(blocks) {
+			return nil, nil, io.EOF
+		}
+		b := blocks[i]
+		var r *matrix.Mat
+		if rhs != nil {
+			r = rhs[i]
+		}
+		i++
+		return b, r, nil
+	}
+}
+
+func genBlocks(rng *rand.Rand, count, n int) []*matrix.Mat {
+	out := make([]*matrix.Mat, count)
+	for i := range out {
+		m := 4 + rng.Intn(40)
+		if i == 0 {
+			m = n + rng.Intn(40) // full rank from the first fold
+		}
+		out[i] = matrix.NewRand(m, n, rng)
+	}
+	return out
+}
+
+func cloneAll(ms []*matrix.Mat) []*matrix.Mat {
+	out := make([]*matrix.Mat, len(ms))
+	for i, m := range ms {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+func TestTableLimits(t *testing.T) {
+	tbl, err := NewTable(Config{MaxSessions: 3, MaxPerTenant: 2, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	var opts qr.Options
+	a1, err := tbl.Open("a", 4, 0, opts, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Open("a", 4, 0, opts, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Open("a", 4, 0, opts, 0, false); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("tenant overflow: %v", err)
+	}
+	if _, err := tbl.Open("b", 4, 0, opts, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Open("c", 4, 0, opts, 0, false); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("table overflow: %v", err)
+	}
+	// Deleting frees both the table slot and the tenant slot.
+	if err := tbl.Delete(a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Open("a", 4, 0, opts, 0, false); err != nil {
+		t.Fatalf("after delete: %v", err)
+	}
+	if _, err := tbl.Get(a1.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted session found: %v", err)
+	}
+	if _, err := tbl.Open("bad tenant!", 4, 0, opts, 0, false); err == nil {
+		t.Fatal("hostile tenant name admitted")
+	}
+}
+
+// TestAppendStreamMatchesFactorize streams blocks through a table (with a
+// live pool, so the pipelined path runs) and checks the final R against a
+// from-scratch factorization of the stacked rows.
+func TestAppendStreamMatchesFactorize(t *testing.T) {
+	pool := pulsar.NewPool(3, func(int) any { return kernels.NewWorkspace() })
+	defer pool.Close()
+	tbl, err := NewTable(Config{Pool: pool, IdleTimeout: -1, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	rng := rand.New(rand.NewSource(77))
+	n := 13
+	blocks := genBlocks(rng, 9, n)
+	orig := cloneAll(blocks)
+	s, err := tbl.Open("t", n, 0, qr.Options{NB: 16, IB: 4}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *matrix.Mat
+	var updates int64
+	committed, err := s.AppendStream(context.Background(), feedBlocks(blocks, nil),
+		func(bl, rows int64, cur *qr.StreamNode) error {
+			updates++
+			got = cur.R.Clone()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != int64(len(blocks)) || updates != committed {
+		t.Fatalf("committed %d, updates %d", committed, updates)
+	}
+	want := refR(t, orig, n)
+	compareR(t, got, want)
+}
+
+// refR stacks blocks and factorizes from scratch.
+func refR(t *testing.T, blocks []*matrix.Mat, n int) *matrix.Mat {
+	t.Helper()
+	rows := 0
+	for _, b := range blocks {
+		rows += b.Rows
+	}
+	a := matrix.New(rows, n)
+	at := 0
+	for _, b := range blocks {
+		a.View(at, 0, b.Rows, n).CopyFrom(b)
+		at += b.Rows
+	}
+	f, err := qr.Factorize(matrix.FromDense(a, 16), nil, qr.Options{NB: 16, IB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.R()
+}
+
+// compareR canonicalizes row signs (diag ≥ 0) and compares elementwise.
+func compareR(t *testing.T, got, want *matrix.Mat) {
+	t.Helper()
+	canon := func(r *matrix.Mat) {
+		for i := 0; i < r.Rows && i < r.Cols; i++ {
+			if r.At(i, i) < 0 {
+				for j := 0; j < r.Cols; j++ {
+					r.Set(i, j, -r.At(i, j))
+				}
+			}
+		}
+	}
+	g, w := got.Clone(), want.Clone()
+	canon(g)
+	canon(w)
+	scale := w.MaxAbs() + 1
+	if d := matrix.MaxAbsDiff(g, w); d > 1e-10*scale {
+		t.Fatalf("R mismatch: %g (scale %g)", d, scale)
+	}
+}
+
+// TestAppendStreamBusy proves a second concurrent stream is refused.
+func TestAppendStreamBusy(t *testing.T) {
+	tbl, err := NewTable(Config{IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	s, err := tbl.Open("t", 4, 0, qr.Options{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		first := true
+		_, err := s.AppendStream(context.Background(), func() (*matrix.Mat, *matrix.Mat, error) {
+			if first {
+				first = false
+				return matrix.NewRand(6, 4, rng), nil, nil
+			}
+			close(started)
+			<-release
+			return nil, nil, io.EOF
+		}, func(int64, int64, *qr.StreamNode) error { return nil })
+		done <- err
+	}()
+	<-started
+	if _, err := s.AppendStream(context.Background(), feedBlocks(nil, nil),
+		func(int64, int64, *qr.StreamNode) error { return nil }); !errors.Is(err, ErrBusy) {
+		t.Fatalf("concurrent stream: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRestart writes a session through one table, closes it, and
+// proves a fresh table over the same directory restores the session and
+// that continued appends land bitwise where an uninterrupted run lands.
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(31))
+	n, nrhs := 9, 2
+	blocks := genBlocks(rng, 8, n)
+	rhs := make([]*matrix.Mat, len(blocks))
+	for i, b := range blocks {
+		rhs[i] = matrix.NewRand(b.Rows, nrhs, rng)
+	}
+	cut := 5
+
+	// Uninterrupted run for the bitwise oracle.
+	oracleTbl, err := NewTable(Config{IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := oracleTbl.Open("t", n, nrhs, qr.Options{NB: 8, IB: 4}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := so.AppendStream(context.Background(), feedBlocks(cloneAll(blocks), cloneAll(rhs)),
+		func(int64, int64, *qr.StreamNode) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := so.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleTbl.Close()
+
+	// Interrupted run: first cut appends, then close (simulating restart —
+	// checkpoint cadence 1 means even kill -9 only loses uncommitted work).
+	var ckpts atomic.Int64
+	tbl1, err := NewTable(Config{Dir: dir, IdleTimeout: -1,
+		OnCheckpoint: func(int64) { ckpts.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tbl1.Open("t", n, nrhs, qr.Options{NB: 8, IB: 4}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s1.ID
+	if _, err := s1.AppendStream(context.Background(), feedBlocks(cloneAll(blocks[:cut]), cloneAll(rhs[:cut])),
+		func(int64, int64, *qr.StreamNode) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tbl1.Close()
+	if got := ckpts.Load(); got < int64(cut) {
+		t.Fatalf("expected ≥%d checkpoints, saw %d", cut, got)
+	}
+
+	// Fresh table over the same dir: the session must reappear unloaded...
+	var restores atomic.Int64
+	tbl2, err := NewTable(Config{Dir: dir, IdleTimeout: -1,
+		OnRestore: func() { restores.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	s2, err := tbl2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := s2.Info(); in.Loaded || in.Blocks != int64(cut) {
+		t.Fatalf("restored info %+v", in)
+	}
+	// ...and replaying the remaining appends must land bitwise on the oracle.
+	if _, err := s2.AppendStream(context.Background(), feedBlocks(cloneAll(blocks[cut:]), cloneAll(rhs[cut:])),
+		func(int64, int64, *qr.StreamNode) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if restores.Load() != 1 {
+		t.Fatalf("restores = %d", restores.Load())
+	}
+	got, err := s2.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks != oracle.Blocks || got.Rows != oracle.Rows {
+		t.Fatalf("totals %d/%d vs %d/%d", got.Blocks, got.Rows, oracle.Blocks, oracle.Rows)
+	}
+	if d := matrix.MaxAbsDiff(got.R, oracle.R); d != 0 {
+		t.Fatalf("restored R differs from uninterrupted run by %g (want bitwise equality)", d)
+	}
+	if d := matrix.MaxAbsDiff(got.QTB, oracle.QTB); d != 0 {
+		t.Fatalf("restored QTB differs by %g", d)
+	}
+}
+
+// TestIdleUnloadAndEvict drives the sweep directly: durable sessions unload
+// (and survive), memory-only sessions are deleted.
+func TestIdleUnloadAndEvict(t *testing.T) {
+	dir := t.TempDir()
+	var evicts atomic.Int64
+	durable, err := NewTable(Config{Dir: dir, IdleTimeout: 50 * time.Millisecond,
+		OnEvict: func() { evicts.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	s, err := durable.Open("t", 5, 0, qr.Options{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable.sweep(time.Now().Add(time.Minute))
+	if in := s.Info(); in.Loaded {
+		t.Fatal("idle durable session still loaded")
+	}
+	if evicts.Load() != 1 {
+		t.Fatalf("evicts = %d", evicts.Load())
+	}
+	if _, err := s.Current(); err != nil { // lazy reload works
+		t.Fatal(err)
+	}
+
+	mem, err := NewTable(Config{IdleTimeout: 50 * time.Millisecond,
+		OnEvict: func() { evicts.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	m, err := mem.Open("t", 5, 0, qr.Options{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.sweep(time.Now().Add(time.Minute))
+	if _, err := mem.Get(m.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("idle memory-only session survived: %v", err)
+	}
+}
+
+// TestDeleteMidAppend proves an in-flight stream observes the tombstone.
+func TestDeleteMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	tbl, err := NewTable(Config{Dir: dir, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	s, err := tbl.Open("t", 4, 0, qr.Options{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	sent := 0
+	_, err = s.AppendStream(context.Background(), func() (*matrix.Mat, *matrix.Mat, error) {
+		if sent == 1 {
+			if err := tbl.Delete(s.ID); err != nil {
+				t.Error(err)
+			}
+		}
+		if sent >= 4 {
+			return nil, nil, io.EOF
+		}
+		sent++
+		return matrix.NewRand(5, 4, rng), nil, nil
+	}, func(int64, int64, *qr.StreamNode) error { return nil })
+	if !errors.Is(err, ErrGone) {
+		t.Fatalf("stream after delete: %v", err)
+	}
+	if _, err := os.Stat(CheckpointPath(dir, s.ID)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived delete: %v", err)
+	}
+}
+
+// TestBootScanSkipsGarbage drops junk files into the checkpoint dir and
+// proves NewTable registers only the valid session.
+func TestBootScanSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	tbl, err := NewTable(Config{Dir: dir, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tbl.Open("t", 6, 0, qr.Options{}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Close()
+	os.WriteFile(dir+"/garbage.qsc", []byte("QSC1 but not really"), 0o644)
+	os.WriteFile(dir+"/notes.txt", []byte("ignore me"), 0o644)
+	tbl2, err := NewTable(Config{Dir: dir, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	st := tbl2.Stats()
+	if st.Sessions != 1 {
+		t.Fatalf("sessions after scan = %d", st.Sessions)
+	}
+	if _, err := tbl2.Get(s.ID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,325 @@
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pulsarqr/internal/matrix"
+)
+
+// Wire format of POST /v1/sessions/{id}/append. The request body is one
+// stream of row blocks:
+//
+//	"QSA1" [u32 count] count × ( [u32 m] m·n × [f64] m·nrhs × [f64] )
+//
+// n and nrhs are fixed per session, so frames carry only the row count.
+// The response mirrors the batch API: one frame per committed append, in
+// commit order, followed by a trailer so the client always learns how far
+// the server got:
+//
+//	"QSB1" frames × ( [u64 blocks] [u64 rows] [u32 k] k·n × [f64] ) trailer
+//	trailer = [u32 0xFFFFFFFF pad] [u32 done] [u32 shed] [u64 checksum]
+//
+// blocks/rows are the session's cumulative totals after the commit; k is n
+// when the frame carries the folded global R (zeros below the diagonal) and
+// 0 for ack-only sessions. All integers little-endian; floats are IEEE-754
+// bit patterns, column-major. The checksum is the XOR of the Float64bits of
+// every R element emitted. Frame row counts are bounds-checked before any
+// allocation — the hostile-prefix defense shared with the batch and
+// checkpoint decoders.
+
+var (
+	appendMagic = [4]byte{'Q', 'S', 'A', '1'}
+	replyMagic  = [4]byte{'Q', 'S', 'B', '1'}
+)
+
+// MaxAppends bounds the block count one append stream may declare.
+const MaxAppends = 1 << 20
+
+// MaxBlockRows bounds the rows one appended block may carry; larger updates
+// split into multiple appends. Together with MaxN/MaxNRHS it caps the
+// decoder's scratch at a few tens of MB even under a hostile prefix.
+const MaxBlockRows = 1 << 12
+
+// appendTrailer marks the response trailer frame (in the blocks position's
+// low word it can never collide: a trailer's first u32 is all-ones padding).
+const appendTrailer = 0xFFFFFFFF
+
+// ErrBadMagic reports a session stream that does not start with its magic.
+var ErrBadMagic = errors.New("session: bad stream magic")
+
+// WriteAppendHeader writes the append-request magic and declared block count.
+func WriteAppendHeader(w io.Writer, count int) error {
+	if count < 0 || count > MaxAppends {
+		return fmt.Errorf("session: append count %d out of range [0,%d]", count, MaxAppends)
+	}
+	var hdr [8]byte
+	copy(hdr[:4], appendMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(count))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// AppendBlock appends the request encoding of one row block (and its
+// ride-along rhs rows, nil for R-only sessions) to dst.
+func AppendBlock(dst []byte, block, rhs *matrix.Mat) []byte {
+	if block.Rows < 1 || block.Rows > MaxBlockRows {
+		panic(fmt.Sprintf("session: encode %d-row block", block.Rows))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(block.Rows))
+	dst = appendCols(dst, block)
+	if rhs != nil {
+		if rhs.Rows != block.Rows {
+			panic(fmt.Sprintf("session: rhs has %d rows, block %d", rhs.Rows, block.Rows))
+		}
+		dst = appendCols(dst, rhs)
+	}
+	return dst
+}
+
+func appendCols(dst []byte, m *matrix.Mat) []byte {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.LD : j*m.LD+m.Rows]
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// AppendReader decodes an append-request stream block by block so the
+// session can reduce early blocks while later ones are still arriving.
+// Blocks returned by Next are freshly allocated and owned by the caller
+// (the reduction consumes them); the byte scratch is reused.
+type AppendReader struct {
+	r       io.Reader
+	n, nrhs int
+	count   int
+	read    int
+	buf     []byte
+}
+
+// NewAppendReader validates the stream header against the session's fixed
+// column counts and returns a reader over its blocks.
+func NewAppendReader(r io.Reader, n, nrhs int) (*AppendReader, error) {
+	if n < 1 || n > MaxN || nrhs < 0 || nrhs > MaxNRHS {
+		return nil, fmt.Errorf("session: append reader dims n=%d nrhs=%d", n, nrhs)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("session: append header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != appendMagic {
+		return nil, ErrBadMagic
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	if count > MaxAppends {
+		return nil, fmt.Errorf("session: append declares %d blocks, limit %d", count, MaxAppends)
+	}
+	return &AppendReader{r: r, n: n, nrhs: nrhs, count: int(count)}, nil
+}
+
+// Count returns the block count the stream header declared.
+func (ar *AppendReader) Count() int { return ar.count }
+
+// Next decodes the next appended block (and its rhs rows, nil when the
+// session carries none). It returns io.EOF after the declared count; a
+// stream ending early yields an error wrapping io.ErrUnexpectedEOF. The row
+// count is validated before the payload is allocated or read.
+func (ar *AppendReader) Next() (block, rhs *matrix.Mat, err error) {
+	if ar.read >= ar.count {
+		return nil, nil, io.EOF
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(ar.r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("session: block %d header: %w", ar.read, noEOF(err))
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[:]))
+	if m < 1 || m > MaxBlockRows {
+		return nil, nil, fmt.Errorf("session: block %d declares %d rows; need 1..%d", ar.read, m, MaxBlockRows)
+	}
+	need := 8 * m * (ar.n + ar.nrhs)
+	if cap(ar.buf) < need {
+		ar.buf = make([]byte, need)
+	}
+	buf := ar.buf[:need]
+	if _, err := io.ReadFull(ar.r, buf); err != nil {
+		return nil, nil, fmt.Errorf("session: block %d payload: %w", ar.read, noEOF(err))
+	}
+	block = matrix.New(m, ar.n)
+	fillBits(block, buf[:8*m*ar.n])
+	if ar.nrhs > 0 {
+		rhs = matrix.New(m, ar.nrhs)
+		fillBits(rhs, buf[8*m*ar.n:])
+	}
+	ar.read++
+	return block, rhs, nil
+}
+
+func fillBits(m *matrix.Mat, b []byte) {
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// ReplyWriter encodes the append-response stream, tracking the running
+// checksum and frame count for the trailer. The append loop serializes
+// emission; it is not safe for concurrent use.
+type ReplyWriter struct {
+	w    io.Writer
+	buf  []byte
+	sum  uint64
+	done uint32
+}
+
+// NewReplyWriter writes the response magic and returns the writer.
+func NewReplyWriter(w io.Writer) (*ReplyWriter, error) {
+	if _, err := w.Write(replyMagic[:]); err != nil {
+		return nil, err
+	}
+	return &ReplyWriter{w: w}, nil
+}
+
+// WriteUpdate emits one commit frame: the session's cumulative totals and,
+// unless r is nil (ack-only), the folded global R.
+func (rw *ReplyWriter) WriteUpdate(blocks, rows int64, r *matrix.Mat) error {
+	rw.buf = rw.buf[:0]
+	rw.buf = binary.LittleEndian.AppendUint64(rw.buf, uint64(blocks))
+	rw.buf = binary.LittleEndian.AppendUint64(rw.buf, uint64(rows))
+	if r == nil {
+		rw.buf = binary.LittleEndian.AppendUint32(rw.buf, 0)
+	} else {
+		rw.buf = binary.LittleEndian.AppendUint32(rw.buf, uint32(r.Rows))
+		for j := 0; j < r.Cols; j++ {
+			col := r.Data[j*r.LD : j*r.LD+r.Rows]
+			for _, v := range col {
+				bits := math.Float64bits(v)
+				rw.sum ^= bits
+				rw.buf = binary.LittleEndian.AppendUint64(rw.buf, bits)
+			}
+		}
+	}
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		return err
+	}
+	rw.done++
+	return nil
+}
+
+// Done returns the commit frames written so far.
+func (rw *ReplyWriter) Done() int { return int(rw.done) }
+
+// WriteTrailer ends the stream, reporting blocks the server never committed
+// (shed) and the checksum of everything emitted.
+func (rw *ReplyWriter) WriteTrailer(shed int) error {
+	rw.buf = rw.buf[:0]
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, appendTrailer)
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, appendTrailer)
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, rw.done)
+	rw.buf = binary.LittleEndian.AppendUint32(rw.buf, uint32(shed))
+	rw.buf = binary.LittleEndian.AppendUint64(rw.buf, rw.sum)
+	_, err := rw.w.Write(rw.buf)
+	return err
+}
+
+// Update is one decoded append-response frame.
+type Update struct {
+	Blocks int64       // session row blocks committed so far
+	Rows   int64       // session matrix rows committed so far
+	R      *matrix.Mat // folded global R; nil on ack-only streams
+}
+
+// Trailer is the decoded end-of-stream summary of an append response.
+type Trailer struct {
+	Done int    // commit frames the server emitted
+	Shed int    // appended blocks the server dropped (cancel, shutdown)
+	Sum  uint64 // server-side checksum of every emitted element
+}
+
+// ReplyReader decodes an append response, verifying the trailer checksum
+// against what was actually received.
+type ReplyReader struct {
+	r    io.Reader
+	n    int
+	buf  []byte
+	sum  uint64
+	done int
+}
+
+// NewReplyReader validates the response magic and returns a reader; n is
+// the session's column count.
+func NewReplyReader(r io.Reader, n int) (*ReplyReader, error) {
+	if n < 1 || n > MaxN {
+		return nil, fmt.Errorf("session: reply reader n=%d", n)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("session: response header: %w", err)
+	}
+	if magic != replyMagic {
+		return nil, ErrBadMagic
+	}
+	return &ReplyReader{r: r, n: n}, nil
+}
+
+// Next decodes the next frame. At the end of the stream it returns
+// (nil, trailer, nil) after verifying checksum and frame count; before
+// that, (update, nil, nil). A trailer is recognized by its first 8 bytes
+// being all ones — a cumulative block count can never reach 2⁶⁴−1.
+func (rr *ReplyReader) Next() (*Update, *Trailer, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("session: response frame: %w", noEOF(err))
+	}
+	if binary.LittleEndian.Uint64(hdr[:]) == math.MaxUint64 {
+		var rest [16]byte
+		if _, err := io.ReadFull(rr.r, rest[:]); err != nil {
+			return nil, nil, fmt.Errorf("session: response trailer: %w", noEOF(err))
+		}
+		tr := &Trailer{
+			Done: int(binary.LittleEndian.Uint32(rest[0:])),
+			Shed: int(binary.LittleEndian.Uint32(rest[4:])),
+			Sum:  binary.LittleEndian.Uint64(rest[8:]),
+		}
+		if tr.Done != rr.done {
+			return nil, nil, fmt.Errorf("session: trailer claims %d frames, read %d", tr.Done, rr.done)
+		}
+		if tr.Sum != rr.sum {
+			return nil, nil, fmt.Errorf("session: response checksum %#x, received %#x", tr.Sum, rr.sum)
+		}
+		return nil, tr, nil
+	}
+	var rest [12]byte
+	if _, err := io.ReadFull(rr.r, rest[:]); err != nil {
+		return nil, nil, fmt.Errorf("session: response frame: %w", noEOF(err))
+	}
+	up := &Update{
+		Blocks: int64(binary.LittleEndian.Uint64(hdr[:])),
+		Rows:   int64(binary.LittleEndian.Uint64(rest[0:])),
+	}
+	k := int(binary.LittleEndian.Uint32(rest[8:]))
+	if k != 0 && k != rr.n {
+		return nil, nil, fmt.Errorf("session: response frame k=%d, session n=%d", k, rr.n)
+	}
+	if k > 0 {
+		need := 8 * k * rr.n
+		if cap(rr.buf) < need {
+			rr.buf = make([]byte, need)
+		}
+		buf := rr.buf[:need]
+		if _, err := io.ReadFull(rr.r, buf); err != nil {
+			return nil, nil, fmt.Errorf("session: response R payload: %w", noEOF(err))
+		}
+		up.R = matrix.New(k, rr.n)
+		for i := range up.R.Data {
+			bits := binary.LittleEndian.Uint64(buf[i*8:])
+			rr.sum ^= bits
+			up.R.Data[i] = math.Float64frombits(bits)
+		}
+	}
+	rr.done++
+	return up, nil, nil
+}

@@ -1,0 +1,109 @@
+#!/bin/sh
+# session_smoke.sh — end-to-end check of durable streaming TSQR sessions.
+#
+# Starts a qrserve with a checkpoint directory, opens a session and
+# streams 3 row blocks into it (checkpoint every append), then kills the
+# server with SIGKILL — no flush, no goodbye — restarts it over the same
+# directory, and verifies the restored session serves an R bitwise equal
+# to a local sequential replay of the same blocks. That is the QSC1
+# durability contract: what a client saw committed survives kill -9.
+#
+# Usage: scripts/session_smoke.sh [path-to-bin-dir]   (default: ./bin)
+set -eu
+
+BIN=${1:-bin}
+APPENDS=${SESSION_SMOKE_APPENDS:-3}
+WORK=$(mktemp -d)
+SERVE_PID=
+
+cleanup() {
+    status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- qrserve logs ---"
+        cat "$WORK"/serve*.log 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+[ -x "$BIN/qrserve" ] && [ -x "$BIN/qrbench" ] || {
+    echo "session-smoke: $BIN/qrserve or $BIN/qrbench missing (run: make build)" >&2
+    exit 1
+}
+
+start_serve() {
+    logfile=$1
+    rm -f "$WORK/port"
+    "$BIN/qrserve" -listen 127.0.0.1:0 -portfile "$WORK/port" -threads 2 \
+        -checkpoint-dir "$WORK/ckpt" >"$WORK/$logfile" 2>&1 &
+    SERVE_PID=$!
+    i=0
+    until [ -s "$WORK/port" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ] || ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "session-smoke: qrserve did not come up" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR=$(cat "$WORK/port")
+}
+
+start_serve serve1.log
+echo "session-smoke: qrserve up at $ADDR (checkpoints in $WORK/ckpt)"
+
+# Open a durable session and stream the appends; every one checkpoints
+# before its reply, so everything the client saw committed is on disk.
+"$BIN/qrbench" -session -session-url "http://$ADDR" -session-act seed \
+    -session-count "$APPENDS" >"$WORK/seed.out"
+cat "$WORK/seed.out"
+SID=$(sed -n 's/^session-id \(.*\)$/\1/p' "$WORK/seed.out")
+[ -n "$SID" ] || { echo "session-smoke: seed printed no session id" >&2; exit 1; }
+
+ls "$WORK/ckpt/$SID.qsc" >/dev/null || {
+    echo "session-smoke: no checkpoint file for $SID" >&2
+    exit 1
+}
+
+# Kill -9: the harshest restart there is. Anything not already durable
+# is gone, and the contract says nothing the client saw committed may be.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+echo "session-smoke: killed qrserve with SIGKILL"
+
+start_serve serve2.log
+echo "session-smoke: qrserve restarted at $ADDR"
+
+# The restored session must report every seeded append and serve an R
+# bitwise equal to a local sequential replay of the same blocks.
+"$BIN/qrbench" -session -session-url "http://$ADDR" -session-act verify \
+    -session-id "$SID" -session-count "$APPENDS" >"$WORK/verify.out"
+cat "$WORK/verify.out"
+grep -q "session verify ok: $APPENDS appends restored, R bitwise equal" "$WORK/verify.out" || {
+    echo "session-smoke: verify did not certify the restored R" >&2
+    exit 1
+}
+
+# The metrics surface agrees: one session registered, the restore counted.
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics"
+grep -q '^qrserve_sessions_active 1$' "$WORK/metrics" &&
+    grep -q '^qrserve_sessions_restored_total 1$' "$WORK/metrics" || {
+    echo "session-smoke: session metrics disagree after restore:" >&2
+    grep '^qrserve_session' "$WORK/metrics" >&2 || true
+    exit 1
+}
+echo "session-smoke: metrics agree (1 active session, 1 restore)"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "session-smoke: qrserve exited non-zero on SIGTERM" >&2
+    exit 1
+}
+SERVE_PID=
+echo "session-smoke: clean shutdown"
