@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr serves the default mux
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/procgroup"
 	"pulsarqr/internal/service"
 	"pulsarqr/internal/transport"
@@ -69,9 +71,16 @@ func main() {
 		tensess  = flag.Int("tenant-sessions", 0, "streaming sessions one tenant may hold (0 = default 8)")
 		sidle    = flag.Duration("session-idle", 0, "unload (durable) or evict (memory-only) sessions idle this long (0 = default 10m; negative disables)")
 		ckevery  = flag.Int("checkpoint-every", 0, "appends between durable checkpoint writes (0 = every append)")
+		logLvl   = flag.String("log-level", "info", "structured event log level: debug, info, warn, error (debug includes per-job lifecycle chatter)")
+		logFmt   = flag.String("log-format", "text", "structured event log format: text or json")
+		fcap     = flag.Int("flight-cap", 0, "flight-recorder ring capacity (0 = default 1024; overflow drops oldest)")
 	)
 	flag.Parse()
 	startPprof(*pprof)
+	logger, err := buildLogger(*logLvl, *logFmt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := service.Config{
 		Threads:              *threads,
 		QueueCap:             *queue,
@@ -89,8 +98,31 @@ func main() {
 		SessionIdle:          *sidle,
 		CheckpointEvery:      *ckevery,
 		Logf:                 log.Printf,
+		Obs:                  obs.New(obs.Options{Logger: logger, FlightCap: *fcap}),
+	}
+	if *logFmt == "json" {
+		// JSON mode turns the whole service log structured, not just the
+		// event stream — mixed plain/JSON lines would defeat log shippers.
+		cfg.Logf = func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
 	}
 	os.Exit(run(*listen, *portfile, cfg, *launch, *peers, *nodeBin, *rdv, *recon, *hbeat))
+}
+
+// buildLogger constructs the structured event logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }
 
 // startPprof serves the net/http/pprof handlers on their own listener; the

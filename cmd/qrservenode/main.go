@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
@@ -43,6 +44,8 @@ func main() {
 		hbeat   = flag.Duration("heartbeat", 0, "probe idle links at this interval and declare silent peers dead (0 = off; requires -reconnect)")
 		pprof   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 		numaPin = flag.Bool("numa", false, "pin pool workers to NUMA nodes with node-local workspaces (best-effort)")
+		logLvl  = flag.String("log-level", "info", "log level when -log-format json: debug, info, warn, error")
+		logFmt  = flag.String("log-format", "text", "agent log format: text (plain lines) or json (structured)")
 	)
 	flag.Parse()
 	if *pprof != "" {
@@ -75,6 +78,20 @@ func main() {
 	}
 	log.SetPrefix(fmt.Sprintf("qrservenode %d: ", *rank))
 
+	// Rank is resolved by now, so a JSON logger can stamp it on every line.
+	logf := log.Printf
+	if *logFmt == "json" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLvl)); err != nil {
+			log.Fatalf("bad -log-level %q: %v", *logLvl, err)
+		}
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})).
+			With(slog.Int("rank", *rank))
+		logf = func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	} else if *logFmt != "text" {
+		log.Fatalf("bad -log-format %q (want text or json)", *logFmt)
+	}
+
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 
@@ -84,18 +101,18 @@ func main() {
 		RendezvousTimeout: *rdv,
 		Reconnect:         *recon,
 		HeartbeatInterval: *hbeat,
-		Logf:              log.Printf,
+		Logf:              logf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ep.Close()
-	log.Printf("fleet of %d ranks up, %d worker threads warm", ep.Size(), *threads)
+	logf("fleet of %d ranks up, %d worker threads warm", ep.Size(), *threads)
 
 	agent, err := service.NewAgentOpts(ep, service.AgentOptions{
 		Threads: *threads,
 		PinNUMA: *numaPin,
-		Logf:    log.Printf,
+		Logf:    logf,
 	})
 	if err != nil {
 		log.Fatal(err)

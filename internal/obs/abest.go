@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultHalfLife is the estimator's sample decay: a sample half this old
+// carries half the weight, so the model tracks a changing network (a link
+// that degrades, a fleet that moves) within a few half-lives.
+const DefaultHalfLife = 5 * time.Minute
+
+// samplesPerLink bounds one link's sample ring; older samples are
+// overwritten, which combined with the decay makes the estimator's memory
+// and its estimate both bounded and recent.
+const samplesPerLink = 512
+
+// LinkModel is one peer link's α–β estimate: transfers to that peer cost
+// Alpha + Beta·bytes seconds. This is the wire shape on /v1/machine-model
+// and in the persisted model file.
+type LinkModel struct {
+	Peer    int     `json:"peer"`
+	Alpha   float64 `json:"alpha_seconds"`
+	Beta    float64 `json:"beta_seconds_per_byte"`
+	Samples int64   `json:"samples"`
+}
+
+type abSample struct {
+	bytes float64
+	sec   float64
+	at    time.Time
+}
+
+type linkEst struct {
+	ring     []abSample
+	next     int
+	n        int64 // samples ever added
+	prior    LinkModel
+	hasPrior bool
+}
+
+// ABEstimator folds (bytes, duration) transfer observations into per-link
+// α–β estimates by weighted robust regression: weights decay exponentially
+// with sample age (half-life), and two IRLS rounds with Huber downweighting
+// keep stragglers — a GC pause inside one recv, a retransmit burst — from
+// dragging the fit. Zero-byte samples (barrier waits) pin the intercept α;
+// payload-bearing samples identify the slope β.
+type ABEstimator struct {
+	halfLife time.Duration
+
+	mu    sync.Mutex
+	links map[int]*linkEst
+}
+
+// NewABEstimator builds an estimator; halfLife <= 0 takes DefaultHalfLife.
+func NewABEstimator(halfLife time.Duration) *ABEstimator {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &ABEstimator{halfLife: halfLife, links: map[int]*linkEst{}}
+}
+
+// Add records one observed transfer to peer: bytes payload delivered in d.
+// bytes == 0 is a latency-only observation (barrier wait). Non-positive
+// durations and negative peers are dropped — they carry no information.
+func (e *ABEstimator) Add(peer int, bytes int64, d time.Duration) {
+	if e == nil || peer < 0 || bytes < 0 || d <= 0 {
+		return
+	}
+	s := abSample{bytes: float64(bytes), sec: d.Seconds(), at: time.Now()}
+	e.mu.Lock()
+	le := e.links[peer]
+	if le == nil {
+		le = &linkEst{}
+		e.links[peer] = le
+	}
+	if len(le.ring) < samplesPerLink {
+		le.ring = append(le.ring, s)
+	} else {
+		le.ring[le.next] = s
+		le.next = (le.next + 1) % samplesPerLink
+	}
+	le.n++
+	e.mu.Unlock()
+}
+
+// Seed installs persisted or configured link models as priors. A prior
+// counts for at most 64 live samples' worth of weight, so fresh traffic
+// overrides a stale boot model within its first few jobs.
+func (e *ABEstimator) Seed(models []LinkModel) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range models {
+		if m.Peer < 0 || m.Alpha < 0 || m.Beta < 0 {
+			continue
+		}
+		le := e.links[m.Peer]
+		if le == nil {
+			le = &linkEst{}
+			e.links[m.Peer] = le
+		}
+		le.prior = m
+		le.hasPrior = true
+	}
+}
+
+// Link returns the current estimate for one peer.
+func (e *ABEstimator) Link(peer int) (LinkModel, bool) {
+	if e == nil {
+		return LinkModel{}, false
+	}
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	le := e.links[peer]
+	if le == nil {
+		return LinkModel{}, false
+	}
+	return e.estimate(peer, le, now), true
+}
+
+// Links returns every peer's current estimate, sorted by peer rank.
+func (e *ABEstimator) Links() []LinkModel {
+	if e == nil {
+		return nil
+	}
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LinkModel, 0, len(e.links))
+	for peer, le := range e.links {
+		out = append(out, e.estimate(peer, le, now))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Peer < out[b].Peer })
+	return out
+}
+
+// Aggregate reduces the per-link models to one fleet-wide (α, β) — the
+// median over links, which is what a homogeneous simulate.Machine wants.
+// ok is false when no link has any evidence.
+func (e *ABEstimator) Aggregate() (alpha, beta float64, ok bool) {
+	links := e.Links()
+	if len(links) == 0 {
+		return 0, 0, false
+	}
+	alphas := make([]float64, 0, len(links))
+	betas := make([]float64, 0, len(links))
+	for _, l := range links {
+		alphas = append(alphas, l.Alpha)
+		betas = append(betas, l.Beta)
+	}
+	return median(alphas), median(betas), true
+}
+
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// estimate runs the decayed robust fit for one link; e.mu held.
+func (e *ABEstimator) estimate(peer int, le *linkEst, now time.Time) LinkModel {
+	n := len(le.ring)
+	if n == 0 {
+		m := le.prior
+		m.Peer = peer
+		return m
+	}
+	lambda := math.Ln2 / e.halfLife.Seconds()
+	w := make([]float64, n)
+	for i, s := range le.ring {
+		age := now.Sub(s.at).Seconds()
+		if age < 0 {
+			age = 0
+		}
+		w[i] = math.Exp(-lambda * age)
+	}
+	a, b := fitWLS(le.ring, w)
+	// Two IRLS rounds: reweight by Huber's ψ around the median absolute
+	// residual and refit, so a handful of wild samples lose their leverage.
+	res := make([]float64, n)
+	scratch := make([]float64, n)
+	wr := make([]float64, n)
+	for round := 0; round < 2; round++ {
+		for i, s := range le.ring {
+			res[i] = math.Abs(s.sec - a - b*s.bytes)
+		}
+		copy(scratch, res)
+		scale := 1.4826 * median(scratch)
+		if scale <= 0 {
+			break
+		}
+		k := 1.345 * scale
+		for i := range wr {
+			wr[i] = w[i]
+			if res[i] > k {
+				wr[i] *= k / res[i]
+			}
+		}
+		a, b = fitWLS(le.ring, wr)
+	}
+	if b < 0 {
+		// A negative slope is unphysical — the byte spread carried no real
+		// bandwidth signal. Fall back to latency-only.
+		b = 0
+		var sw, sy float64
+		for i, s := range le.ring {
+			sw += w[i]
+			sy += w[i] * s.sec
+		}
+		if sw > 0 {
+			a = sy / sw
+		}
+	}
+	if a < 0 {
+		a = 0
+	}
+	m := LinkModel{Peer: peer, Alpha: a, Beta: b, Samples: le.n}
+	if le.hasPrior {
+		pn := float64(le.prior.Samples)
+		if pn > 64 {
+			pn = 64
+		}
+		if pn < 1 {
+			pn = 1
+		}
+		ln := float64(n)
+		m.Alpha = (le.prior.Alpha*pn + a*ln) / (pn + ln)
+		m.Beta = (le.prior.Beta*pn + b*ln) / (pn + ln)
+		m.Samples += le.prior.Samples
+	}
+	return m
+}
+
+// fitWLS is the weighted least-squares line fit sec = a + b·bytes. A
+// degenerate byte spread (all samples the same size — e.g. only barrier
+// waits) cannot identify a slope: it returns the weighted mean as a with
+// b = 0.
+func fitWLS(s []abSample, w []float64) (a, b float64) {
+	var sw, sx, sy, sxx, sxy float64
+	for i, sm := range s {
+		wi := w[i]
+		sw += wi
+		sx += wi * sm.bytes
+		sy += wi * sm.sec
+		sxx += wi * sm.bytes * sm.bytes
+		sxy += wi * sm.bytes * sm.sec
+	}
+	if sw <= 0 {
+		return 0, 0
+	}
+	meanx := sx / sw
+	meany := sy / sw
+	varx := sxx/sw - meanx*meanx
+	if varx <= 1e-9*(meanx*meanx+1) {
+		return meany, 0
+	}
+	b = (sxy/sw - meanx*meany) / varx
+	a = meany - b*meanx
+	return a, b
+}
+
+// ModelFile is the persisted machine model, written next to the checkpoint
+// directory so a warm server boots calibrated.
+type ModelFile struct {
+	SavedUnixNano int64       `json:"saved_unix_nano"`
+	Links         []LinkModel `json:"links"`
+}
+
+// ModelFileName is the file the estimator persists to inside the
+// checkpoint directory.
+const ModelFileName = "machine_model.json"
+
+// Save writes the current per-link estimates to path atomically
+// (temp + rename, same contract as the session checkpoints).
+func (e *ABEstimator) Save(path string) error {
+	if e == nil {
+		return nil
+	}
+	mf := ModelFile{SavedUnixNano: time.Now().UnixNano(), Links: e.Links()}
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".model-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadModelFile reads a persisted machine model.
+func LoadModelFile(path string) (ModelFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ModelFile{}, err
+	}
+	var mf ModelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return ModelFile{}, fmt.Errorf("obs: model file %s: %w", path, err)
+	}
+	return mf, nil
+}

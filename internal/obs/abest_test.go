@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// within2x checks the acceptance band: an estimate within a factor of two
+// of the truth in both directions.
+func within2x(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if got < want/2 || got > want*2 {
+		t.Fatalf("%s = %g, want within 2x of %g", name, got, want)
+	}
+}
+
+// Synthetic known-(α,β) traffic: the estimator must recover both within 2x
+// despite 20%% multiplicative noise and 5%% gross outliers (the robust
+// rounds' job).
+func TestEstimatorConvergesSynthetic(t *testing.T) {
+	const (
+		alpha = 50e-6     // 50 µs latency
+		beta  = 1.0 / 2e9 // 2 GB/s
+	)
+	rng := rand.New(rand.NewSource(11))
+	e := NewABEstimator(time.Minute)
+	for i := 0; i < 400; i++ {
+		bytes := int64(1 << (10 + rng.Intn(11))) // 1 KiB .. 1 MiB
+		sec := alpha + beta*float64(bytes)
+		sec *= 1 + 0.2*(rng.Float64()*2-1)
+		if rng.Float64() < 0.05 {
+			sec *= 10 // straggler: GC pause, retransmit burst
+		}
+		e.Add(1, bytes, time.Duration(sec*float64(time.Second)))
+		// A second link with different constants must not cross-talk.
+		e.Add(2, bytes, time.Duration((4*alpha+2*beta*float64(bytes))*float64(time.Second)))
+	}
+	// Barrier-wait style latency-only samples sharpen the intercept.
+	for i := 0; i < 100; i++ {
+		e.Add(1, 0, time.Duration(alpha*(1+0.2*(rng.Float64()*2-1))*float64(time.Second)))
+	}
+
+	m1, ok := e.Link(1)
+	if !ok {
+		t.Fatal("no estimate for peer 1")
+	}
+	within2x(t, "peer1 alpha", m1.Alpha, alpha)
+	within2x(t, "peer1 beta", m1.Beta, beta)
+
+	m2, ok := e.Link(2)
+	if !ok {
+		t.Fatal("no estimate for peer 2")
+	}
+	within2x(t, "peer2 alpha", m2.Alpha, 4*alpha)
+	within2x(t, "peer2 beta", m2.Beta, 2*beta)
+
+	links := e.Links()
+	if len(links) != 2 || links[0].Peer != 1 || links[1].Peer != 2 {
+		t.Fatalf("links = %+v", links)
+	}
+	a, b, ok := e.Aggregate()
+	if !ok || a <= 0 || b <= 0 {
+		t.Fatalf("aggregate = %g, %g, %v", a, b, ok)
+	}
+}
+
+// Latency-only evidence (all zero-byte samples) must yield α with β = 0,
+// never NaN from the degenerate regression.
+func TestEstimatorLatencyOnly(t *testing.T) {
+	e := NewABEstimator(0)
+	for i := 0; i < 50; i++ {
+		e.Add(3, 0, 100*time.Microsecond)
+	}
+	m, ok := e.Link(3)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.IsNaN(m.Alpha) || math.IsNaN(m.Beta) {
+		t.Fatalf("NaN estimate: %+v", m)
+	}
+	within2x(t, "alpha", m.Alpha, 100e-6)
+	if m.Beta != 0 {
+		t.Fatalf("beta = %g from zero-byte samples, want 0", m.Beta)
+	}
+}
+
+// Garbage observations must be dropped, and the sample ring must stay
+// bounded under unbounded traffic.
+func TestEstimatorBoundsAndGarbage(t *testing.T) {
+	e := NewABEstimator(0)
+	e.Add(-1, 10, time.Millisecond) // negative peer
+	e.Add(1, -5, time.Millisecond)  // negative bytes
+	e.Add(1, 10, 0)                 // no duration
+	e.Add(1, 10, -time.Second)
+	if _, ok := e.Link(1); ok {
+		t.Fatal("garbage produced an estimate")
+	}
+	for i := 0; i < samplesPerLink*4; i++ {
+		e.Add(1, 1024, time.Millisecond)
+	}
+	if got := len(e.links[1].ring); got != samplesPerLink {
+		t.Fatalf("ring grew to %d, want bound %d", got, samplesPerLink)
+	}
+	if got := e.links[1].n; got != samplesPerLink*4 {
+		t.Fatalf("sample count = %d, want %d", got, samplesPerLink*4)
+	}
+}
+
+// Seeded priors dominate a cold link and wash out as live samples arrive.
+func TestEstimatorSeedAndBlend(t *testing.T) {
+	e := NewABEstimator(0)
+	e.Seed([]LinkModel{{Peer: 1, Alpha: 1e-3, Beta: 1e-9, Samples: 1000}})
+	m, ok := e.Link(1)
+	if !ok || m.Alpha != 1e-3 || m.Beta != 1e-9 {
+		t.Fatalf("cold seeded link = %+v, %v", m, ok)
+	}
+	// Live traffic says the link is 10x faster; the blend must move most of
+	// the way there once live samples outnumber the prior's cap.
+	for i := 0; i < samplesPerLink; i++ {
+		e.Add(1, 0, 100*time.Microsecond)
+	}
+	m, _ = e.Link(1)
+	if m.Alpha > 3e-4 {
+		t.Fatalf("prior still dominates after %d live samples: alpha %g", samplesPerLink, m.Alpha)
+	}
+}
+
+func TestModelFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ModelFileName)
+	e := NewABEstimator(0)
+	for i := 0; i < 64; i++ {
+		e.Add(1, int64(i)*1024, time.Duration(50+i)*time.Microsecond)
+	}
+	if err := e.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Links) != 1 || mf.Links[0].Peer != 1 || mf.Links[0].Samples != 64 {
+		t.Fatalf("roundtrip links = %+v", mf.Links)
+	}
+	// Estimates are decay-weighted, so two snapshots taken microseconds
+	// apart differ in the last bits; the roundtrip must agree to 0.1%.
+	close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-3*math.Abs(b) }
+	want := e.Links()[0]
+	if !close(mf.Links[0].Alpha, want.Alpha) || !close(mf.Links[0].Beta, want.Beta) {
+		t.Fatalf("roundtrip drifted: %+v vs %+v", mf.Links[0], want)
+	}
+	// A restarted estimator seeded from the file reproduces the model.
+	e2 := NewABEstimator(0)
+	e2.Seed(mf.Links)
+	m, ok := e2.Link(1)
+	if !ok || !close(m.Alpha, want.Alpha) {
+		t.Fatalf("seeded reload = %+v, %v", m, ok)
+	}
+	if _, err := LoadModelFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one stop on a request's path through the service.
+type Phase uint8
+
+const (
+	PhaseSubmitted  Phase = iota // validated, about to be queued
+	PhaseQueued                  // waiting in the admission queue
+	PhaseDispatched              // popped by a dispatcher, session opening
+	PhaseRunning                 // factorization executing
+	PhaseGathering               // run finished, collecting trace shards
+	PhaseTerminal                // done / failed / canceled / expired
+	numPhases
+)
+
+func (p Phase) String() string {
+	return [numPhases]string{"submitted", "queued", "dispatched", "running", "gathering", "terminal"}[p]
+}
+
+// Span indexes the per-phase duration accumulators. Submitted and Queued
+// both count as queue wait — the distinction a client cares about is time
+// before a dispatcher picked the job up.
+type Span uint8
+
+const (
+	SpanQueueWait Span = iota
+	SpanDispatch
+	SpanRun
+	SpanGather
+	numSpans
+)
+
+// spanOf maps a phase to the span its dwell time accrues to; terminal
+// accrues nowhere.
+func spanOf(p Phase) (Span, bool) {
+	switch p {
+	case PhaseSubmitted, PhaseQueued:
+		return SpanQueueWait, true
+	case PhaseDispatched:
+		return SpanDispatch, true
+	case PhaseRunning:
+		return SpanRun, true
+	case PhaseGathering:
+		return SpanGather, true
+	}
+	return 0, false
+}
+
+// Lifecycle tracks one request's phase transitions and accumulates the time
+// spent in each phase. The zero value is ready to use; marking is a mutex
+// hold plus array arithmetic — no allocation, cheap enough to stay always
+// on. Retried jobs simply re-enter earlier phases: the accumulators keep
+// summing, so span totals cover all attempts and their sum always equals
+// the submitted→terminal wall time exactly (both sides telescope over the
+// same instants).
+type Lifecycle struct {
+	mu      sync.Mutex
+	started bool
+	cur     Phase
+	curAt   time.Time
+	began   time.Time
+	ended   time.Time
+	dur     [numSpans]time.Duration
+}
+
+// Mark transitions to phase p now. The first call starts the clock; calls
+// after the terminal mark are ignored.
+func (l *Lifecycle) Mark(p Phase) { l.MarkAt(p, time.Now()) }
+
+// MarkAt is Mark with an explicit instant (tests).
+func (l *Lifecycle) MarkAt(p Phase, now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started {
+		l.started = true
+		l.began = now
+		l.cur = p
+		l.curAt = now
+		if p == PhaseTerminal {
+			l.ended = now
+		}
+		return
+	}
+	if !l.ended.IsZero() {
+		return
+	}
+	if sp, ok := spanOf(l.cur); ok {
+		if d := now.Sub(l.curAt); d > 0 {
+			l.dur[sp] += d
+		}
+	}
+	l.cur = p
+	l.curAt = now
+	if p == PhaseTerminal {
+		l.ended = now
+	}
+}
+
+// Spans is a snapshot of the accumulated per-phase durations. For a live
+// request the current phase's partial dwell is included, so
+// QueueWait+Dispatch+Run+Gather == Total holds at every instant.
+type Spans struct {
+	Phase     Phase
+	Terminal  bool
+	QueueWait time.Duration
+	Dispatch  time.Duration
+	Run       time.Duration
+	Gather    time.Duration
+	Total     time.Duration
+}
+
+// Started reports whether the lifecycle has seen its first mark.
+func (l *Lifecycle) Started() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.started
+}
+
+// Snapshot returns the current span accounting (zero value before the first
+// mark).
+func (l *Lifecycle) Snapshot() Spans {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started {
+		return Spans{}
+	}
+	dur := l.dur
+	end := l.ended
+	if end.IsZero() {
+		if sp, ok := spanOf(l.cur); ok {
+			if d := now.Sub(l.curAt); d > 0 {
+				dur[sp] += d
+			}
+		}
+		end = now
+	}
+	return Spans{
+		Phase:     l.cur,
+		Terminal:  !l.ended.IsZero(),
+		QueueWait: dur[SpanQueueWait],
+		Dispatch:  dur[SpanDispatch],
+		Run:       dur[SpanRun],
+		Gather:    dur[SpanGather],
+		Total:     end.Sub(l.began),
+	}
+}
+
+// SpanReport is the JSON shape of a Spans snapshot on the HTTP surface.
+type SpanReport struct {
+	Phase       string  `json:"phase"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	DispatchMS  float64 `json:"dispatch_ms"`
+	RunMS       float64 `json:"run_ms"`
+	GatherMS    float64 `json:"gather_ms,omitempty"`
+	TotalMS     float64 `json:"total_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Report converts the snapshot to its JSON shape.
+func (s Spans) Report() SpanReport {
+	return SpanReport{
+		Phase:       s.Phase.String(),
+		QueueWaitMS: ms(s.QueueWait),
+		DispatchMS:  ms(s.Dispatch),
+		RunMS:       ms(s.Run),
+		GatherMS:    ms(s.Gather),
+		TotalMS:     ms(s.Total),
+	}
+}

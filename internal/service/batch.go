@@ -2,12 +2,20 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"pulsarqr/internal/batch"
 	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/obs"
 )
+
+// batchSeq numbers batch streams for event correlation: a batch request has
+// no job id, so its start/end events share a synthetic "b<N>" session tag.
+var batchSeq atomic.Int64
 
 // batchFlushEvery bounds how many result frames accumulate in the HTTP
 // response buffer before an explicit flush: frequent enough that a slow
@@ -31,7 +39,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.BatchRejected.Add(1)
 		// Busy slots drain in chunk time, not job time: depth is the streams
 		// already running, slots the stream cap, so the hint stays short.
-		shed429(w, int(s.metrics.BatchActive.Load()), s.cfg.BatchStreams, "batch capacity exhausted; retry later")
+		s.shed429(w, "batch", "", int(s.metrics.BatchActive.Load()), s.cfg.BatchStreams,
+			"batch capacity exhausted; retry later")
 		return
 	}
 	if s.baseCtx.Err() != nil {
@@ -48,6 +57,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.BatchRequests.Add(1)
 	s.metrics.BatchActive.Add(1)
 	defer s.metrics.BatchActive.Add(-1)
+
+	bid := fmt.Sprintf("b%d", batchSeq.Add(1))
+	bstart := time.Now()
+	s.obs.Emit(obs.Event{Kind: obs.EvBatchStart, Class: "batch", Session: bid})
 
 	// The stream must end when either the client or the server goes away:
 	// merge the request context with the server's base context. Server Close
@@ -94,6 +107,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+	s.metrics.ObserveStreamSpan("batch", time.Since(bstart))
+	endDetail := fmt.Sprintf("%d/%d matrices", done, rr.Count())
+	if serr != nil {
+		endDetail += ": " + serr.Error()
+	}
+	s.obs.Emit(obs.Event{Kind: obs.EvBatchEnd, Class: "batch", Session: bid,
+		DurMS: float64(time.Since(bstart)) / float64(time.Millisecond), Detail: endDetail})
 	if serr != nil {
 		s.cfg.Logf("batch stream ended early after %d/%d matrices: %v", done, rr.Count(), serr)
 		return

@@ -9,26 +9,30 @@ import (
 	"strconv"
 	"time"
 
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/trace"
 )
 
 // JobView is the JSON shape of a job on the HTTP surface.
 type JobView struct {
-	ID        uint32      `json:"id"`
-	Status    string      `json:"status"`
-	Error     string      `json:"error,omitempty"`
-	Attempts  int         `json:"attempts,omitempty"` // requeues after fleet failures
-	M         int         `json:"m"`
-	N         int         `json:"n"`
-	Priority  int         `json:"priority,omitempty"`
-	ElapsedMS float64     `json:"elapsed_ms,omitempty"`
-	Gflops    float64     `json:"gflops,omitempty"`
-	Residual  float64     `json:"residual,omitempty"`
-	OK        bool        `json:"ok"`
-	Firings   int64       `json:"firings,omitempty"`
-	Messages  int64       `json:"messages,omitempty"`
-	Bytes     int64       `json:"bytes,omitempty"`
-	R         [][]float64 `json:"r,omitempty"`
+	ID        uint32          `json:"id"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	Tenant    string          `json:"tenant,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"` // requeues after fleet failures
+	M         int             `json:"m"`
+	N         int             `json:"n"`
+	Priority  int             `json:"priority,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+	Gflops    float64         `json:"gflops,omitempty"`
+	Residual  float64         `json:"residual,omitempty"`
+	OK        bool            `json:"ok"`
+	Firings   int64           `json:"firings,omitempty"`
+	Messages  int64           `json:"messages,omitempty"`
+	Bytes     int64           `json:"bytes,omitempty"`
+	Spans     *obs.SpanReport `json:"spans,omitempty"`  // lifecycle span accounting, live or final
+	Flight    []obs.Event     `json:"flight,omitempty"` // flight-recorder tail on troubled terminals
+	R         [][]float64     `json:"r,omitempty"`
 }
 
 func viewOf(j *Job, includeR bool) JobView {
@@ -37,11 +41,17 @@ func viewOf(j *Job, includeR bool) JobView {
 		ID:       j.ID,
 		Status:   string(state),
 		Error:    errMsg,
+		Tenant:   j.Spec.Tenant,
 		Attempts: j.Attempts(),
 		M:        j.Spec.M,
 		N:        j.Spec.N,
 		Priority: j.Spec.Priority,
 	}
+	if j.life.Started() {
+		rep := j.Spans().Report()
+		v.Spans = &rep
+	}
+	v.Flight = j.Flight()
 	if r := j.Result(); r != nil {
 		v.ElapsedMS = float64(r.Elapsed) / float64(time.Millisecond)
 		v.Gflops = r.Gflops
@@ -82,6 +92,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/r", s.handleSessionR)
 	mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/machine-model", s.handleMachineModel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -106,7 +118,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// with how many queued jobs must drain per execution slot before a
 		// retry can be admitted, so clients back off harder the deeper the
 		// queue — without any client-side knowledge of server sizing.
-		shed429(w, s.mgr.Depth(), s.cfg.MaxConcurrent, err.Error())
+		s.shed429(w, "job", req.Tenant, s.mgr.Depth(), s.cfg.MaxConcurrent, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
@@ -177,12 +189,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	bi := buildInfo(s.cfg.Threads)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":         true,
-		"ranks":      s.Ranks(),
-		"ranks_live": s.AgentsLive(),
-		"degraded":   s.Degraded(),
-		"threads":    s.cfg.Threads,
+		"ok":           true,
+		"ranks":        s.Ranks(),
+		"ranks_live":   s.AgentsLive(),
+		"degraded":     s.Degraded(),
+		"threads":      s.cfg.Threads,
+		"version":      bi.Version,
+		"kernel":       bi.Kernel,
+		"cpu_features": bi.CPUFeatures,
+		"numa_nodes":   bi.NUMANodes,
 	})
 }
 
@@ -194,6 +211,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP qrserve_goroutines Goroutines live in the server process.\n# TYPE qrserve_goroutines gauge\nqrserve_goroutines %d\n", runtime.NumGoroutine())
 	s.writeSessionProm(w)
 	s.writeTransportProm(w)
+	s.writeObsProm(w)
 }
 
 // retryAfterSeconds derives a 429 Retry-After hint from queue depth: one
@@ -210,10 +228,14 @@ func retryAfterSeconds(depth, slots int) int {
 }
 
 // shed429 is the one load-shedding response for every admission class — the
-// job queue, batch streams, and session append streams all refuse work
-// through it, so clients see a uniform 429 + Retry-After contract: depth is
-// the work already admitted in that class, slots its drain parallelism.
-func shed429(w http.ResponseWriter, depth, slots int, msg string) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(depth, slots)))
+// job queue, batch streams, session opens and session append streams all
+// refuse work through it, so clients see a uniform 429 + Retry-After
+// contract (depth is the work already admitted in that class, slots its
+// drain parallelism) and every shed emits one structured event carrying the
+// class, the tenant and the hint it was sent.
+func (s *Server) shed429(w http.ResponseWriter, class, tenant string, depth, slots int, msg string) {
+	sec := retryAfterSeconds(depth, slots)
+	s.obs.Emit(obs.Event{Kind: obs.EvShed, Class: class, Tenant: tenant, RetryS: sec, Detail: msg})
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{msg})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/trace"
 )
@@ -53,12 +54,18 @@ type Job struct {
 	deadline time.Time // zero: none
 	seq      int64     // admission order, FIFO tiebreak within a priority
 
+	// life tracks the job's phase transitions and per-phase dwell times.
+	// Always on: marking is lock-plus-arithmetic, and the spans come back
+	// on every GET /v1/jobs/{id}.
+	life obs.Lifecycle
+
 	mu      sync.Mutex
 	state   State
 	errMsg  string
 	result  *Result
 	attempt int           // completed dispatch attempts beyond the first
 	trace   []trace.Shard // per-rank shards, set before finish when Spec.Trace
+	flight  []obs.Event   // flight-recorder tail, attached on non-done terminals
 
 	done       chan struct{}
 	onTerminal func() // runs once on the terminal transition, before done closes
@@ -93,6 +100,23 @@ func (j *Job) setTrace(shards []trace.Shard) {
 	j.mu.Unlock()
 }
 
+// Spans returns the job's lifecycle span accounting so far.
+func (j *Job) Spans() obs.Spans { return j.life.Snapshot() }
+
+// Flight returns the flight-recorder tail attached when the job ended in
+// trouble (failed, canceled, expired); nil for healthy or live jobs.
+func (j *Job) Flight() []obs.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flight
+}
+
+func (j *Job) setFlight(tail []obs.Event) {
+	j.mu.Lock()
+	j.flight = tail
+	j.mu.Unlock()
+}
+
 // Attempts returns how many times the job has been requeued after a fleet
 // failure (0 on the first attempt).
 func (j *Job) Attempts() int {
@@ -112,6 +136,7 @@ func (j *Job) requeue() bool {
 	}
 	j.state = StatePending
 	j.attempt++
+	j.life.Mark(obs.PhaseQueued) // retry wait accrues to queue time
 	return true
 }
 
@@ -133,6 +158,7 @@ func (j *Job) finish(s State, errMsg string, r *Result) bool {
 	j.errMsg = errMsg
 	j.result = r
 	j.mu.Unlock()
+	j.life.Mark(obs.PhaseTerminal)
 	if j.onTerminal != nil {
 		j.onTerminal()
 	}
@@ -155,6 +181,7 @@ var (
 type Manager struct {
 	run     func(*Job) // executes one job to a terminal state
 	metrics *Metrics
+	obs     *obs.Observer // event sink; nil is valid and free
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -208,8 +235,14 @@ func (m *Manager) Submit(j *Job) error {
 	j.seq = m.nextSeq
 	m.nextSeq++
 	heap.Push(&m.queue, j)
+	// The queued mark must land before the push is signaled: a dispatcher
+	// could pop the job immediately, and a late mark would drag the phase
+	// backwards. Submitted and Queued both accrue to queue wait anyway.
+	j.life.Mark(obs.PhaseQueued)
 	m.mu.Unlock()
 	m.metrics.Accepted.Add(1)
+	m.obs.Emit(obs.Event{Kind: obs.EvQueued, Class: "job", Job: j.ID,
+		Tenant: j.Spec.Tenant, Attempt: j.Attempts()})
 	m.cond.Signal()
 	return nil
 }
@@ -270,6 +303,9 @@ func (m *Manager) dispatch() {
 		j.mu.Lock()
 		j.state = StateRunning
 		j.mu.Unlock()
+		j.life.Mark(obs.PhaseDispatched)
+		m.obs.Emit(obs.Event{Kind: obs.EvDispatched, Class: "job", Job: j.ID,
+			Tenant: j.Spec.Tenant, Attempt: j.Attempts()})
 		m.metrics.Running.Add(1)
 		m.run(j)
 		m.metrics.Running.Add(-1)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/pulsar"
 )
 
@@ -54,6 +55,10 @@ type Metrics struct {
 	chunk   *histogram // batch chunk dispatch-to-completion latency
 	appendH *histogram // session append latency, receipt to committed R
 
+	queueWaitH *classHist // lifecycle span: admission to dispatch, by class
+	dispatchH  *classHist // lifecycle span: dispatch to execution start
+	runH       *classHist // lifecycle span: execution (run + gather)
+
 	mu      sync.Mutex
 	firings map[string]*atomic.Int64 // VDP firings by trace class
 }
@@ -84,6 +89,13 @@ var appendBuckets = []float64{
 	1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5,
 }
 
+// spanBuckets span the lifecycle phases: a dispatch on an idle service is
+// tens of microseconds; a queue wait behind a deep backlog can reach a
+// minute.
+var spanBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60,
+}
+
 // histogram is a fixed-bucket Prometheus-style histogram on atomics; the
 // final counts entry is the +Inf bucket.
 type histogram struct {
@@ -104,6 +116,47 @@ func (h *histogram) observe(v float64) {
 	addFloat(&h.sumBits, v)
 }
 
+// classHist is a family of histograms labeled by admission class ("job",
+// "batch", "session"), materialized lazily so only classes that saw traffic
+// render.
+type classHist struct {
+	buckets []float64
+
+	mu sync.Mutex
+	by map[string]*histogram
+}
+
+func newClassHist(buckets []float64) *classHist {
+	return &classHist{buckets: buckets, by: map[string]*histogram{}}
+}
+
+func (c *classHist) observe(class string, v float64) {
+	c.mu.Lock()
+	h := c.by[class]
+	if h == nil {
+		h = newHistogram(c.buckets)
+		c.by[class] = h
+	}
+	c.mu.Unlock()
+	h.observe(v)
+}
+
+// snapshot returns the class names sorted and their histograms in that order.
+func (c *classHist) snapshot() ([]string, []*histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	classes := make([]string, 0, len(c.by))
+	for cl := range c.by {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	hs := make([]*histogram, len(classes))
+	for i, cl := range classes {
+		hs[i] = c.by[cl]
+	}
+	return classes, hs
+}
+
 // addFloat accumulates a float64 into an atomic bit pattern (CAS loop).
 func addFloat(bits *atomic.Uint64, v float64) {
 	for {
@@ -117,12 +170,31 @@ func addFloat(bits *atomic.Uint64, v float64) {
 
 func NewMetrics() *Metrics {
 	return &Metrics{
-		firings: map[string]*atomic.Int64{},
-		latency: newHistogram(latencyBuckets),
-		wait:    newHistogram(waitBuckets),
-		chunk:   newHistogram(chunkBuckets),
-		appendH: newHistogram(appendBuckets),
+		firings:    map[string]*atomic.Int64{},
+		latency:    newHistogram(latencyBuckets),
+		wait:       newHistogram(waitBuckets),
+		chunk:      newHistogram(chunkBuckets),
+		appendH:    newHistogram(appendBuckets),
+		queueWaitH: newClassHist(spanBuckets),
+		dispatchH:  newClassHist(spanBuckets),
+		runH:       newClassHist(spanBuckets),
 	}
+}
+
+// ObserveSpans records one terminal request's lifecycle span accounting.
+// Run and gather fold into one "run" histogram: both are execution from the
+// client's point of view, and gather is usually a rounding error.
+func (m *Metrics) ObserveSpans(class string, sp obs.Spans) {
+	m.queueWaitH.observe(class, sp.QueueWait.Seconds())
+	m.dispatchH.observe(class, sp.Dispatch.Seconds())
+	m.runH.observe(class, (sp.Run + sp.Gather).Seconds())
+}
+
+// ObserveStreamSpan records one stream's life (a batch or session-append
+// request) in the run histogram — streams admit or shed instantly, so queue
+// wait and dispatch are identically zero and only run time means anything.
+func (m *Metrics) ObserveStreamSpan(class string, d time.Duration) {
+	m.runH.observe(class, d.Seconds())
 }
 
 // ObserveAppend records one committed session append (receipt to updated R).
@@ -236,6 +308,29 @@ func (m *Metrics) WriteProm(w io.Writer, queueDepth, resident int) {
 	}
 	hist("qrserve_job_latency_seconds", "End-to-end job latency, admission to completion.", m.latency)
 	hist("qrserve_worker_wait_seconds", "Pool worker park intervals (time spent idle between tasks).", m.wait)
+
+	chist := func(name, help string, c *classHist) {
+		classes, hs := c.snapshot()
+		if len(classes) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for ci, class := range classes {
+			h := hs[ci]
+			var cum int64
+			for i, ub := range h.buckets {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{class=%q,le=\"%g\"} %d\n", name, class, ub, cum)
+			}
+			cum += h.counts[len(h.buckets)].Load()
+			fmt.Fprintf(w, "%s_bucket{class=%q,le=\"+Inf\"} %d\n", name, class, cum)
+			fmt.Fprintf(w, "%s_sum{class=%q} %g\n", name, class, math.Float64frombits(h.sumBits.Load()))
+			fmt.Fprintf(w, "%s_count{class=%q} %d\n", name, class, h.n.Load())
+		}
+	}
+	chist("qrserve_queue_wait_seconds", "Lifecycle span: admission to dispatch, by class.", m.queueWaitH)
+	chist("qrserve_dispatch_seconds", "Lifecycle span: dispatch to execution start, by class.", m.dispatchH)
+	chist("qrserve_run_seconds", "Lifecycle span: execution (run plus trace gather), by class.", m.runH)
 
 	counter("qrserve_batch_requests_total", "Batch streams admitted.", m.BatchRequests.Load())
 	counter("qrserve_batch_rejected_total", "Batch streams shed at admission.", m.BatchRejected.Load())

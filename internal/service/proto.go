@@ -23,6 +23,9 @@ const maxDim = 1 << 20
 // from Seed — the latter is what a fleet uses for benchmarking, and it lets
 // every rank derive an identical input without shipping the matrix.
 type JobSpec struct {
+	// Tenant attributes the job for per-tenant accounting: shed events,
+	// the /v1/status tenant table. Empty is the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// M, N are the matrix dimensions; tall-skinny (M >= N) required.
 	M int `json:"m"`
 	N int `json:"n"`
@@ -57,8 +60,15 @@ type JobSpec struct {
 	RetryBackoffMS int64 `json:"retry_backoff_ms,omitempty"`
 }
 
+// maxTenantLen bounds the tenant label: it rides every event and metric
+// attribution, so an unbounded client string must not be storable.
+const maxTenantLen = 64
+
 // Validate checks the spec without allocating the matrix.
 func (sp *JobSpec) Validate() error {
+	if len(sp.Tenant) > maxTenantLen {
+		return fmt.Errorf("service: tenant label longer than %d bytes", maxTenantLen)
+	}
 	if sp.M <= 0 || sp.N <= 0 {
 		return fmt.Errorf("service: invalid shape %dx%d", sp.M, sp.N)
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"pulsarqr/internal/blas"
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/session"
@@ -24,6 +27,14 @@ import (
 // residualTol is the acceptance threshold on the relative backward error
 // ||QR - A|| / ||A||: anything above it marks the result not-OK.
 const residualTol = 1e-10
+
+// flightTailLen is how many flight-recorder events attach to a job that ends
+// in trouble; flightDumpLen is the postmortem dumped to the log when a fleet
+// agent is evicted.
+const (
+	flightTailLen = 32
+	flightDumpLen = 64
+)
 
 // Config parameterizes a Server.
 type Config struct {
@@ -85,6 +96,10 @@ type Config struct {
 	CheckpointEvery int
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs is the observability layer: structured events, the flight
+	// recorder, and the α–β machine-model estimator. Nil disables all of it
+	// at zero cost (every obs call is nil-checked and allocation-free).
+	Obs *obs.Observer
 }
 
 // Server is the factorization service: persistent pool, persistent fleet
@@ -96,6 +111,8 @@ type Server struct {
 	ctl     *transport.JobEndpoint
 	mgr     *Manager
 	metrics *Metrics
+	obs     *obs.Observer // nil when observability is disabled
+	started time.Time
 
 	batchSched *batch.Scheduler
 	batchSem   chan struct{} // admission slots for POST /v1/batch streams
@@ -143,6 +160,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		metrics:   NewMetrics(),
+		obs:       cfg.Obs,
+		started:   time.Now(),
 		jobs:      map[uint32]*Job{},
 		deadRanks: map[int]bool{},
 	}
@@ -171,9 +190,16 @@ func NewServer(cfg Config) (*Server, error) {
 			s.mu.Unlock()
 			if !seen {
 				s.metrics.Evicted.Add(1)
+				s.obs.Emit(obs.Event{Kind: obs.EvAgentEvict, Rank: rank, Detail: err.Error()})
+				// An eviction is the postmortem moment: dump the flight
+				// recorder so the log shows what led up to the degradation.
+				s.obs.DumpTail(fmt.Sprintf("agent rank %d evicted", rank), flightDumpLen)
 				s.cfg.Logf("fleet degraded: agent rank %d evicted: %v", rank, err)
 			}
 		})
+		for r := 1; r < cfg.Ep.Size(); r++ {
+			s.obs.Emit(obs.Event{Kind: obs.EvAgentJoin, Rank: r})
+		}
 	}
 	s.pool = pulsar.NewPoolOpts(pulsar.PoolOptions{
 		Threads: cfg.Threads,
@@ -186,6 +212,19 @@ func NewServer(cfg Config) (*Server, error) {
 	cfg.Logf("compute: micro-kernel %s, cpu features %s, numa pinning %v (worker 0 on node %d)",
 		blas.MicroKernelName(), blas.CPUFeatures(), cfg.PinNUMA, s.pool.WorkerNode(0))
 	s.mgr = NewManager(cfg.QueueCap, cfg.MaxConcurrent, s.metrics, s.runJob)
+	s.mgr.obs = cfg.Obs
+	// A warm boot restores the last persisted machine model as the
+	// estimator's prior: live traffic overrides it within its first jobs.
+	if cfg.CheckpointDir != "" && cfg.Obs.Enabled() {
+		path := filepath.Join(cfg.CheckpointDir, obs.ModelFileName)
+		if mf, err := obs.LoadModelFile(path); err == nil {
+			cfg.Obs.Estimator().Seed(mf.Links)
+			cfg.Obs.Emit(obs.Event{Kind: obs.EvModelLoaded, Detail: path})
+			cfg.Logf("machine model restored from %s (%d links)", path, len(mf.Links))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			cfg.Logf("machine model %s unreadable: %v (starting uncalibrated)", path, err)
+		}
+	}
 	s.batchSem = make(chan struct{}, cfg.BatchStreams)
 	s.batchSched = batch.NewScheduler(batch.SchedConfig{
 		Pool:      s.pool,
@@ -202,10 +241,13 @@ func NewServer(cfg Config) (*Server, error) {
 		IdleTimeout:  cfg.SessionIdle,
 		Every:        cfg.CheckpointEvery,
 		OnAppend:     s.metrics.ObserveAppend,
-		OnCheckpoint: s.metrics.ObserveCheckpoint,
-		OnRestore:    func() { s.metrics.SessionsRestored.Add(1) },
-		OnEvict:      func() { s.metrics.SessionsEvicted.Add(1) },
-		Logf:         cfg.Logf,
+		OnCheckpoint: func(bytes int64) {
+			s.metrics.ObserveCheckpoint(bytes)
+			s.obs.Emit(obs.Event{Kind: obs.EvCheckpoint, Bytes: bytes})
+		},
+		OnRestore: func() { s.metrics.SessionsRestored.Add(1) },
+		OnEvict:   func() { s.metrics.SessionsEvicted.Add(1) },
+		Logf:      cfg.Logf,
 	})
 	if err != nil {
 		s.pool.Close()
@@ -283,11 +325,35 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		state:    StatePending,
 		done:     make(chan struct{}),
 	}
+	j.life.Mark(obs.PhaseSubmitted)
 	// Retirement rides the terminal transition itself, so every path that
 	// ends a job — runJob, the dispatcher's pre-dispatch deadline/cancel
 	// drops, Manager.Close — retires it exactly once, before Done observers
 	// wake, and eviction bounds the registry no matter how the job ended.
-	j.onTerminal = func() { s.retire(j.ID) }
+	// The same transition closes out observability: span histograms observe
+	// the final accounting, the terminal event is emitted, and a job that
+	// ended in trouble gets the flight-recorder tail pinned to its record
+	// (after the emit, so the tail includes the terminal event itself).
+	j.onTerminal = func() {
+		s.retire(j.ID)
+		sp := j.Spans()
+		s.metrics.ObserveSpans("job", sp)
+		state, errMsg := j.State()
+		kind := obs.EvDone
+		switch state {
+		case StateFailed:
+			kind = obs.EvFailed
+		case StateCanceled:
+			kind = obs.EvCanceled
+		case StateExpired:
+			kind = obs.EvExpired
+		}
+		s.obs.Emit(obs.Event{Kind: kind, Class: "job", Job: j.ID, Tenant: spec.Tenant,
+			Attempt: j.Attempts(), DurMS: float64(sp.Total) / float64(time.Millisecond), Detail: errMsg})
+		if kind != obs.EvDone && s.obs.Enabled() {
+			j.setFlight(s.obs.TailJob(j.ID, flightTailLen))
+		}
+	}
 	if spec.DeadlineMS > 0 {
 		j.deadline = j.enqueued.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
 	}
@@ -321,9 +387,11 @@ func (s *Server) Get(id uint32) (*Job, error) {
 // builds the same array.
 func (s *Server) runJob(j *Job) {
 	var ep transport.Endpoint
+	var sessionMembers []int
 	stopRelay := func() bool { return false }
 	if s.mux != nil && len(s.liveRanks()) > 1 {
 		members := s.liveRanks()
+		sessionMembers = members
 		// Every attempt gets a fresh session id from the same monotonic
 		// space as job ids, so a retried job can never collide with the
 		// mux channel of its own dead attempt; on a degraded fleet the
@@ -335,6 +403,19 @@ func (s *Server) runJob(j *Job) {
 			return
 		}
 		defer jep.Close()
+		if est := s.obs.Estimator(); est != nil {
+			// Deferred after jep.Close's defer, so it runs first (LIFO):
+			// fold the session's barrier waits into the α estimate as
+			// zero-byte latency samples while the counters are still live.
+			defer func() {
+				if bs := jep.BarrierStats(); bs.Count > 0 {
+					avg := bs.Wait / time.Duration(bs.Count)
+					for _, r := range members[1:] {
+						est.Add(r, 0, avg)
+					}
+				}
+			}()
+		}
 		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Session: sid, Ranks: members, Spec: &j.Spec})
 		// Cancellation must be collective: relay it to the agents AND fail
 		// this rank's job session. Closing jep fails its barrier state, so
@@ -345,6 +426,8 @@ func (s *Server) runJob(j *Job) {
 		// cancel(nil) so a completed job broadcasts nothing; a failed job
 		// leaves it armed, releasing agents still running their share.
 		stopRelay = context.AfterFunc(j.ctx, func() {
+			s.obs.Emit(obs.Event{Kind: obs.EvBarrierAbort, Class: "job", Job: j.ID,
+				Detail: "cancel relayed to fleet; job session closed"})
 			s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
 			jep.Close()
 		})
@@ -376,6 +459,26 @@ func (s *Server) runJob(j *Job) {
 		}
 		rc.CommHook = rec.CommHook()
 	}
+	if est := s.obs.Estimator(); est != nil && len(sessionMembers) > 1 {
+		// The α–β sampler rides the same hook as the trace recorder. Only
+		// deliveries are usable: sends are eager (Isend returns once the
+		// payload is serialized, timing nothing), so CommRecv intervals are
+		// the per-message cost signal, attributed to the real peer rank
+		// behind the session's virtual one.
+		members := sessionMembers
+		prev := rc.CommHook
+		rc.CommHook = func(ev pulsar.CommEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			if ev.Kind == pulsar.CommRecv && ev.Bytes > 0 && ev.Peer > 0 && ev.Peer < len(members) {
+				est.Add(members[ev.Peer], int64(ev.Bytes), ev.End.Sub(ev.Start))
+			}
+		}
+	}
+	j.life.Mark(obs.PhaseRunning)
+	s.obs.Emit(obs.Event{Kind: obs.EvRunning, Class: "job", Job: j.ID,
+		Tenant: j.Spec.Tenant, Attempt: j.Attempts()})
 	start := time.Now()
 	f, err := qr.FactorizeVSAServe(j.ctx, a, nil, opts, rc, ep, s.pool)
 	elapsed := time.Since(start)
@@ -404,6 +507,9 @@ func (s *Server) runJob(j *Job) {
 				backoff = 100 * time.Millisecond
 			}
 			backoff <<= attempt - 1
+			s.obs.Emit(obs.Event{Kind: obs.EvRetry, Class: "job", Job: j.ID,
+				Tenant: j.Spec.Tenant, Attempt: attempt,
+				DurMS: float64(backoff) / float64(time.Millisecond), Detail: err.Error()})
 			s.cfg.Logf("job %d attempt %d lost a fleet rank (%v); requeueing in %v", j.ID, attempt, err, backoff)
 			time.AfterFunc(backoff, func() {
 				if err := s.mgr.Submit(j); err != nil {
@@ -431,6 +537,8 @@ func (s *Server) runJob(j *Job) {
 	if rec != nil {
 		// The gather must precede stopRelay: the job session is still live
 		// and agents are blocked sending their shards toward rank 0.
+		j.life.Mark(obs.PhaseGathering)
+		s.obs.Emit(obs.Event{Kind: obs.EvGathering, Class: "job", Job: j.ID})
 		s.storeTrace(j, ep, rec)
 	}
 	stopRelay() // a completed job must not broadcast a cancel from finish's cancel(nil)
@@ -543,9 +651,13 @@ func (s *Server) writeTransportProm(w io.Writer) {
 		}
 	}
 	if br, ok := s.cfg.Ep.(transport.BarrierReporter); ok {
+		// These count barriers run on the ROOT endpoint itself, outside any
+		// mux session — in fleet mode jobs barrier through their mux job
+		// sessions instead, so these staying near zero is expected, not a
+		// bug. Per-session barriers are qrserve_mux_barriers_total below.
 		bs := br.BarrierStats()
-		fmt.Fprintf(w, "# HELP qrserve_transport_barriers_total Collective barriers completed on the fleet endpoint.\n# TYPE qrserve_transport_barriers_total counter\nqrserve_transport_barriers_total %d\n", bs.Count)
-		fmt.Fprintf(w, "# HELP qrserve_transport_barrier_wait_seconds_total Seconds spent waiting in collective barriers.\n# TYPE qrserve_transport_barrier_wait_seconds_total counter\nqrserve_transport_barrier_wait_seconds_total %g\n", bs.Wait.Seconds())
+		fmt.Fprintf(w, "# HELP qrserve_transport_barriers_total Barriers run directly on the root fleet endpoint (not mux job sessions; see qrserve_mux_barriers_total).\n# TYPE qrserve_transport_barriers_total counter\nqrserve_transport_barriers_total %d\n", bs.Count)
+		fmt.Fprintf(w, "# HELP qrserve_transport_barrier_wait_seconds_total Seconds spent waiting in root-endpoint barriers.\n# TYPE qrserve_transport_barrier_wait_seconds_total counter\nqrserve_transport_barrier_wait_seconds_total %g\n", bs.Wait.Seconds())
 	}
 	if s.mux != nil {
 		degraded := 0
@@ -554,6 +666,9 @@ func (s *Server) writeTransportProm(w io.Writer) {
 		}
 		fmt.Fprintf(w, "# HELP qrserve_fleet_ranks_live Fleet ranks still alive (server included).\n# TYPE qrserve_fleet_ranks_live gauge\nqrserve_fleet_ranks_live %d\n", s.AgentsLive())
 		fmt.Fprintf(w, "# HELP qrserve_fleet_degraded Whether any fleet agent has been evicted (0/1).\n# TYPE qrserve_fleet_degraded gauge\nqrserve_fleet_degraded %d\n", degraded)
+		mbs := s.mux.BarrierTotals()
+		fmt.Fprintf(w, "# HELP qrserve_mux_barriers_total Collective barriers completed across all mux job sessions, surviving their close.\n# TYPE qrserve_mux_barriers_total counter\nqrserve_mux_barriers_total %d\n", mbs.Count)
+		fmt.Fprintf(w, "# HELP qrserve_mux_barrier_wait_seconds_total Seconds spent waiting in mux job-session barriers.\n# TYPE qrserve_mux_barrier_wait_seconds_total counter\nqrserve_mux_barrier_wait_seconds_total %g\n", mbs.Wait.Seconds())
 		open, pending, backlog := s.mux.Depths()
 		fmt.Fprintf(w, "# HELP qrserve_mux_jobs_open Mux job channels currently open.\n# TYPE qrserve_mux_jobs_open gauge\nqrserve_mux_jobs_open %d\n", open)
 		fmt.Fprintf(w, "# HELP qrserve_mux_pending_messages Messages parked for not-yet-open mux channels.\n# TYPE qrserve_mux_pending_messages gauge\nqrserve_mux_pending_messages %d\n", pending)
@@ -577,6 +692,19 @@ func (s *Server) Close() {
 			s.broadcast(ctlMsg{Op: "shutdown"})
 			s.ctl.Close()
 			s.mux.Close()
+		}
+		// Persist the calibrated machine model next to the checkpoints so
+		// the next boot starts with this fleet's measured (α, β) as priors.
+		if s.cfg.CheckpointDir != "" {
+			if est := s.obs.Estimator(); est != nil && len(est.Links()) > 0 {
+				path := filepath.Join(s.cfg.CheckpointDir, obs.ModelFileName)
+				if err := est.Save(path); err != nil {
+					s.cfg.Logf("machine model save: %v", err)
+				} else {
+					s.obs.Emit(obs.Event{Kind: obs.EvModelSaved, Detail: path})
+					s.cfg.Logf("machine model saved to %s", path)
+				}
+			}
 		}
 		s.pool.Close()
 	})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pulsarqr/internal/matrix"
+	"pulsarqr/internal/obs"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/session"
 )
@@ -58,13 +59,14 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 			// how full the table is, and frees require a client DELETE or the
 			// idle janitor — so the hint is deliberately coarse.
 			s.metrics.SessionsRejected.Add(1)
-			shed429(w, s.sessions.Stats().Sessions, s.sessions.Cap(), err.Error())
+			s.shed429(w, "session", req.Tenant, s.sessions.Stats().Sessions, s.sessions.Cap(), err.Error())
 			return
 		}
 		writeJSON(w, sessionErrStatus(err), errorResponse{err.Error()})
 		return
 	}
 	s.metrics.SessionsOpened.Add(1)
+	s.obs.Emit(obs.Event{Kind: obs.EvSessionOpen, Class: "session", Session: sess.ID, Tenant: sess.Tenant})
 	s.cfg.Logf("session %s opened: tenant=%q n=%d nrhs=%d every=%d ack=%v",
 		sess.ID, sess.Tenant, sess.N, sess.NRHS, sess.Every, sess.Ack)
 	writeJSON(w, http.StatusCreated, sess.Info())
@@ -97,6 +99,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, sessionErrStatus(err), errorResponse{err.Error()})
 		return
 	}
+	s.obs.Emit(obs.Event{Kind: obs.EvSessionClose, Class: "session", Session: id})
 	s.cfg.Logf("session %s deleted", id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
@@ -140,7 +143,7 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sessionSem }()
 	default:
 		s.metrics.AppendRejected.Add(1)
-		shed429(w, int(s.metrics.AppendActive.Load()), s.cfg.SessionStreams,
+		s.shed429(w, "session", "", int(s.metrics.AppendActive.Load()), s.cfg.SessionStreams,
 			"session append capacity exhausted; retry later")
 		return
 	}
@@ -196,7 +199,21 @@ func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	done, streamErr := sess.AppendStream(ctx, ar.Next, emit)
+	var done int64
+	var streamErr error
+	// Every append stream ends with one structured event and one run-span
+	// observation, whichever exit path it takes.
+	defer func() {
+		detail := fmt.Sprintf("%d blocks", done)
+		if streamErr != nil {
+			detail += ": " + streamErr.Error()
+		}
+		s.metrics.ObserveStreamSpan("session", time.Since(start))
+		s.obs.Emit(obs.Event{Kind: obs.EvAppendStream, Class: "session",
+			Session: sess.ID, Tenant: sess.Tenant,
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond), Detail: detail})
+	}()
+	done, streamErr = sess.AppendStream(ctx, ar.Next, emit)
 	if rw == nil {
 		// Nothing committed and no bytes out: the error (or the empty
 		// stream) still gets a clean status line.

@@ -13,6 +13,7 @@
 package simulate
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"pulsarqr/internal/kernels"
@@ -35,25 +36,65 @@ func (k Kernel) String() string {
 	return [...]string{"geqrt", "tsqrt", "ttqrt", "ormqr", "tsmqr", "ttmqr"}[k]
 }
 
-// Machine models the hardware.
+// Machine models the hardware. The JSON shape is the service's machine
+// model wire format: qrserve publishes its measured model at
+// GET /v1/machine-model with exactly these field names, so a simulation can
+// load a live fleet's calibration without conversion (MachineFromJSON).
 type Machine struct {
 	// Nodes is the number of distributed-memory nodes.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// CoresPerNode is the number of physical cores per node; one core per
 	// node is dedicated to the communication proxy, as in the paper's runs.
-	CoresPerNode int
+	CoresPerNode int `json:"cores_per_node"`
 	// CoreGflops is the per-core double-precision peak.
-	CoreGflops float64
-	// Eff holds the per-kernel fraction of peak the pure kernels reach.
-	Eff [numKernels]float64
+	CoreGflops float64 `json:"core_gflops"`
+	// Eff holds the per-kernel fraction of peak the pure kernels reach, in
+	// kernel order: geqrt, tsqrt, ttqrt, ormqr, tsmqr, ttmqr.
+	Eff [numKernels]float64 `json:"eff"`
 	// AlphaInter is the inter-node message latency in seconds.
-	AlphaInter float64
+	AlphaInter float64 `json:"alpha_inter_seconds"`
 	// BetaInter is the inverse inter-node bandwidth in seconds per byte.
-	BetaInter float64
+	BetaInter float64 `json:"beta_inter_seconds_per_byte"`
 	// HopIntra is the intra-node queue hand-off cost in seconds.
-	HopIntra float64
+	HopIntra float64 `json:"hop_intra_seconds"`
 	// TaskOverhead is the runtime's per-task scheduling cost in seconds.
-	TaskOverhead float64
+	TaskOverhead float64 `json:"task_overhead_seconds"`
+}
+
+// Validate rejects a machine no simulation can run on.
+func (m Machine) Validate() error {
+	if m.Nodes < 1 {
+		return fmt.Errorf("simulate: machine has %d nodes", m.Nodes)
+	}
+	if m.CoresPerNode < 1 {
+		return fmt.Errorf("simulate: machine has %d cores per node", m.CoresPerNode)
+	}
+	if m.CoreGflops <= 0 {
+		return fmt.Errorf("simulate: non-positive core peak %g Gflop/s", m.CoreGflops)
+	}
+	for k := Kernel(0); k < numKernels; k++ {
+		if m.Eff[k] <= 0 || m.Eff[k] > 1 {
+			return fmt.Errorf("simulate: kernel %s efficiency %g outside (0, 1]", k, m.Eff[k])
+		}
+	}
+	if m.AlphaInter < 0 || m.BetaInter < 0 || m.HopIntra < 0 || m.TaskOverhead < 0 {
+		return fmt.Errorf("simulate: negative cost in machine model")
+	}
+	return nil
+}
+
+// MachineFromJSON loads a machine model from its wire shape — the
+// "machine" object served by qrserve's GET /v1/machine-model, or a
+// hand-written calibration file.
+func MachineFromJSON(data []byte) (Machine, error) {
+	var m Machine
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Machine{}, fmt.Errorf("simulate: machine model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
 }
 
 // Workers returns the number of worker cores per node.

@@ -1,0 +1,51 @@
+package simulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The JSON roundtrip is the /v1/machine-model contract: a served machine
+// must load back identically through MachineFromJSON.
+func TestMachineJSONRoundtrip(t *testing.T) {
+	want := Kraken(16)
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MachineFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip drifted:\n got %+v\nwant %+v", got, want)
+	}
+	// The wire field names are the contract — a rename breaks every saved
+	// calibration file.
+	for _, field := range []string{
+		`"nodes"`, `"cores_per_node"`, `"core_gflops"`, `"eff"`,
+		`"alpha_inter_seconds"`, `"beta_inter_seconds_per_byte"`,
+		`"hop_intra_seconds"`, `"task_overhead_seconds"`,
+	} {
+		if !bytes.Contains(data, []byte(field)) {
+			t.Fatalf("machine JSON missing %s: %s", field, data)
+		}
+	}
+}
+
+func TestMachineFromJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"no nodes":      `{"cores_per_node":2,"core_gflops":1,"eff":[1,1,1,1,1,1]}`,
+		"zero peak":     `{"nodes":1,"cores_per_node":2,"core_gflops":0,"eff":[1,1,1,1,1,1]}`,
+		"bad eff":       `{"nodes":1,"cores_per_node":2,"core_gflops":1,"eff":[1,1,1,1,1,2]}`,
+		"zero eff":      `{"nodes":1,"cores_per_node":2,"core_gflops":1,"eff":[0,1,1,1,1,1]}`,
+		"negative cost": `{"nodes":1,"cores_per_node":2,"core_gflops":1,"eff":[1,1,1,1,1,1],"alpha_inter_seconds":-1}`,
+	}
+	for name, data := range cases {
+		if _, err := MachineFromJSON([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -39,6 +39,11 @@ import (
 type Mux struct {
 	ep Endpoint
 
+	// barTotal accumulates every job session's barriers across the mux's
+	// whole life — per-job BarrierStats die with their JobEndpoint, so this
+	// is the series a long-lived server exports (qrserve_mux_barriers_total).
+	barTotal barrierCtrs
+
 	mu        sync.Mutex
 	jobs      map[uint32]*JobEndpoint
 	pending   map[uint32][]muxMsg
@@ -321,6 +326,13 @@ func (m *Mux) route(source, tag int, data []byte) {
 // Depths reports the mux's occupancy: open job sessions, messages buffered
 // for jobs not yet opened, and the total unmatched backlog across the open
 // sessions' mailboxes.
+// BarrierTotals aggregates the barriers of every job session this mux ever
+// carried, including sessions already closed. This is where per-job barrier
+// activity is visible on a long-lived server: the root endpoint's
+// BarrierStats only counts collectives run directly on it (trace gathers,
+// shutdown), not the muxed per-job ones.
+func (m *Mux) BarrierTotals() BarrierStats { return m.barTotal.stats() }
+
 func (m *Mux) Depths() (open, pending, backlog int) {
 	m.mu.Lock()
 	open = len(m.jobs)
@@ -532,6 +544,7 @@ func (e *JobEndpoint) Barrier() error {
 	start := time.Now()
 	err := e.barrier()
 	e.barT.observe(start)
+	e.mux.barTotal.observe(start)
 	return err
 }
 

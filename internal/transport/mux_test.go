@@ -135,6 +135,21 @@ func TestMuxPerJobBarriers(t *testing.T) {
 	for err := range errs {
 		t.Errorf("barrier: %v", err)
 	}
+
+	// The mux-level aggregate outlives the sessions: each rank ran 2
+	// barriers on each of 2 jobs, and the totals must survive the
+	// endpoints' Close (per-job BarrierStats die with the JobEndpoint).
+	ea0.Close()
+	eb0.Close()
+	for _, m := range []*Mux{m0, m1} {
+		bs := m.BarrierTotals()
+		if bs.Count != 4 {
+			t.Errorf("mux barrier total = %d, want 4", bs.Count)
+		}
+		if bs.Wait < 0 {
+			t.Errorf("negative barrier wait %v", bs.Wait)
+		}
+	}
 }
 
 // Job A's barrier must not be held hostage by job B never entering its own.

@@ -110,6 +110,56 @@ grep -q '^qrserve_mux_jobs_open ' "$WORK/metrics" || {
 }
 echo "serve-smoke: transport telemetry moving (link bytes, mux depths)"
 
+# Observability layer: lifecycle spans on the job view, build identity and
+# span histograms on /metrics, the live status snapshot, and a machine
+# model the simulator can load.
+curl -sf "http://$ADDR/v1/jobs/1" >"$WORK/job1view"
+grep -q '"spans"' "$WORK/job1view" && grep -q '"queue_wait_ms"' "$WORK/job1view" &&
+    grep -q '"run_ms"' "$WORK/job1view" || {
+    echo "serve-smoke: job view carries no lifecycle spans:" >&2
+    cat "$WORK/job1view" >&2
+    exit 1
+}
+grep -q '^qrserve_build_info{' "$WORK/metrics" || {
+    echo "serve-smoke: build-info gauge missing" >&2
+    exit 1
+}
+grep -q '^qrserve_mux_barriers_total ' "$WORK/metrics" || {
+    echo "serve-smoke: mux barrier totals missing" >&2
+    exit 1
+}
+grep -q 'qrserve_queue_wait_seconds_bucket' "$WORK/metrics" &&
+    grep -q 'qrserve_run_seconds_count{class="job"} 3' "$WORK/metrics" || {
+    echo "serve-smoke: lifecycle span histograms missing or miscounted:" >&2
+    grep 'qrserve_run_seconds\|qrserve_queue_wait' "$WORK/metrics" >&2 || true
+    exit 1
+}
+curl -sf "http://$ADDR/v1/status" >"$WORK/status"
+grep -q '"kernel"' "$WORK/status" && grep -q '"ranks":3' "$WORK/status" &&
+    grep -q '"classes"' "$WORK/status" || {
+    echo "serve-smoke: /v1/status incomplete:" >&2
+    cat "$WORK/status" >&2
+    exit 1
+}
+curl -sf "http://$ADDR/v1/machine-model" >"$WORK/model"
+grep -q '"machine"' "$WORK/model" && grep -q '"alpha_inter_seconds"' "$WORK/model" || {
+    echo "serve-smoke: /v1/machine-model incomplete:" >&2
+    cat "$WORK/model" >&2
+    exit 1
+}
+echo "serve-smoke: spans, status, build info and machine model all serving"
+
+# qrstat renders one snapshot against the live server.
+if [ -x "$BIN/qrstat" ]; then
+    "$BIN/qrstat" -url "http://$ADDR" >"$WORK/qrstat.out"
+    grep -q 'fleet: 3/3 ranks live' "$WORK/qrstat.out" || {
+        echo "serve-smoke: qrstat snapshot wrong:" >&2
+        cat "$WORK/qrstat.out" >&2
+        exit 1
+    }
+    echo "serve-smoke: qrstat snapshot renders the fleet"
+fi
+
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || {
     echo "serve-smoke: qrserve exited non-zero on SIGTERM" >&2
