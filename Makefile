@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race fuzz chaos-smoke cover-transport bench-smoke bench-kernels bench-kernels-check bench-kernels-update bench-batch bench-sessions launch-smoke serve-smoke trace-smoke batch-smoke session-smoke vet clean
+.PHONY: all build test race fuzz chaos-smoke cover-transport cover-plan bench-smoke bench-kernels bench-kernels-check bench-kernels-update bench-batch bench-sessions launch-smoke serve-smoke trace-smoke batch-smoke session-smoke plan-smoke vet clean
 
 all: build
 
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzResultReader -fuzztime 10s ./internal/batch
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointReader -fuzztime 10s ./internal/session
 	$(GO) test -run '^$$' -fuzz FuzzAppendReader -fuzztime 10s ./internal/session
+	$(GO) test -run '^$$' -fuzz FuzzMachineModel -fuzztime 10s ./internal/simulate
 
 # Deterministic fault-injection proof: a factorization over real TCP
 # with seeded chaos (drops, delays, a mid-run link sever, a rank kill)
@@ -49,6 +50,21 @@ cover-transport:
 	echo "internal/transport coverage: $$cov% (floor $(COVER_FLOOR_TRANSPORT)%)"; \
 	awk -v c="$$cov" -v f="$(COVER_FLOOR_TRANSPORT)" 'BEGIN { exit !(c+0 >= f+0) }' || \
 	{ echo "coverage regression: $$cov% < $(COVER_FLOOR_TRANSPORT)%"; exit 1; }
+
+# Coverage gate for the planner and its simulator: the decision logic is
+# the safety argument (chosen never slower than the default), so its
+# coverage must not rot.
+COVER_FLOOR_PLAN = 90.0
+COVER_FLOOR_SIMULATE = 88.0
+cover-plan:
+	@cov=$$($(GO) test -count=1 -cover ./internal/plan | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/plan coverage: $$cov% (floor $(COVER_FLOOR_PLAN)%)"; \
+	awk -v c="$$cov" -v f="$(COVER_FLOOR_PLAN)" 'BEGIN { exit !(c+0 >= f+0) }' || \
+	{ echo "coverage regression: $$cov% < $(COVER_FLOOR_PLAN)%"; exit 1; }
+	@cov=$$($(GO) test -count=1 -cover ./internal/simulate | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/simulate coverage: $$cov% (floor $(COVER_FLOOR_SIMULATE)%)"; \
+	awk -v c="$$cov" -v f="$(COVER_FLOOR_SIMULATE)" 'BEGIN { exit !(c+0 >= f+0) }' || \
+	{ echo "coverage regression: $$cov% < $(COVER_FLOOR_SIMULATE)%"; exit 1; }
 
 # Quick benchmark pass: the real-hardware tree comparison, one
 # distributed run over local TCP processes, and a shrunk batch-vs-jobs
@@ -119,6 +135,13 @@ batch-smoke: build
 # the same checkpoint directory, verify the restored R bitwise.
 session-smoke: build
 	sh scripts/session_smoke.sh $(BIN)
+
+# End-to-end check of the trace-driven planner: qrserve -autotune with 2
+# agents, POST /v1/plan dry-run (computed then cached), an autotuned job
+# with its plan block, qrserve_plan_* metrics, and qrbench -plan against
+# both a canned machine model and the live /v1/machine-model.
+plan-smoke: build
+	sh scripts/plan_smoke.sh $(BIN)
 
 clean:
 	rm -rf $(BIN)

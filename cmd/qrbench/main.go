@@ -53,8 +53,18 @@ func main() {
 	sessURL := flag.String("session-url", "", "with -session: run the seed/verify smoke action against a running qrserve at this base URL instead of the in-process comparison")
 	sessAct := flag.String("session-act", "seed", "with -session-url: seed (open a durable session and stream blocks) or verify (check the restored session's R bitwise)")
 	sessID := flag.String("session-id", "", "with -session-act verify: the session id printed by seed")
+	planRun := flag.Bool("plan", false, "run the trace-driven planner offline: plan a job shape against a machine model and print the decision vs the hand-default (ignores -fig)")
+	planM := flag.Int("plan-m", 16384, "with -plan: matrix rows")
+	planN := flag.Int("plan-n", 512, "with -plan: matrix columns")
+	planMach := flag.String("plan-machine", "kraken:16", "with -plan: machine model — kraken:<nodes>, localhost:<nodes>,<cores>, a model JSON file, or a qrserve base URL (its live /v1/machine-model)")
+	planTarget := flag.Float64("plan-target-ms", 0, "with -plan: completion target in ms; the planner then picks the fewest ranks that meet it")
+	planSweep := flag.Bool("plan-sweep", false, "with -plan: also sweep a grid of shapes and assert the planned config never simulates slower than the default")
 	flag.Parse()
 
+	if *planRun {
+		planMain(*planM, *planN, *planMach, *planTarget, *planSweep)
+		return
+	}
 	if *sessRun {
 		switch {
 		case *sessURL != "" && *sessAct == "seed":

@@ -71,6 +71,7 @@ func main() {
 		tensess  = flag.Int("tenant-sessions", 0, "streaming sessions one tenant may hold (0 = default 8)")
 		sidle    = flag.Duration("session-idle", 0, "unload (durable) or evict (memory-only) sessions idle this long (0 = default 10m; negative disables)")
 		ckevery  = flag.Int("checkpoint-every", 0, "appends between durable checkpoint writes (0 = every append)")
+		autotune = flag.Bool("autotune", false, "plan every job's tree/nb/ib/h/rank-count against the fleet's measured machine model before dispatch (jobs can also opt in per-request with \"autotune\": true)")
 		logLvl   = flag.String("log-level", "info", "structured event log level: debug, info, warn, error (debug includes per-job lifecycle chatter)")
 		logFmt   = flag.String("log-format", "text", "structured event log format: text or json")
 		fcap     = flag.Int("flight-cap", 0, "flight-recorder ring capacity (0 = default 1024; overflow drops oldest)")
@@ -97,6 +98,7 @@ func main() {
 		MaxSessionsPerTenant: *tensess,
 		SessionIdle:          *sidle,
 		CheckpointEvery:      *ckevery,
+		Autotune:             *autotune,
 		Logf:                 log.Printf,
 		Obs:                  obs.New(obs.Options{Logger: logger, FlightCap: *fcap}),
 	}

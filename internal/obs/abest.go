@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,6 +54,7 @@ type linkEst struct {
 // payload-bearing samples identify the slope β.
 type ABEstimator struct {
 	halfLife time.Duration
+	total    atomic.Int64 // samples ever accepted, across all links
 
 	mu    sync.Mutex
 	links map[int]*linkEst
@@ -88,6 +90,17 @@ func (e *ABEstimator) Add(peer int, bytes int64, d time.Duration) {
 	}
 	le.n++
 	e.mu.Unlock()
+	e.total.Add(1)
+}
+
+// Samples returns the total sample count accepted across every link — a
+// cheap monotone progress counter the planner uses as its machine-model
+// epoch, so plan-cache entries age out as fresh evidence arrives.
+func (e *ABEstimator) Samples() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.total.Load()
 }
 
 // Seed installs persisted or configured link models as priors. A prior

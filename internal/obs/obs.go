@@ -42,6 +42,7 @@ const (
 	EvBatchEnd     Kind = "batch_end"      // batch stream finished
 	EvModelLoaded  Kind = "model_loaded"   // machine model restored from disk
 	EvModelSaved   Kind = "model_saved"    // machine model persisted
+	EvPlan         Kind = "job_planned"    // autotuner chose a configuration
 )
 
 // Event is one structured log record. It is a flat value type: every field
@@ -116,7 +117,7 @@ func (o *Observer) Emit(e Event) {
 // debug, landmarks are info, trouble is warn.
 func level(k Kind) slog.Level {
 	switch k {
-	case EvQueued, EvDispatched, EvRunning, EvGathering, EvCheckpoint, EvAppendStream:
+	case EvQueued, EvDispatched, EvRunning, EvGathering, EvCheckpoint, EvAppendStream, EvPlan:
 		return slog.LevelDebug
 	case EvShed, EvAgentEvict, EvFailed, EvExpired, EvRetry, EvBarrierAbort:
 		return slog.LevelWarn

@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pulsarqr/internal/simulate"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the planner golden files")
+
+// slowLink is the degenerate model: a small fleet behind a WAN-class link
+// (5 ms latency, 1 µs/byte). Communication dominates, so the planner should
+// pull work onto fewer nodes — the golden file pins that behavior down.
+func slowLink() simulate.Machine {
+	m := simulate.LocalHost(4, 3)
+	m.AlphaInter = 5e-3
+	m.BetaInter = 1e-6
+	return m
+}
+
+// The golden decisions freeze the planner's observable behavior on three
+// machine models across three shapes: a supercomputer slice (kraken16), the
+// test box (localhost2x3), and a fleet strangled by its network (slowlink).
+// A change here is a planner behavior change — deliberate ones re-bless with
+// go test ./internal/plan -run Golden -update-golden.
+func TestDecideGolden(t *testing.T) {
+	machines := []struct {
+		name string
+		mach simulate.Machine
+	}{
+		{"kraken16", simulate.Kraken(16)},
+		{"localhost2x3", simulate.LocalHost(2, 3)},
+		{"slowlink", slowLink()},
+	}
+	specs := []Spec{
+		{M: 8192, N: 256},  // tall-skinny: the paper's regime
+		{M: 1024, N: 1024}, // square: update-dominated
+		{M: 512, N: 64},    // small: overhead-sensitive
+	}
+	for _, mc := range machines {
+		for _, spec := range specs {
+			name := fmt.Sprintf("%s_%dx%d", mc.name, spec.M, spec.N)
+			t.Run(name, func(t *testing.T) {
+				d, err := Decide(spec, mc.mach, Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Strip the accounting that legitimately varies with grid
+				// defaults; the golden pins the decision, not the sweep size.
+				g := goldenDecision{
+					Choice:           d.Choice,
+					Default:          d.Default,
+					SpeedupVsDefault: round4(d.SpeedupVsDefault),
+				}
+				g.Choice = roundCandidate(g.Choice)
+				g.Default = roundCandidate(g.Default)
+
+				path := filepath.Join("testdata", "golden", name+".json")
+				got, err := json.MarshalIndent(g, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update-golden to bless)", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("planner decision drifted from golden %s:\n got: %s\nwant: %s\n(re-bless with -update-golden if deliberate)",
+						path, got, want)
+				}
+			})
+		}
+	}
+}
+
+type goldenDecision struct {
+	Choice           Candidate `json:"choice"`
+	Default          Candidate `json:"default"`
+	SpeedupVsDefault float64   `json:"speedup_vs_default"`
+}
+
+// roundCandidate truncates the float fields to 4 decimals so the golden
+// comparison is insensitive to last-ulp drift in the DES float accumulation
+// while still catching any real prediction change.
+func roundCandidate(c Candidate) Candidate {
+	c.PredictedMS = round4(c.PredictedMS)
+	c.PredictedGflops = round4(c.PredictedGflops)
+	c.Utilization = round4(c.Utilization)
+	return c
+}
+
+func round4(v float64) float64 {
+	return float64(int64(v*1e4+0.5)) / 1e4
+}

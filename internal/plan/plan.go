@@ -1,0 +1,367 @@
+// Package plan closes the loop the ROADMAP calls the trace-driven planner:
+// given a job's shape and a measured machine model, it enumerates candidate
+// algorithm configurations — flat / binary / hierarchical reduction trees
+// with a sweep of the domain height h, an nb/ib tile grid, and rank counts
+// up to the fleet size — scores every candidate by discrete-event simulation
+// of the exact task DAG (internal/simulate), and returns the winner with a
+// scored rationale. The paper fixes h, the tree and the tile sizes by hand
+// (its Fig. 9 is a manual sweep); CAQR-style analyses show the optimum
+// depends on the matrix shape and the network's α–β, which qrserve now
+// measures live (internal/obs), so the sweep can run per job.
+//
+// The hand-default configuration is always enumerated and scored first, so
+// the chosen candidate can never simulate slower than the default — the
+// planner degrades to a no-op, never to a regression. Decide is pure and
+// deterministic in (spec, machine, config); Planner adds a bounded LRU cache
+// keyed by machine-model epoch and rounded job shape so warm servers plan in
+// microseconds.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"pulsarqr/internal/qr"
+	"pulsarqr/internal/simulate"
+)
+
+// maxPlanDim mirrors the service's admission bound: the planner refuses
+// shapes the service would never admit.
+const maxPlanDim = 1 << 20
+
+// Spec is the planner's view of one job: just the shape and an optional
+// completion target. Everything else about the JobSpec (tenant, data,
+// priority) is irrelevant to configuration choice.
+type Spec struct {
+	// M, N are the matrix dimensions; tall-skinny (M >= N) required.
+	M int `json:"m"`
+	N int `json:"n"`
+	// TargetMS, when positive, is a completion-time target: among candidates
+	// predicted to finish within it, the planner picks the one using the
+	// fewest ranks (then the fastest), freeing fleet capacity for other
+	// tenants. Zero means fastest-wins.
+	TargetMS float64 `json:"target_ms,omitempty"`
+}
+
+func (s Spec) validate() error {
+	if s.M < 1 || s.N < 1 {
+		return fmt.Errorf("plan: invalid shape %dx%d", s.M, s.N)
+	}
+	if s.M < s.N {
+		return fmt.Errorf("plan: shape %dx%d is not tall-skinny (m >= n required)", s.M, s.N)
+	}
+	if s.M > maxPlanDim || s.N > maxPlanDim {
+		return fmt.Errorf("plan: shape %dx%d exceeds limit %d", s.M, s.N, maxPlanDim)
+	}
+	if s.TargetMS < 0 {
+		return fmt.Errorf("plan: negative target_ms %g", s.TargetMS)
+	}
+	return nil
+}
+
+// Candidate is one scored configuration. The wire shape is flat and
+// self-describing so it can ride job views and the /v1/plan response.
+type Candidate struct {
+	Tree  string `json:"tree"` // "hierarchical", "flat", "binary"
+	NB    int    `json:"nb"`
+	IB    int    `json:"ib"`
+	H     int    `json:"h,omitempty"` // hierarchical domain height; 0 otherwise
+	Ranks int    `json:"ranks"`       // nodes the job should span
+
+	PredictedMS     float64 `json:"predicted_ms"`
+	PredictedGflops float64 `json:"predicted_gflops"`
+	Utilization     float64 `json:"utilization"`
+	Tasks           int     `json:"tasks"`
+	Messages        int64   `json:"messages"`
+}
+
+// Options maps the candidate onto the qr layer's configuration.
+func (c Candidate) Options() qr.Options {
+	opts := qr.DefaultOptions()
+	if c.NB > 0 {
+		opts.NB = c.NB
+	}
+	if c.IB > 0 {
+		opts.IB = c.IB
+	}
+	if t, err := qr.ParseTree(c.Tree); err == nil {
+		opts.Tree = t
+	}
+	if c.H > 0 {
+		opts.H = c.H
+	}
+	return opts
+}
+
+// Describe renders the candidate's configuration as one short token string.
+func (c Candidate) Describe() string {
+	if c.Tree == qr.HierarchicalTree.String() {
+		return fmt.Sprintf("%s h=%d nb=%d ib=%d ranks=%d", c.Tree, c.H, c.NB, c.IB, c.Ranks)
+	}
+	return fmt.Sprintf("%s nb=%d ib=%d ranks=%d", c.Tree, c.NB, c.IB, c.Ranks)
+}
+
+// Decision is one planning outcome: the chosen configuration, the
+// hand-default it was measured against, and the accounting that makes the
+// choice auditable.
+type Decision struct {
+	M int `json:"m"`
+	N int `json:"n"`
+
+	Choice  Candidate `json:"choice"`
+	Default Candidate `json:"default"`
+	// SpeedupVsDefault is default predicted time over choice predicted time
+	// (>= 1 whenever both were simulated and no completion target bent the
+	// choice toward frugality).
+	SpeedupVsDefault float64 `json:"speedup_vs_default,omitempty"`
+	// Ranked holds the best-scoring candidates in predicted order (the
+	// choice may differ under a TargetMS frugality rule).
+	Ranked []Candidate `json:"ranked,omitempty"`
+
+	Considered int `json:"considered"`        // configurations enumerated
+	Simulated  int `json:"simulated"`         // configurations DES-scored
+	Skipped    int `json:"skipped,omitempty"` // task graph over the simulation budget
+
+	Epoch     uint64  `json:"epoch,omitempty"`      // machine-model epoch the plan used
+	FromCache bool    `json:"from_cache,omitempty"` // served from the plan cache
+	PlanMS    float64 `json:"plan_ms"`              // wall time spent planning
+	Rationale string  `json:"rationale"`
+}
+
+// Config bounds the candidate sweep. The zero value takes the defaults.
+type Config struct {
+	// NBGrid is the tile-size sweep; ib is derived as nb/4 (the paper's
+	// ratio: nb=192, ib=48). Nil takes DefaultNBGrid.
+	NBGrid []int
+	// HGrid is the hierarchical domain-height sweep. Nil takes DefaultHGrid.
+	HGrid []int
+	// TopK bounds Decision.Ranked; <= 0 takes 8.
+	TopK int
+	// MaxTasksPerCandidate skips configurations whose task graph would
+	// exceed this many tasks (a DES of that graph costs the memory of the
+	// graph itself); <= 0 takes 4M.
+	MaxTasksPerCandidate int64
+	// MaxTasksTotal bounds the whole sweep's simulated work, so a planning
+	// call can never become a denial of service; <= 0 takes 24M. The
+	// default configuration is exempt: it is always scored when it fits the
+	// per-candidate cap.
+	MaxTasksTotal int64
+	// Profile selects the simulated runtime; the zero value is
+	// SystolicProfile, which models this runtime.
+	Profile simulate.Profile
+}
+
+// DefaultNBGrid spans laptop tiles to the paper's 192/240-class tiles.
+var DefaultNBGrid = []int{32, 48, 64, 96, 128, 192, 256}
+
+// DefaultHGrid spans the paper's h sweep (Fig. 9 explores 6 and 12 at
+// Kraken scale; small fleets want smaller domains).
+var DefaultHGrid = []int{2, 4, 6, 8, 12}
+
+func (c Config) withDefaults() Config {
+	if len(c.NBGrid) == 0 {
+		c.NBGrid = DefaultNBGrid
+	}
+	if len(c.HGrid) == 0 {
+		c.HGrid = DefaultHGrid
+	}
+	if c.TopK <= 0 {
+		c.TopK = 8
+	}
+	if c.MaxTasksPerCandidate <= 0 {
+		c.MaxTasksPerCandidate = 4 << 20
+	}
+	if c.MaxTasksTotal <= 0 {
+		c.MaxTasksTotal = 24 << 20
+	}
+	return c
+}
+
+// defaultCandidate is the hand-default configuration: the library defaults
+// on the whole fleet — exactly what dispatch runs when autotuning is off.
+func defaultCandidate(ranks int) Candidate {
+	o := qr.DefaultOptions()
+	return Candidate{Tree: o.Tree.String(), NB: o.NB, IB: o.IB, H: o.H, Ranks: ranks}
+}
+
+// estTasks approximates the task-graph size of shape (m, n) at tile size nb:
+// per panel j, one kernel per remaining tile row for the panel itself and
+// for each trailing column.
+func estTasks(m, n, nb int) int64 {
+	mt := int64((m + nb - 1) / nb)
+	nt := int64((n + nb - 1) / nb)
+	var t int64
+	for j := int64(0); j < nt; j++ {
+		t += (mt - j) * (nt - j)
+		if t < 0 {
+			return 1 << 62 // overflow guard on absurd shapes
+		}
+	}
+	return t
+}
+
+// rankSweep returns the node counts to consider: the fleet, halving down to
+// one. Descending, so the full fleet wins exact predicted-time ties.
+func rankSweep(fleet int) []int {
+	var out []int
+	for r := fleet; r >= 1; r /= 2 {
+		out = append(out, r)
+		if r == 1 {
+			break
+		}
+	}
+	return out
+}
+
+// enumerate generates the candidate configurations in a fixed deterministic
+// order: the hand-default first, then rank sweep (descending) × nb grid ×
+// {flat, binary, hierarchical h sweep}. Duplicates of the default are
+// suppressed.
+func enumerate(spec Spec, mach simulate.Machine, cfg Config) []Candidate {
+	def := defaultCandidate(mach.Nodes)
+	out := []Candidate{def}
+	type ckey struct {
+		tree      string
+		nb, h, rk int
+	}
+	seen := map[ckey]bool{{def.Tree, def.NB, def.H, def.Ranks}: true}
+	add := func(c Candidate) {
+		k := ckey{c.Tree, c.NB, c.H, c.Ranks}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	for _, ranks := range rankSweep(mach.Nodes) {
+		for _, nb := range cfg.NBGrid {
+			if nb > spec.M {
+				continue // a tile taller than the matrix
+			}
+			mt := (spec.M + nb - 1) / nb
+			if ranks > mt {
+				continue // more nodes than tile rows: guaranteed idle nodes
+			}
+			ib := nb / 4
+			if ib < 4 {
+				ib = 4
+			}
+			add(Candidate{Tree: qr.FlatTree.String(), NB: nb, IB: ib, Ranks: ranks})
+			if mt >= 2 {
+				add(Candidate{Tree: qr.BinaryTree.String(), NB: nb, IB: ib, Ranks: ranks})
+			}
+			for _, h := range cfg.HGrid {
+				if h < 2 || h >= mt {
+					continue // h >= mt degenerates to the flat tree
+				}
+				add(Candidate{Tree: qr.HierarchicalTree.String(), NB: nb, IB: ib, H: h, Ranks: ranks})
+			}
+		}
+	}
+	return out
+}
+
+// Decide runs the full candidate sweep for one spec on one machine. It is
+// pure and deterministic: the same (spec, mach, cfg) always returns the
+// same Decision (PlanMS excepted — Decide leaves it zero; callers that time
+// the call fill it in).
+func Decide(spec Spec, mach simulate.Machine, cfg Config) (Decision, error) {
+	if err := spec.validate(); err != nil {
+		return Decision{}, err
+	}
+	if err := mach.Validate(); err != nil {
+		return Decision{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	cands := enumerate(spec, mach, cfg)
+	scored := make([]Candidate, 0, len(cands))
+	var spent int64
+	skipped := 0
+	for i, c := range cands {
+		est := estTasks(spec.M, spec.N, c.NB)
+		// The default (i == 0) is exempt from the total budget so it is
+		// always scored when it is simulatable at all; everything else
+		// competes for the remaining budget in enumeration order.
+		if est > cfg.MaxTasksPerCandidate || (i > 0 && spent+est > cfg.MaxTasksTotal) {
+			skipped++
+			continue
+		}
+		spent += est
+		m2 := mach
+		m2.Nodes = c.Ranks
+		w := simulate.Workload{M: spec.M, N: spec.N, Opts: c.Options()}
+		r := simulate.Run(w, m2, cfg.Profile)
+		c.PredictedMS = r.Seconds * 1e3
+		c.PredictedGflops = r.Gflops
+		c.Utilization = r.Utilization
+		c.Tasks = r.Tasks
+		c.Messages = r.Messages
+		scored = append(scored, c)
+	}
+
+	d := Decision{M: spec.M, N: spec.N, Considered: len(cands), Simulated: len(scored), Skipped: skipped}
+	if len(scored) == 0 {
+		// Nothing fit the simulation budget (an enormous shape): keep the
+		// hand-default rather than guessing — the planner must degrade to a
+		// no-op, never to an unscored gamble.
+		d.Choice = cands[0]
+		d.Default = cands[0]
+		d.Rationale = fmt.Sprintf("shape %dx%d too large to simulate within budget; keeping defaults (%s)",
+			spec.M, spec.N, d.Choice.Describe())
+		return d, nil
+	}
+
+	// Stable sort by predicted time: enumeration order (default first, full
+	// fleet first) breaks exact ties, which keeps the decision deterministic.
+	ranked := make([]Candidate, len(scored))
+	copy(ranked, scored)
+	sort.SliceStable(ranked, func(a, b int) bool { return ranked[a].PredictedMS < ranked[b].PredictedMS })
+
+	// The default is scored[0] whenever it was simulatable (it is enumerated
+	// first and exempt from the total budget).
+	def := scored[0]
+	if def.Tree != cands[0].Tree || def.NB != cands[0].NB || def.Ranks != cands[0].Ranks {
+		def = cands[0] // default itself exceeded the per-candidate cap
+	}
+	d.Default = def
+
+	choice := ranked[0]
+	frugal := false
+	if spec.TargetMS > 0 {
+		// Frugality rule: among candidates meeting the target, prefer the
+		// fewest ranks, then the fastest. The fastest candidate is feasible
+		// whenever any is, so a feasible set is never empty by accident.
+		best := -1
+		for i, c := range ranked {
+			if c.PredictedMS > spec.TargetMS {
+				continue
+			}
+			if best < 0 || c.Ranks < ranked[best].Ranks {
+				best = i
+			}
+		}
+		if best >= 0 && best != 0 {
+			choice = ranked[best]
+			frugal = true
+		}
+	}
+	d.Choice = choice
+	if choice.PredictedMS > 0 && def.PredictedMS > 0 {
+		d.SpeedupVsDefault = def.PredictedMS / choice.PredictedMS
+	}
+	if len(ranked) > cfg.TopK {
+		ranked = ranked[:cfg.TopK]
+	}
+	d.Ranked = ranked
+
+	switch {
+	case frugal:
+		d.Rationale = fmt.Sprintf("%s: predicted %.3gms meets target %.3gms with the fewest ranks (default %s: %.3gms); %d candidates, %d simulated",
+			choice.Describe(), choice.PredictedMS, spec.TargetMS, def.Describe(), def.PredictedMS, d.Considered, d.Simulated)
+	default:
+		d.Rationale = fmt.Sprintf("%s: predicted %.3gms, %.2fx over default %s (%.3gms); %d candidates, %d simulated, %d over budget",
+			choice.Describe(), choice.PredictedMS, d.SpeedupVsDefault, def.Describe(), def.PredictedMS,
+			d.Considered, d.Simulated, d.Skipped)
+	}
+	return d, nil
+}

@@ -37,6 +37,22 @@ func (k TreeKind) String() string {
 	}
 }
 
+// ParseTree maps a wire-format tree name onto its TreeKind. The empty
+// string means "the default" (hierarchical), matching the service's JobSpec
+// convention.
+func ParseTree(s string) (TreeKind, error) {
+	switch s {
+	case "", "hierarchical":
+		return HierarchicalTree, nil
+	case "flat":
+		return FlatTree, nil
+	case "binary":
+		return BinaryTree, nil
+	default:
+		return HierarchicalTree, fmt.Errorf("qr: unknown tree %q", s)
+	}
+}
+
 // InterTree selects the second-level reduction combining the domain tops
 // of a hierarchical panel. The paper fixes this to a binary tree ("instead
 // of enumerating and subsequently testing all possible tree variants ...

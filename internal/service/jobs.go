@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pulsarqr/internal/obs"
+	"pulsarqr/internal/plan"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/trace"
 )
@@ -63,9 +64,10 @@ type Job struct {
 	state   State
 	errMsg  string
 	result  *Result
-	attempt int           // completed dispatch attempts beyond the first
-	trace   []trace.Shard // per-rank shards, set before finish when Spec.Trace
-	flight  []obs.Event   // flight-recorder tail, attached on non-done terminals
+	attempt int            // completed dispatch attempts beyond the first
+	trace   []trace.Shard  // per-rank shards, set before finish when Spec.Trace
+	flight  []obs.Event    // flight-recorder tail, attached on non-done terminals
+	planned *plan.Decision // autotuner's choice, set before the run starts
 
 	done       chan struct{}
 	onTerminal func() // runs once on the terminal transition, before done closes
@@ -114,6 +116,20 @@ func (j *Job) Flight() []obs.Event {
 func (j *Job) setFlight(tail []obs.Event) {
 	j.mu.Lock()
 	j.flight = tail
+	j.mu.Unlock()
+}
+
+// Plan returns the autotuner's decision for this job, nil when the job ran
+// (or will run) with its literal spec.
+func (j *Job) Plan() *plan.Decision {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.planned
+}
+
+func (j *Job) setPlan(d *plan.Decision) {
+	j.mu.Lock()
+	j.planned = d
 	j.mu.Unlock()
 }
 

@@ -58,6 +58,12 @@ type JobSpec struct {
 	// RetryBackoffMS delays each requeue, doubling per attempt; zero takes
 	// the service default (100ms).
 	RetryBackoffMS int64 `json:"retry_backoff_ms,omitempty"`
+	// Autotune asks the server to plan this job's configuration against the
+	// fleet's measured machine model before dispatch: explicit NB/IB/H/Tree
+	// values are ignored in favor of the planner's pick, and the decision is
+	// reported on GET /v1/jobs/{id}. Also enabled fleet-wide by qrserve
+	// -autotune.
+	Autotune bool `json:"autotune,omitempty"`
 }
 
 // maxTenantLen bounds the tenant label: it rides every event and metric
@@ -94,15 +100,11 @@ func (sp *JobSpec) Validate() error {
 }
 
 func (sp *JobSpec) tree() (qr.TreeKind, error) {
-	switch sp.Tree {
-	case "", "hierarchical":
-		return qr.HierarchicalTree, nil
-	case "flat":
-		return qr.FlatTree, nil
-	case "binary":
-		return qr.BinaryTree, nil
+	t, err := qr.ParseTree(sp.Tree)
+	if err != nil {
+		return 0, fmt.Errorf("service: unknown tree %q (want hierarchical, flat or binary)", sp.Tree)
 	}
-	return 0, fmt.Errorf("service: unknown tree %q (want hierarchical, flat or binary)", sp.Tree)
+	return t, nil
 }
 
 // Options maps the spec to the qr layer's algorithm configuration.

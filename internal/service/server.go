@@ -17,6 +17,7 @@ import (
 	"pulsarqr/internal/kernels"
 	"pulsarqr/internal/matrix"
 	"pulsarqr/internal/obs"
+	"pulsarqr/internal/plan"
 	"pulsarqr/internal/pulsar"
 	"pulsarqr/internal/qr"
 	"pulsarqr/internal/session"
@@ -94,6 +95,10 @@ type Config struct {
 	// CheckpointEvery is the default appends-per-checkpoint cadence for new
 	// sessions (overridable per session); zero means every append.
 	CheckpointEvery int
+	// Autotune plans every job's configuration against the fleet's measured
+	// machine model before dispatch (jobs can also opt in individually via
+	// JobSpec.Autotune). The qrserve -autotune flag sets this.
+	Autotune bool
 	// Logf receives service logs; nil discards them.
 	Logf func(format string, args ...any)
 	// Obs is the observability layer: structured events, the flight
@@ -125,12 +130,24 @@ type Server struct {
 
 	nextID atomic.Uint32
 
+	planner *plan.Planner // always non-nil; consulted when autotuning is on
+	costs   costModel     // online per-flop/per-task cost fit from completed jobs
+
 	mu        sync.Mutex
 	jobs      map[uint32]*Job
 	terminal  []uint32     // eviction order of terminal jobs
 	deadRanks map[int]bool // fleet ranks evicted after a peer-death verdict
+	lastPlan  lastPlanInfo // most recent planned job, for /v1/status
 
 	closeOnce sync.Once
+}
+
+// lastPlanInfo is the status page's "what did the planner do last" record.
+type lastPlanInfo struct {
+	job         uint32
+	config      string
+	predictedMS float64
+	actualMS    float64
 }
 
 // NewServer builds the service and warms its pool. With cfg.Ep set it also
@@ -164,6 +181,7 @@ func NewServer(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		jobs:      map[uint32]*Job{},
 		deadRanks: map[int]bool{},
+		planner:   plan.NewPlanner(plan.Config{}, plan.DefaultCacheCap),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	if cfg.Ep != nil && cfg.Ep.Size() > 1 {
@@ -385,62 +403,75 @@ func (s *Server) Get(id uint32) (*Job, error) {
 // runJob executes one dispatched job to a terminal state. In fleet mode it
 // first broadcasts the spec so every agent opens the same mux channel and
 // builds the same array.
+//
+// The spec that actually runs is planJob's effective spec: identical to
+// j.Spec unless autotuning rewrote the algorithm configuration. j.Spec
+// itself stays immutable — job views read it without the lock.
 func (s *Server) runJob(j *Job) {
+	spec := s.planJob(j)
 	var ep transport.Endpoint
 	var sessionMembers []int
 	stopRelay := func() bool { return false }
-	if s.mux != nil && len(s.liveRanks()) > 1 {
+	if s.mux != nil {
 		members := s.liveRanks()
-		sessionMembers = members
-		// Every attempt gets a fresh session id from the same monotonic
-		// space as job ids, so a retried job can never collide with the
-		// mux channel of its own dead attempt; on a degraded fleet the
-		// session spans only the survivors.
-		sid := s.nextID.Add(1)
-		jep, err := s.mux.OpenOn(sid, members)
-		if err != nil {
-			s.fail(j, fmt.Sprintf("open job channel: %v", err))
-			return
+		if d := j.Plan(); d != nil && d.Choice.Ranks >= 1 && d.Choice.Ranks < len(members) {
+			// The planner decided fewer ranks win (communication outweighs
+			// the extra compute): session only a prefix of the live fleet.
+			// Ranks not in the member set ignore the open broadcast.
+			members = members[:d.Choice.Ranks]
 		}
-		defer jep.Close()
-		if est := s.obs.Estimator(); est != nil {
-			// Deferred after jep.Close's defer, so it runs first (LIFO):
-			// fold the session's barrier waits into the α estimate as
-			// zero-byte latency samples while the counters are still live.
-			defer func() {
-				if bs := jep.BarrierStats(); bs.Count > 0 {
-					avg := bs.Wait / time.Duration(bs.Count)
-					for _, r := range members[1:] {
-						est.Add(r, 0, avg)
+		if len(members) > 1 {
+			sessionMembers = members
+			// Every attempt gets a fresh session id from the same monotonic
+			// space as job ids, so a retried job can never collide with the
+			// mux channel of its own dead attempt; on a degraded fleet the
+			// session spans only the survivors.
+			sid := s.nextID.Add(1)
+			jep, err := s.mux.OpenOn(sid, members)
+			if err != nil {
+				s.fail(j, fmt.Sprintf("open job channel: %v", err))
+				return
+			}
+			defer jep.Close()
+			if est := s.obs.Estimator(); est != nil {
+				// Deferred after jep.Close's defer, so it runs first (LIFO):
+				// fold the session's barrier waits into the α estimate as
+				// zero-byte latency samples while the counters are still live.
+				defer func() {
+					if bs := jep.BarrierStats(); bs.Count > 0 {
+						avg := bs.Wait / time.Duration(bs.Count)
+						for _, r := range members[1:] {
+							est.Add(r, 0, avg)
+						}
 					}
-				}
-			}()
+				}()
+			}
+			s.broadcast(ctlMsg{Op: "open", Job: j.ID, Session: sid, Ranks: members, Spec: &spec})
+			// Cancellation must be collective: relay it to the agents AND fail
+			// this rank's job session. Closing jep fails its barrier state, so
+			// a rank whose local share finished before the cancel — already
+			// blocked in the collective post-run barrier its aborting peers
+			// will never enter — unwinds instead of wedging this dispatcher
+			// worker forever. The success path stops the relay before finish's
+			// cancel(nil) so a completed job broadcasts nothing; a failed job
+			// leaves it armed, releasing agents still running their share.
+			stopRelay = context.AfterFunc(j.ctx, func() {
+				s.obs.Emit(obs.Event{Kind: obs.EvBarrierAbort, Class: "job", Job: j.ID,
+					Detail: "cancel relayed to fleet; job session closed"})
+				s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
+				jep.Close()
+			})
+			defer stopRelay()
+			ep = jep
 		}
-		s.broadcast(ctlMsg{Op: "open", Job: j.ID, Session: sid, Ranks: members, Spec: &j.Spec})
-		// Cancellation must be collective: relay it to the agents AND fail
-		// this rank's job session. Closing jep fails its barrier state, so
-		// a rank whose local share finished before the cancel — already
-		// blocked in the collective post-run barrier its aborting peers
-		// will never enter — unwinds instead of wedging this dispatcher
-		// worker forever. The success path stops the relay before finish's
-		// cancel(nil) so a completed job broadcasts nothing; a failed job
-		// leaves it armed, releasing agents still running their share.
-		stopRelay = context.AfterFunc(j.ctx, func() {
-			s.obs.Emit(obs.Event{Kind: obs.EvBarrierAbort, Class: "job", Job: j.ID,
-				Detail: "cancel relayed to fleet; job session closed"})
-			s.broadcast(ctlMsg{Op: "cancel", Job: j.ID})
-			jep.Close()
-		})
-		defer stopRelay()
-		ep = jep
 	}
 
-	a, dense, err := j.Spec.BuildInputs()
+	a, dense, err := spec.BuildInputs()
 	if err != nil {
 		s.fail(j, err.Error())
 		return
 	}
-	opts, err := j.Spec.Options()
+	opts, err := spec.Options()
 	if err != nil {
 		s.fail(j, err.Error())
 		return
@@ -450,7 +481,7 @@ func (s *Server) runJob(j *Job) {
 		DeadlockTimeout: s.cfg.DeadlockTimeout,
 	}
 	var rec *trace.Recorder
-	if j.Spec.Trace {
+	if spec.Trace {
 		rec = trace.NewRecorderCap(s.cfg.TraceCap)
 		hook := rec.Hook()
 		rc.FireHook = func(ev pulsar.FireEvent) {
@@ -480,8 +511,10 @@ func (s *Server) runJob(j *Job) {
 	s.obs.Emit(obs.Event{Kind: obs.EvRunning, Class: "job", Job: j.ID,
 		Tenant: j.Spec.Tenant, Attempt: j.Attempts()})
 	start := time.Now()
+	wait0 := s.metrics.WaitSeconds()
 	f, err := qr.FactorizeVSAServe(j.ctx, a, nil, opts, rc, ep, s.pool)
 	elapsed := time.Since(start)
+	waitSec := s.metrics.WaitSeconds() - wait0
 	if err != nil {
 		switch {
 		case j.ctx.Err() != nil:
@@ -545,6 +578,8 @@ func (s *Server) runJob(j *Job) {
 	if j.finish(StateDone, "", res) {
 		s.metrics.Completed.Add(1)
 		s.metrics.ObserveJob(time.Since(j.enqueued).Seconds(), elapsed.Seconds(), flops)
+		s.recordCostSample(spec, res, elapsed, waitSec)
+		s.recordPlanOutcome(j, elapsed)
 		s.cfg.Logf("job %d done in %v: %.2f Gflop/s, residual %.2e", j.ID, elapsed, res.Gflops, res.Residual)
 	}
 }

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -78,6 +77,7 @@ type StatusView struct {
 	Fleet      FleetStatus            `json:"fleet"`
 	Classes    map[string]ClassStatus `json:"classes"`
 	Tenants    []TenantStatus         `json:"tenants,omitempty"`
+	Planner    PlannerStatus          `json:"planner"`
 	Events     int64                  `json:"events"`      // structured events emitted since boot
 	EventDrops int64                  `json:"event_drops"` // flight-ring overwrites (honest loss count)
 	Flight     []obs.Event            `json:"flight,omitempty"`
@@ -166,6 +166,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			},
 		},
 		Tenants:    tenants,
+		Planner:    s.plannerStatus(),
 		Events:     events,
 		EventDrops: drops,
 		Flight:     s.obs.Tail(tailN),
@@ -183,29 +184,14 @@ type MachineModelView struct {
 	UpdatedUnix int64            `json:"updated_unix"`
 }
 
-// handleMachineModel serves the current machine-model estimate: a LocalHost
-// baseline overridden by whatever this process has measured — achieved
-// compute rate from the job counters, (α, β) from the online estimator.
+// handleMachineModel serves the current machine-model estimate — the same
+// model the planner uses (see Server.machineModel), plus the per-link
+// evidence behind it.
 func (s *Server) handleMachineModel(w http.ResponseWriter, r *http.Request) {
-	mach := simulate.LocalHost(s.Ranks(), s.cfg.Threads+1)
-	measured := false
-	flops := math.Float64frombits(s.metrics.flopBits.Load())
-	busy := math.Float64frombits(s.metrics.busyBits.Load())
-	if busy > 0 && flops > 0 {
-		// Achieved per-core rate over every completed job. This folds the
-		// kernel efficiencies into CoreGflops once — crude, but it is the
-		// rate this pool actually sustains, which is what a planner wants.
-		mach.CoreGflops = flops / busy / 1e9 / float64(s.cfg.Threads)
-		measured = true
-	}
+	mach, measured := s.machineModel()
 	var links []obs.LinkModel
 	if est := s.obs.Estimator(); est != nil {
 		links = est.Links()
-		if a, b, ok := est.Aggregate(); ok {
-			mach.AlphaInter = a
-			mach.BetaInter = b
-			measured = true
-		}
 	}
 	writeJSON(w, http.StatusOK, MachineModelView{
 		Machine:     mach,

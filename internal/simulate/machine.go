@@ -15,6 +15,7 @@ package simulate
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"pulsarqr/internal/kernels"
 )
@@ -61,24 +62,63 @@ type Machine struct {
 	TaskOverhead float64 `json:"task_overhead_seconds"`
 }
 
-// Validate rejects a machine no simulation can run on.
+// Bounds on machines Validate will accept. A machine model arrives over
+// the wire (files, GET /v1/machine-model) and feeds allocations sized by
+// its dimensions, so hostile values must be rejected here — not discovered
+// as an out-of-memory inside the DES.
+const (
+	// MaxNodes caps the node count (the paper's Kraken tops out near 10^4
+	// nodes; 2^16 leaves headroom without letting a poisoned model size a
+	// worker table in the billions).
+	MaxNodes = 1 << 16
+	// MaxCoresPerNode caps cores per node.
+	MaxCoresPerNode = 1 << 12
+	// MaxCoreGflops caps the per-core peak (an exaflop core is a lie).
+	MaxCoreGflops = 1e6
+	// MaxCostSeconds caps every per-event cost term: a model claiming an
+	// hour per message latency is poisoned, not slow.
+	MaxCostSeconds = 3600
+	// MaxBetaSecondsPerByte caps inverse bandwidth at one second per byte.
+	MaxBetaSecondsPerByte = 1
+)
+
+// finiteCost reports v being a usable non-negative cost below the cap.
+// NaN fails every comparison, so the check must be written to *accept* a
+// known-good range rather than reject known-bad values.
+func finiteCost(v, max float64) bool {
+	return v >= 0 && v <= max && !math.IsNaN(v)
+}
+
+// Validate rejects a machine no simulation can run on — including poisoned
+// wire models (NaN/Inf rates, absurd dimensions) that would otherwise turn
+// the simulator into an allocation bomb or make every prediction NaN. Any
+// machine that passes yields finite task and transfer times.
 func (m Machine) Validate() error {
-	if m.Nodes < 1 {
-		return fmt.Errorf("simulate: machine has %d nodes", m.Nodes)
+	if m.Nodes < 1 || m.Nodes > MaxNodes {
+		return fmt.Errorf("simulate: machine has %d nodes (want 1..%d)", m.Nodes, MaxNodes)
 	}
-	if m.CoresPerNode < 1 {
-		return fmt.Errorf("simulate: machine has %d cores per node", m.CoresPerNode)
+	if m.CoresPerNode < 1 || m.CoresPerNode > MaxCoresPerNode {
+		return fmt.Errorf("simulate: machine has %d cores per node (want 1..%d)", m.CoresPerNode, MaxCoresPerNode)
 	}
-	if m.CoreGflops <= 0 {
-		return fmt.Errorf("simulate: non-positive core peak %g Gflop/s", m.CoreGflops)
+	if !(m.CoreGflops > 0) || m.CoreGflops > MaxCoreGflops {
+		return fmt.Errorf("simulate: core peak %g Gflop/s outside (0, %g]", m.CoreGflops, float64(MaxCoreGflops))
 	}
 	for k := Kernel(0); k < numKernels; k++ {
-		if m.Eff[k] <= 0 || m.Eff[k] > 1 {
+		if !(m.Eff[k] > 0) || m.Eff[k] > 1 {
 			return fmt.Errorf("simulate: kernel %s efficiency %g outside (0, 1]", k, m.Eff[k])
 		}
 	}
-	if m.AlphaInter < 0 || m.BetaInter < 0 || m.HopIntra < 0 || m.TaskOverhead < 0 {
-		return fmt.Errorf("simulate: negative cost in machine model")
+	if !finiteCost(m.AlphaInter, MaxCostSeconds) {
+		return fmt.Errorf("simulate: alpha %g outside [0, %ds]", m.AlphaInter, MaxCostSeconds)
+	}
+	if !finiteCost(m.BetaInter, MaxBetaSecondsPerByte) {
+		return fmt.Errorf("simulate: beta %g outside [0, %d s/byte]", m.BetaInter, MaxBetaSecondsPerByte)
+	}
+	if !finiteCost(m.HopIntra, MaxCostSeconds) {
+		return fmt.Errorf("simulate: intra-node hop %g outside [0, %ds]", m.HopIntra, MaxCostSeconds)
+	}
+	if !finiteCost(m.TaskOverhead, MaxCostSeconds) {
+		return fmt.Errorf("simulate: task overhead %g outside [0, %ds]", m.TaskOverhead, MaxCostSeconds)
 	}
 	return nil
 }
@@ -95,6 +135,23 @@ func MachineFromJSON(data []byte) (Machine, error) {
 		return Machine{}, err
 	}
 	return m, nil
+}
+
+// MachineFromModelResponse loads a machine from a full GET
+// /v1/machine-model response body — the {"machine": {...}, ...} envelope —
+// falling back to the bare machine object, so both the endpoint response
+// and a saved calibration file load with one call.
+func MachineFromModelResponse(data []byte) (Machine, error) {
+	var resp struct {
+		Machine *Machine `json:"machine"`
+	}
+	if err := json.Unmarshal(data, &resp); err == nil && resp.Machine != nil {
+		if err := resp.Machine.Validate(); err != nil {
+			return Machine{}, err
+		}
+		return *resp.Machine, nil
+	}
+	return MachineFromJSON(data)
 }
 
 // Workers returns the number of worker cores per node.
